@@ -1,0 +1,106 @@
+"""Benchmark-suite fixtures.
+
+Each figure bench registers its per-point results (served users, runtime)
+into a session-scoped report; at session end the report prints the same
+rows/series the paper's figures show, and writes them to
+``benchmarks/out/`` for EXPERIMENTS.md.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — scenario scale preset (default "bench"; set
+  "paper" for the fine 100-location grid — much slower in pure Python);
+* ``REPRO_BENCH_POOL`` — approAlg anchor-candidate pool (default 10; 0
+  disables the restriction, reverting to the full O(m^s) enumeration).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import defaultdict
+from pathlib import Path
+
+import pytest
+
+from repro.util.tables import format_table
+from repro.workload.scenarios import paper_scenario
+
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "bench")
+_pool = int(os.environ.get("REPRO_BENCH_POOL", "10"))
+ANCHOR_POOL = None if _pool == 0 else _pool
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+class FigureReport:
+    """Collects (figure, sweep value, algorithm) -> metrics rows."""
+
+    def __init__(self) -> None:
+        self.served: dict = defaultdict(dict)   # fig -> (value, alg) -> served
+        self.runtime: dict = defaultdict(dict)
+        self.titles: dict = {}
+
+    def record(self, fig: str, title: str, sweep_value: object,
+               algorithm: str, served: int, runtime_s: float) -> None:
+        self.titles[fig] = title
+        self.served[fig][(sweep_value, algorithm)] = served
+        self.runtime[fig][(sweep_value, algorithm)] = runtime_s
+
+    def table(self, fig: str, metric: str = "served") -> str:
+        data = self.served[fig] if metric == "served" else self.runtime[fig]
+        values = sorted({v for v, _ in data}, key=lambda x: (str(type(x)), x))
+        algorithms = list(dict.fromkeys(alg for _, alg in data))
+        headers = ["point"] + algorithms
+        rows = []
+        for value in values:
+            row = [value]
+            for alg in algorithms:
+                cell = data.get((value, alg))
+                row.append("-" if cell is None else cell)
+            rows.append(row)
+        return format_table(
+            headers, rows, title=f"{self.titles[fig]} [{metric}]"
+        )
+
+    def dump(self) -> str:
+        blocks = []
+        for fig in sorted(self.titles):
+            blocks.append(self.table(fig, "served"))
+            blocks.append(self.table(fig, "runtime"))
+        return "\n\n".join(blocks)
+
+
+_report = FigureReport()
+
+
+@pytest.fixture(scope="session")
+def figure_report() -> FigureReport:
+    return _report
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _report.titles:
+        return
+    text = _report.dump()
+    print("\n\n===== reproduced figure data =====\n" + text + "\n")
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "figures.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def scenario_cache():
+    """Scenario builder with caching so parametrized benches share
+    instances (and their warm coverage caches)."""
+    cache: dict = {}
+
+    def get(num_users: int, num_uavs: int, seed: int = 7):
+        key = (num_users, num_uavs, seed, BENCH_SCALE)
+        if key not in cache:
+            cache[key] = paper_scenario(
+                num_users=num_users,
+                num_uavs=num_uavs,
+                scale=BENCH_SCALE,
+                seed=seed,
+            )
+        return cache[key]
+
+    return get

@@ -1,0 +1,80 @@
+"""Relocation ablation (ours): travel cost of re-deployment policies.
+
+When users drift and the network is re-planned (Section II-C), the fleet
+must physically move.  Compares the naive keep-your-role transition with
+the Hungarian min-total and bottleneck min-makespan pairings over a
+sequence of mobility-driven re-deployments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.approx import appro_alg
+from repro.core.problem import ProblemInstance
+from repro.network.coverage import CoverageGraph
+from repro.network.users import User
+from repro.sim.mobility import GaussianWalk
+from repro.sim.relocation import naive_relocation, plan_relocation
+from repro.workload.scenarios import paper_scenario
+
+TITLE = "Relocation ablation - fleet travel per re-deployment (K=8)"
+
+
+@pytest.fixture(scope="module")
+def transition():
+    """Two consecutive deployments: before and after a strong user drift."""
+    problem = paper_scenario(num_users=500, num_uavs=8, scale="bench",
+                             seed=21)
+    before = appro_alg(problem, s=2, gain_mode="fast",
+                       max_anchor_candidates=8).deployment
+
+    rng = np.random.default_rng(5)
+    walk = GaussianWalk(sigma_m=400.0)
+    xy = np.array(
+        [[u.position.x, u.position.y] for u in problem.graph.users]
+    )
+    for _ in range(3):
+        xy = walk.step(xy, (0.0, 3000.0, 0.0, 3000.0), rng)
+    moved_users = [
+        User(position=type(u.position)(float(x), float(y), 0.0),
+             min_rate_bps=u.min_rate_bps)
+        for u, (x, y) in zip(problem.graph.users, xy)
+    ]
+    moved_graph = CoverageGraph(
+        users=moved_users,
+        locations=problem.graph.locations,
+        uav_range_m=problem.graph.uav_range_m,
+    )
+    moved_problem = ProblemInstance(graph=moved_graph, fleet=problem.fleet)
+    after = appro_alg(moved_problem, s=2, gain_mode="fast",
+                      max_anchor_candidates=8).deployment
+    return problem, before, after
+
+
+@pytest.mark.parametrize("policy", ("naive", "total", "makespan"))
+def test_relocation_policy(benchmark, figure_report, transition, policy):
+    problem, before, after = transition
+
+    def run():
+        if policy == "naive":
+            return naive_relocation(problem, before, after)
+        return plan_relocation(problem, before, after, policy=policy)
+
+    plan = benchmark.pedantic(run, rounds=1, iterations=1)
+    figure_report.record(
+        "relocation", TITLE, f"policy={policy}", "total_km",
+        round(plan.total_distance_m / 1000, 2),
+        round(plan.max_distance_m / 1000, 2),
+    )
+    assert plan.total_distance_m >= 0
+
+
+def test_planned_no_worse_than_naive(transition):
+    problem, before, after = transition
+    naive = naive_relocation(problem, before, after)
+    total = plan_relocation(problem, before, after, policy="total")
+    makespan = plan_relocation(problem, before, after, policy="makespan")
+    assert total.total_distance_m <= naive.total_distance_m + 1e-6
+    assert makespan.max_distance_m <= naive.max_distance_m + 1e-6

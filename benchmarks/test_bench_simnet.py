@@ -1,0 +1,55 @@
+"""Capacity-justification bench (substrate validation, not a paper figure).
+
+Regenerates the systems claim behind the paper's capacity constraint
+(Section I / SkyCore [27]): request latency at a UAV base station vs its
+offered load.  Below the capacity rating latency is milliseconds; past
+saturation it grows without bound over the horizon — "a few seconds".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.deployment import Deployment
+from repro.simnet.sim import simulate_network
+from repro.simnet.station import StationModel
+from tests.conftest import make_line_instance
+
+CAPACITY = 50
+LOADS = (0.5, 0.8, 0.96, 1.2)  # fraction of capacity actually assigned
+TITLE = "Capacity justification - latency vs offered load (C=50)"
+
+
+@pytest.mark.parametrize("load", LOADS)
+def test_latency_vs_load(benchmark, figure_report, load):
+    users = int(round(CAPACITY * load / 0.8))  # rho = users/C / 1.25
+    problem = make_line_instance(
+        num_locations=1, users_per_location=max(users, 1),
+        capacities=(CAPACITY,),
+    )
+    dep = Deployment(
+        placements={0: 0}, assignment={u: 0 for u in range(users)}
+    )
+    model = StationModel(request_rate_per_user_hz=2.0, headroom=1.25)
+
+    stats = benchmark.pedantic(
+        lambda: simulate_network(problem, dep, duration_s=60.0,
+                                 model=model, seed=int(load * 100)),
+        rounds=1,
+        iterations=1,
+    )
+    st = stats.station(0)
+    figure_report.record(
+        "simnet", TITLE, f"rho={st.load_factor:.2f}", "mean_ms",
+        round(st.mean_sojourn_s * 1000, 1), round(st.p95_sojourn_s * 1000, 1),
+    )
+    assert st.completed > 0
+
+
+def test_latency_monotone_in_load(figure_report):
+    """The assembled series must be monotone: heavier load, longer delay."""
+    data = figure_report.served.get("simnet", {})
+    if len(data) < len(LOADS):
+        pytest.skip("run after the parametrized points")
+    series = [v for _, v in sorted(data.items())]
+    assert all(b >= a * 0.8 for a, b in zip(series, series[1:]))

@@ -1,0 +1,105 @@
+"""Why the capacity constraint exists: queueing latency vs load.
+
+Reproduces the systems argument behind the paper's capacity model
+(Section I, citing SkyCore): the UAV's onboard server handles user
+requests with limited compute.  This example (1) sweeps a single
+station's offered load through saturation and (2) compares the paper's
+capacity-respecting assignment against a capacity-ignoring counterfactual
+on a real deployment — same hovering positions, very different latency.
+
+Run:  python examples/capacity_study.py
+"""
+
+from repro import appro_alg, paper_scenario
+from repro.network.deployment import Deployment
+from repro.simnet.sim import overload_assignment, simulate_network
+from repro.simnet.station import StationModel
+from repro.util.tables import format_table
+
+
+def single_station_sweep() -> None:
+    from repro.network.coverage import CoverageGraph
+    from repro.core.problem import ProblemInstance
+    from repro.geometry.point import Point3D
+    from repro.network.uav import UAV
+    from repro.network.users import users_from_points
+
+    capacity = 50
+    model = StationModel(request_rate_per_user_hz=2.0, headroom=1.25)
+    rows = []
+    for users in (20, 40, 50, 62, 75):
+        points = [(500.0 + 2.0 * i, 0.0) for i in range(users)]
+        graph = CoverageGraph(
+            users=users_from_points(points),
+            locations=[Point3D(500.0, 0.0, 300.0)],
+            uav_range_m=600.0,
+        )
+        problem = ProblemInstance(
+            graph=graph, fleet=[UAV(capacity=capacity)]
+        )
+        dep = Deployment(
+            placements={0: 0}, assignment={u: 0 for u in range(users)}
+        )
+        stats = simulate_network(
+            problem, dep, duration_s=60.0, model=model, seed=users
+        )
+        st = stats.station(0)
+        rows.append(
+            [users, f"{st.load_factor:.2f}",
+             f"{st.mean_sojourn_s * 1000:.1f} ms",
+             f"{st.p95_sojourn_s * 1000:.1f} ms", st.max_queue]
+        )
+    print(format_table(
+        ["assigned users", "load rho", "mean latency", "p95 latency",
+         "max queue"],
+        rows,
+        title=f"one station, capacity rating C = {capacity}",
+    ))
+    print(
+        "\nBeyond C (rho -> 1 and past it) the queue and latency explode — "
+        "this is what the paper's constraint 'users per UAV <= C_k' "
+        "prevents.\n"
+    )
+
+
+def deployment_comparison() -> None:
+    # Capacity-tight fleet: total capacity ~ 0.7x the user count, so the
+    # constraint actually binds.
+    problem = paper_scenario(
+        num_users=350, num_uavs=6, scale="small", seed=9,
+        capacity_min=20, capacity_max=60,
+    )
+    result = appro_alg(problem, s=2, gain_mode="fast")
+    model = StationModel(request_rate_per_user_hz=1.0, headroom=1.25)
+
+    ok = simulate_network(problem, result.deployment, duration_s=40.0,
+                          model=model, seed=1)
+    over_dep = overload_assignment(problem, result.deployment)
+    over = simulate_network(problem, over_dep, duration_s=40.0,
+                            model=model, seed=1)
+
+    print(format_table(
+        ["assignment", "served", "worst rho", "mean latency", "p95 latency"],
+        [
+            ["capacity-respecting (paper)",
+             result.deployment.served_count,
+             f"{max(s.load_factor for s in ok.stations):.2f}",
+             f"{ok.mean_sojourn_s * 1000:.1f} ms",
+             f"{ok.p95_sojourn_s * 1000:.1f} ms"],
+            ["capacity-ignoring (nearest UAV)",
+             over_dep.served_count,
+             f"{max(s.load_factor for s in over.stations):.2f}",
+             f"{over.mean_sojourn_s * 1000:.1f} ms",
+             f"{over.p95_sojourn_s * 1000:.1f} ms"],
+        ],
+        title="same placements, two assignment policies",
+    ))
+
+
+def main() -> None:
+    single_station_sweep()
+    deployment_comparison()
+
+
+if __name__ == "__main__":
+    main()

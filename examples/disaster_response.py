@@ -1,0 +1,65 @@
+"""Disaster-response planning: compare all placement algorithms.
+
+Scenario: an earthquake knocks out terrestrial base stations in a
+3 x 3 km urban area; survivors cluster around a few shelters (fat-tailed
+density).  A rescue team has 12 UAVs bought over several years, so their
+base stations differ widely in service capacity.  Which placement
+algorithm serves the most survivors, and at what cost?
+
+Run:  python examples/disaster_response.py
+"""
+
+from repro import paper_scenario
+from repro.sim.runner import ALGORITHMS, run_algorithm
+from repro.util.tables import format_table
+from repro.workload.fat_tailed import FatTailedWorkload
+
+
+def main() -> None:
+    # Sharper hotspots than the default: survivors gather at 5 shelters.
+    problem = paper_scenario(
+        num_users=1500,
+        num_uavs=12,
+        scale="bench",
+        seed=2024,
+        workload=FatTailedWorkload(
+            num_hotspots=5, pareto_alpha=1.2, hotspot_sigma_m=180.0,
+            background_fraction=0.10,
+        ),
+    )
+    print(
+        f"earthquake scenario: {problem.num_users} survivors, "
+        f"{problem.num_uavs} heterogeneous UAVs "
+        f"(capacities {sorted(u.capacity for u in problem.fleet)})"
+    )
+
+    rows = []
+    for name in ALGORITHMS:
+        params = (
+            {"s": 2, "max_anchor_candidates": 8, "gain_mode": "fast"}
+            if name == "approAlg"
+            else {}
+        )
+        rec = run_algorithm(problem, name, **params)
+        note = "(ignores connectivity!)" if name == "Unconstrained" else ""
+        rows.append(
+            [name, rec.served, f"{rec.served_fraction:.0%}",
+             f"{rec.runtime_s:.2f}s", note]
+        )
+    rows.sort(key=lambda r: -r[1])
+    print()
+    print(format_table(
+        ["algorithm", "served", "fraction", "time", "note"], rows,
+        title="survivors served by each placement algorithm",
+    ))
+
+    best = rows[0][0] if rows[0][0] != "Unconstrained" else rows[1][0]
+    print(
+        f"\n=> '{best}' serves the most survivors among connected "
+        "deployments; every extra percent is people reached within the "
+        "72 golden hours."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Fleet planning: how does fleet composition affect coverage?
+
+The paper's Fig. 1 motivates heterogeneity with two real drones: the DJI
+Matrice 600 RTK (5.5 kg payload, strong base station, out of production)
+and the Matrice 300 RTK (2.7 kg payload).  This example deploys fleets of
+different M600/M300 mixes over the same disaster area with Algorithm 2
+and reports how many users each mix serves — useful when deciding which
+airframes to dispatch (or buy).
+
+Run:  python examples/fleet_planning.py
+"""
+
+from repro import appro_alg
+from repro.core.problem import ProblemInstance
+from repro.network.fleet import fleet_from_models
+from repro.util.tables import format_table
+from repro.workload.scenarios import SCALES, build_scenario
+
+
+def main() -> None:
+    config = SCALES["bench"].with_overrides(num_users=2000, num_uavs=8)
+    base = build_scenario(config, seed=77)  # fixes users + geometry
+
+    mixes = [
+        ("8x M300", {"M300": 8}),
+        ("2x M600 + 6x M300", {"M600": 2, "M300": 6}),
+        ("4x M600 + 4x M300", {"M600": 4, "M300": 4}),
+        ("8x M600", {"M600": 8}),
+    ]
+
+    rows = []
+    for label, counts in mixes:
+        fleet = fleet_from_models(counts, seed=5)
+        problem = ProblemInstance(graph=base.graph, fleet=fleet)
+        result = appro_alg(
+            problem, s=2, max_anchor_candidates=8, gain_mode="fast"
+        )
+        total_capacity = sum(u.capacity for u in fleet)
+        rows.append(
+            [
+                label,
+                total_capacity,
+                result.served,
+                f"{result.served / problem.num_users:.0%}",
+                f"{result.served / total_capacity:.0%}",
+            ]
+        )
+
+    print(format_table(
+        ["fleet mix", "total capacity", "served", "of users", "capacity used"],
+        rows,
+        title=f"fleet composition vs coverage ({base.num_users} users, "
+              "8 UAVs, approAlg s=2)",
+    ))
+    print(
+        "\nReading the last column: when capacity utilisation saturates, "
+        "adding stronger UAVs stops paying — coverage geometry, not "
+        "capacity, becomes the binding constraint."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Regenerate all of the paper's figures as tables and CSV files.
+
+Writes ``fig4.csv`` / ``fig5.csv`` / ``fig6a.csv`` / ``fig6b.csv`` (plus
+the extended sweeps) into ``examples/out/`` and prints the tables.  Uses
+trimmed sweep points so the whole script finishes in a couple of minutes
+on a laptop; pass ``--full`` for the complete grids.
+
+Run:  python examples/paper_figures.py [--full]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.sim.experiments import (
+    capacity_spread_sweep,
+    environment_sweep,
+    fig4_sweep,
+    fig5_sweep,
+    fig6_sweep,
+)
+
+OUT = Path(__file__).parent / "out"
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    OUT.mkdir(exist_ok=True)
+
+    fig4 = fig4_sweep(ks=(4, 8, 12, 16, 20) if full else (4, 12, 20))
+    print(fig4.to_text(title="Fig. 4 - served users vs K (n=3000, s=3)"))
+    (OUT / "fig4.csv").write_text(fig4.to_csv())
+
+    fig5 = fig5_sweep(ns=(1000, 1500, 2000, 2500, 3000) if full
+                      else (1000, 2000, 3000))
+    print()
+    print(fig5.to_text(title="Fig. 5 - served users vs n (K=20, s=3)"))
+    (OUT / "fig5.csv").write_text(fig5.to_csv())
+
+    fig6 = fig6_sweep(ss=(1, 2, 3, 4) if full else (1, 2, 3))
+    print()
+    print(fig6.to_text(metric="served",
+                       title="Fig. 6(a) - served users vs s (n=3000, K=20)"))
+    (OUT / "fig6a.csv").write_text(fig6.to_csv(metric="served"))
+    print()
+    print(fig6.to_text(metric="runtime_s",
+                       title="Fig. 6(b) - running time (s) vs s"))
+    (OUT / "fig6b.csv").write_text(fig6.to_csv(metric="runtime_s"))
+
+    spread = capacity_spread_sweep()
+    print()
+    print(spread.to_text(title="Extended - capacity spread (mean C fixed)"))
+    (OUT / "capacity_spread.csv").write_text(spread.to_csv())
+
+    env = environment_sweep()
+    print()
+    print(env.to_text(title="Extended - environment sweep (2.5 Mbps floor)"))
+    (OUT / "environment.csv").write_text(env.to_csv())
+
+    print(f"\nCSV files written to {OUT}/")
+
+
+if __name__ == "__main__":
+    main()

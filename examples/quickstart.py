@@ -1,0 +1,49 @@
+"""Quickstart: deploy a heterogeneous UAV network over a disaster area.
+
+Builds the paper's Section IV-A scenario at a small scale, runs the
+proposed approximation algorithm (Algorithm 2), and prints the deployment.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import appro_alg, approximation_ratio, paper_scenario, validate_deployment
+
+def main() -> None:
+    # A 1.5 x 1.5 km disaster zone, 300 trapped users (fat-tailed around
+    # hotspots), 6 UAVs with heterogeneous service capacities.
+    problem = paper_scenario(num_users=300, num_uavs=6, scale="small", seed=42)
+    print(
+        f"scenario: {problem.num_users} users, {problem.num_uavs} UAVs, "
+        f"{problem.num_locations} candidate hovering locations"
+    )
+    print("fleet capacities:", [u.capacity for u in problem.fleet])
+
+    # Algorithm 2 with s = 2 anchors (s = 3 is the paper default; smaller s
+    # is faster, larger s is better — see Fig. 6).
+    result = appro_alg(problem, s=2)
+    validate_deployment(problem.graph, problem.fleet, result.deployment)
+
+    print(
+        f"\napproAlg served {result.served}/{problem.num_users} users "
+        f"({result.served / problem.num_users:.0%})"
+    )
+    print(
+        "theoretical guarantee: at least "
+        f"{approximation_ratio(problem.num_uavs, 2):.3f} of the optimum"
+    )
+    print(f"anchors: {result.anchors}, segment plan: {result.plan}")
+
+    print("\ndeployment (UAV -> hovering location, load/capacity):")
+    loads = result.deployment.loads()
+    for k, loc in sorted(result.deployment.placements.items()):
+        uav = problem.fleet[k]
+        x, y, z = problem.graph.locations[loc]
+        print(
+            f"  UAV {k} ({uav.name}, capacity {uav.capacity:3d}) at "
+            f"({x:6.0f}, {y:6.0f}, {z:3.0f}) m serving "
+            f"{loads[k]:3d} users"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Shim for legacy editable installs (`pip install -e .`) in offline
+environments whose setuptools lacks PEP-660 wheel support.  All real
+metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

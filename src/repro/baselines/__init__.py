@@ -1,0 +1,27 @@
+"""Baseline placement algorithms the paper compares against (Section IV-A).
+
+All four baselines were designed for *homogeneous* UAVs; none of their
+reference implementations are public, so each module re-implements the
+algorithmic idea described in its source paper and documents what was kept
+and what was simplified.  To make the comparison exactly the one the paper
+runs, every baseline (i) places UAVs capacity-obliviously — fleet indices
+are mapped to chosen locations in index order, so a large-capacity UAV may
+well end up on a relay spot — and (ii) receives the same exact max-flow
+user assignment (Section II-D) at the end.
+"""
+
+from repro.baselines.greedy_assign import greedy_assign
+from repro.baselines.max_throughput import max_throughput
+from repro.baselines.mcs import mcs
+from repro.baselines.motionctrl import motion_ctrl
+from repro.baselines.random_connected import random_connected
+from repro.baselines.unconstrained import unconstrained_greedy
+
+__all__ = [
+    "greedy_assign",
+    "max_throughput",
+    "mcs",
+    "motion_ctrl",
+    "random_connected",
+    "unconstrained_greedy",
+]

@@ -1,0 +1,74 @@
+"""Shared helpers for the baseline algorithms."""
+
+from __future__ import annotations
+
+from repro.core.assignment import optimal_assignment
+from repro.core.problem import ProblemInstance
+from repro.network.deployment import Deployment
+from repro.network.uav import UAV
+
+
+def reference_uav(problem: ProblemInstance) -> UAV:
+    """The "homogeneous" UAV the baselines plan with: median capacity and
+    the fleet's common radio/range (baseline papers assume one UAV type)."""
+    caps = sorted(u.capacity for u in problem.fleet)
+    median_cap = caps[len(caps) // 2]
+    sample = problem.fleet[0]
+    return UAV(
+        capacity=median_cap,
+        tx_power_dbm=sample.tx_power_dbm,
+        antenna_gain_db=sample.antenna_gain_db,
+        user_range_m=sample.user_range_m,
+        name="reference",
+    )
+
+
+def finalize(problem: ProblemInstance, locations: list) -> Deployment:
+    """Capacity-oblivious staffing + exact final assignment.
+
+    UAVs are mapped onto the chosen locations in fleet-index order (the
+    heterogeneity-unaware behaviour the paper ascribes to prior work), and
+    users are then assigned optimally by max-flow.
+    """
+    chosen = list(dict.fromkeys(locations))  # dedupe, keep order
+    if len(chosen) > problem.num_uavs:
+        raise ValueError(
+            f"{len(chosen)} locations chosen for only {problem.num_uavs} UAVs"
+        )
+    placements = {k: loc for k, loc in enumerate(chosen)}
+    return optimal_assignment(problem.graph, problem.fleet, placements)
+
+
+def coverage_counts(problem: ProblemInstance, uav: UAV) -> list:
+    """Number of coverable users per candidate location for one radio."""
+    graph = problem.graph
+    return [
+        len(graph.coverable_users(v, uav)) for v in range(graph.num_locations)
+    ]
+
+
+def grow_connected_greedy(
+    problem: ProblemInstance,
+    seed_location: int,
+    budget: int,
+    gain,
+) -> list:
+    """Grow a connected location set from ``seed_location`` up to ``budget``
+    nodes, at each step adding the frontier location maximising
+    ``gain(location, chosen_so_far)``.  Returns the chosen locations in
+    insertion order."""
+    graph = problem.graph.location_graph
+    chosen = [seed_location]
+    chosen_set = {seed_location}
+    frontier = set(graph.neighbours(seed_location))
+    while len(chosen) < budget and frontier:
+        best_v = max(
+            sorted(frontier), key=lambda v: gain(v, chosen)
+        )
+        chosen.append(best_v)
+        chosen_set.add(best_v)
+        frontier.discard(best_v)
+        frontier.update(
+            v for v in graph.neighbours(best_v) if v not in chosen_set
+        )
+    return chosen

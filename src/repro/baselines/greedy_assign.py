@@ -1,0 +1,75 @@
+"""GreedyAssign — after Khuller, Purohit and Sarpatwar, "Analyzing the
+optimal neighborhood: algorithms for partial and budgeted connected
+dominating set problems" (SIAM J. Discrete Math 2020); baseline (iii).
+
+The paper describes this baseline as: "first assigns each candidate
+hovering location a profit in a greedy way, then deploys a network
+consisting of K UAVs such that the sum of profits in the network is
+maximized".  Faithful parts: set-cover-style greedy profits (each
+location's profit is the number of users it newly covers when locations
+are taken in greedy order, so overlapping locations don't double-count)
+and a budgeted connected subgraph maximising total profit.  Simplified:
+the budgeted connected optimisation is realised as best-of-seeds greedy
+tree growth along the adjacency graph.  Homogeneous and capacity-oblivious
+by design, like its source.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import finalize, grow_connected_greedy, reference_uav
+from repro.core.problem import ProblemInstance
+from repro.network.deployment import Deployment
+
+DEFAULT_SEEDS = 10
+
+
+def _greedy_profits(problem: ProblemInstance) -> list:
+    """Residual set-cover profits: process locations by current marginal
+    coverage; a location's profit is the users it covers that no earlier-
+    processed location already claimed."""
+    graph = problem.graph
+    ref = reference_uav(problem)
+    remaining = [
+        set(graph.coverable_users(v, ref)) for v in range(graph.num_locations)
+    ]
+    profits = [0] * graph.num_locations
+    unprocessed = set(range(graph.num_locations))
+    claimed: set = set()
+    while unprocessed:
+        v = max(
+            sorted(unprocessed), key=lambda w: len(remaining[w] - claimed)
+        )
+        profit = len(remaining[v] - claimed)
+        profits[v] = profit
+        claimed |= remaining[v]
+        unprocessed.discard(v)
+        if profit == 0:
+            for w in unprocessed:
+                profits[w] = 0
+            break
+    return profits
+
+
+def greedy_assign(
+    problem: ProblemInstance, num_seeds: int = DEFAULT_SEEDS
+) -> Deployment:
+    """Profit-maximising connected K-subgraph via best-of-seeds growth."""
+    profits = _greedy_profits(problem)
+    seeds = sorted(
+        range(problem.num_locations), key=lambda v: (-profits[v], v)
+    )[:max(1, num_seeds)]
+
+    best_locations: list = []
+    best_profit = -1
+    for seed in seeds:
+        chosen = grow_connected_greedy(
+            problem,
+            seed,
+            budget=problem.num_uavs,
+            gain=lambda v, _chosen: profits[v],
+        )
+        total = sum(profits[v] for v in chosen)
+        if total > best_profit:
+            best_profit = total
+            best_locations = chosen
+    return finalize(problem, best_locations)

@@ -1,0 +1,102 @@
+"""maxThroughput — after Xu et al., "Throughput maximization of UAV
+networks" (IEEE/ACM ToN 2022); baseline (iv) in Section IV-A.
+
+Xu et al. deploy ``K`` *homogeneous* capacity-constrained UAVs as a
+connected network maximising the sum of user data rates, with a
+(1-1/e)/sqrt(K) guarantee.  Faithful parts kept: the objective is
+throughput (sum of achievable rates of the users actually picked up, each
+UAV serving at most its capacity, users counted once), connectivity is
+enforced during construction, and multiple anchor restarts are taken.
+Simplified: their tour-splitting machinery is realised as best-of-seeds
+greedy connected growth — each step adds the frontier location whose
+``capacity`` best uncovered users contribute the most additional rate.
+Homogeneous by design: the fleet's reference capacity/radio drives
+placement; real heterogeneous capacities enter only the final assignment,
+capacity-obliviously.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import finalize, reference_uav
+from repro.core.problem import ProblemInstance
+from repro.network.deployment import Deployment
+
+DEFAULT_SEEDS = 10
+
+
+def max_throughput(
+    problem: ProblemInstance, num_seeds: int = DEFAULT_SEEDS
+) -> Deployment:
+    """Best-of-seeds greedy connected growth under a throughput objective."""
+    graph = problem.graph
+    ref = reference_uav(problem)
+    adjacency = graph.location_graph
+
+    # Per location: coverable users sorted by descending rate, with rates.
+    rate_lists = []
+    for v in range(graph.num_locations):
+        pairs = [
+            (graph.rate_bps(u, v, ref), u)
+            for u in graph.coverable_users(v, ref)
+        ]
+        pairs.sort(reverse=True)
+        rate_lists.append(pairs)
+
+    def marginal_throughput(v: int, taken: set) -> float:
+        """Rate added by serving up to ``ref.capacity`` not-yet-taken users
+        from location ``v``."""
+        total = 0.0
+        slots = ref.capacity
+        for rate, u in rate_lists[v]:
+            if slots == 0:
+                break
+            if u in taken:
+                continue
+            total += rate
+            slots -= 1
+        return total
+
+    seeds = sorted(
+        range(graph.num_locations),
+        key=lambda v: (-marginal_throughput(v, set()), v),
+    )[:max(1, num_seeds)]
+
+    best_locations: list = []
+    best_value = -1.0
+    for seed in seeds:
+        chosen = [seed]
+        chosen_set = {seed}
+        taken: set = set()
+        value = marginal_throughput(seed, taken)
+        _claim(rate_lists[seed], ref.capacity, taken)
+        frontier = set(adjacency.neighbours(seed))
+        while len(chosen) < problem.num_uavs and frontier:
+            best_v = max(
+                sorted(frontier),
+                key=lambda v: marginal_throughput(v, taken),
+            )
+            value += marginal_throughput(best_v, taken)
+            _claim(rate_lists[best_v], ref.capacity, taken)
+            chosen.append(best_v)
+            chosen_set.add(best_v)
+            frontier.discard(best_v)
+            frontier.update(
+                v for v in adjacency.neighbours(best_v) if v not in chosen_set
+            )
+        if value > best_value:
+            best_value = value
+            best_locations = chosen
+
+    return finalize(problem, best_locations)
+
+
+def _claim(rate_pairs: list, capacity: int, taken: set) -> None:
+    """Mark up to ``capacity`` best not-yet-taken users as served."""
+    slots = capacity
+    for _rate, u in rate_pairs:
+        if slots == 0:
+            break
+        if u in taken:
+            continue
+        taken.add(u)
+        slots -= 1

@@ -1,0 +1,62 @@
+"""MCS — Kuo, Lin and Tsai, "Maximizing submodular set function with
+connectivity constraint" (IEEE/ACM ToN 2015); baseline (i) in Section IV-A.
+
+Kuo et al. maximise a submodular coverage function by ``K`` connected
+wireless routers with a (1-1/e)/(5(sqrt(K)+1)) guarantee.  Faithful parts
+kept here: a submodular (union-coverage) objective, connectivity enforced
+*during* construction by growing along the candidate adjacency graph, and
+restarts from multiple anchor regions.  Simplified: their sub-square
+decomposition is replaced by greedy connected growth from the best-coverage
+seed locations — the standard practical realisation of their scheme on a
+grid.  Homogeneous-UAV assumption: coverage is evaluated with the fleet's
+reference radio and no capacities; capacities only enter the final exact
+assignment, with UAVs mapped to locations capacity-obliviously.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import coverage_counts, finalize, reference_uav
+from repro.core.problem import ProblemInstance
+from repro.network.deployment import Deployment
+
+DEFAULT_SEEDS = 10
+
+
+def mcs(problem: ProblemInstance, num_seeds: int = DEFAULT_SEEDS) -> Deployment:
+    """Best-of-``num_seeds`` greedy connected union-coverage growth."""
+    graph = problem.graph
+    ref = reference_uav(problem)
+    counts = coverage_counts(problem, ref)
+    covers = [
+        frozenset(graph.coverable_users(v, ref))
+        for v in range(graph.num_locations)
+    ]
+    seeds = sorted(
+        range(graph.num_locations), key=lambda v: (-counts[v], v)
+    )[:max(1, num_seeds)]
+
+    adjacency = graph.location_graph
+    best_locations: list = []
+    best_covered = -1
+    for seed in seeds:
+        chosen = [seed]
+        chosen_set = {seed}
+        covered = set(covers[seed])
+        frontier = set(adjacency.neighbours(seed))
+        while len(chosen) < problem.num_uavs and frontier:
+            best_v = max(
+                sorted(frontier),
+                key=lambda v: len(covers[v] - covered),
+            )
+            chosen.append(best_v)
+            chosen_set.add(best_v)
+            covered |= covers[best_v]
+            frontier.discard(best_v)
+            frontier.update(
+                v for v in adjacency.neighbours(best_v) if v not in chosen_set
+            )
+        if len(covered) > best_covered:
+            best_covered = len(covered)
+            best_locations = chosen
+
+    return finalize(problem, best_locations)

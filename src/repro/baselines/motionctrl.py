@@ -1,0 +1,123 @@
+"""MotionCtrl — after Zhao, Wang, Wu and Wei, "Deployment algorithms for
+UAV airborne networks toward on-demand coverage" (IEEE JSAC 2018);
+baseline (ii) in Section IV-A.
+
+Zhao et al. fly a connected swarm towards user demand with a distributed
+motion-control rule: each UAV repeatedly makes a small move that increases
+covered users while the swarm stays connected.  Faithful parts kept: a
+compact connected initial formation near the users' centroid, and
+iterated single-UAV moves to neighbouring cells accepted only when they
+increase total union coverage and preserve connectivity, until a local
+optimum.  Simplified: continuous motion is discretised to the candidate
+grid (our placement space) and the virtual-force heuristics are replaced
+by best-improvement local search.  Homogeneous and capacity-oblivious like
+its source; capacities enter only the final exact assignment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.common import finalize, reference_uav
+from repro.core.problem import ProblemInstance
+from repro.graphs.bfs import is_connected
+from repro.network.deployment import Deployment
+
+DEFAULT_MAX_ROUNDS = 25
+
+
+def _initial_formation(problem: ProblemInstance) -> list:
+    """A compact connected cluster of K cells closest (in hops) to the
+    location nearest the users' centroid."""
+    graph = problem.graph
+    if graph.num_users:
+        cx = float(np.mean([u.position.x for u in graph.users]))
+        cy = float(np.mean([u.position.y for u in graph.users]))
+    else:
+        cx = cy = 0.0
+    start = min(
+        range(graph.num_locations),
+        key=lambda v: (graph.locations[v].x - cx) ** 2
+        + (graph.locations[v].y - cy) ** 2,
+    )
+    hops = graph.hops_from(start)
+    reachable = [v for v, d in enumerate(hops) if d >= 0]
+    reachable.sort(key=lambda v: (hops[v], v))
+    return reachable[: problem.num_uavs]
+
+
+class _UnionCoverage:
+    """Union-coverage counter supporting O(|cover|) move evaluation."""
+
+    def __init__(self, covers: list, initial: list) -> None:
+        self._covers = covers
+        self._count = {}
+        self.size = 0
+        for v in initial:
+            self._apply(v, +1)
+
+    def _apply(self, v: int, delta: int) -> None:
+        for u in self._covers[v]:
+            c = self._count.get(u, 0) + delta
+            self._count[u] = c
+            if delta > 0 and c == 1:
+                self.size += 1
+            elif delta < 0 and c == 0:
+                self.size -= 1
+
+    def move_gain(self, src: int, dst: int) -> int:
+        """Union-size change of replacing ``src`` by ``dst`` (state
+        restored before returning)."""
+        before = self.size
+        self._apply(src, -1)
+        self._apply(dst, +1)
+        after = self.size
+        self._apply(dst, -1)
+        self._apply(src, +1)
+        return after - before
+
+    def commit_move(self, src: int, dst: int) -> None:
+        self._apply(src, -1)
+        self._apply(dst, +1)
+
+
+def motion_ctrl(
+    problem: ProblemInstance, max_rounds: int = DEFAULT_MAX_ROUNDS
+) -> Deployment:
+    """Local-search motion control from a compact centroid formation."""
+    graph = problem.graph
+    adjacency = graph.location_graph
+    ref = reference_uav(problem)
+    covers = [
+        graph.coverable_users(v, ref) for v in range(graph.num_locations)
+    ]
+
+    positions = _initial_formation(problem)
+    occupied = set(positions)
+    union = _UnionCoverage(covers, positions)
+
+    for _ in range(max_rounds):
+        improved = False
+        for idx in range(len(positions)):
+            src = positions[idx]
+            best_gain = 0
+            best_dst = -1
+            for dst in sorted(adjacency.neighbours(src)):
+                if dst in occupied:
+                    continue
+                others = occupied - {src}
+                if not is_connected(adjacency, others | {dst}):
+                    continue
+                gain = union.move_gain(src, dst)
+                if gain > best_gain:
+                    best_gain, best_dst = gain, dst
+            if best_dst >= 0:
+                union.commit_move(src, best_dst)
+                occupied.discard(src)
+                occupied.add(best_dst)
+                positions[idx] = best_dst
+                improved = True
+        if not improved:
+            break
+
+    return finalize(problem, positions)

@@ -1,0 +1,38 @@
+"""Random connected placement — a sanity-check lower bound (ours, not in
+the paper): grow a connected location set by uniformly random frontier
+picks, then assign users optimally."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.common import finalize
+from repro.core.problem import ProblemInstance
+from repro.network.deployment import Deployment
+from repro.util.rng import ensure_rng
+
+
+def random_connected(
+    problem: ProblemInstance,
+    seed: "int | np.random.Generator | None" = None,
+) -> Deployment:
+    """Uniform random connected growth to ``K`` locations."""
+    rng = ensure_rng(seed)
+    adjacency = problem.graph.location_graph
+    start = int(rng.integers(0, problem.num_locations))
+    chosen = [start]
+    chosen_set = {start}
+    frontier = sorted(adjacency.neighbours(start))
+    while len(chosen) < problem.num_uavs and frontier:
+        v = frontier[int(rng.integers(0, len(frontier)))]
+        chosen.append(v)
+        chosen_set.add(v)
+        frontier = sorted(
+            {
+                w
+                for c in chosen
+                for w in adjacency.neighbours(c)
+                if w not in chosen_set
+            }
+        )
+    return finalize(problem, chosen)

@@ -1,0 +1,47 @@
+"""Connectivity-free greedy — an upper reference point (ours, not in the
+paper): capacity- and heterogeneity-aware greedy placement that *ignores*
+the connectivity constraint.  Its deployments are generally infeasible for
+the maximum connected coverage problem; they bound how much coverage the
+connectivity requirement costs, which the ablation bench reports."""
+
+from __future__ import annotations
+
+from repro.core.assignment import optimal_assignment
+from repro.core.problem import ProblemInstance
+from repro.flow.bipartite import IncrementalAssignment
+from repro.network.deployment import Deployment
+
+
+def unconstrained_greedy(problem: ProblemInstance) -> Deployment:
+    """Greedy exact-marginal-gain placement without connectivity.
+
+    UAVs are placed in decreasing capacity order; each goes to the free
+    location with the largest exact gain in served users.
+    """
+    graph = problem.graph
+    fleet = problem.fleet
+    engine = IncrementalAssignment(graph.num_users)
+    placements: dict = {}
+    used: set = set()
+    for k in problem.capacity_order():
+        uav = fleet[k]
+        best_gain = -1
+        best_v = -1
+        for v in range(graph.num_locations):
+            if v in used:
+                continue
+            cover = graph.coverable_users(v, uav)
+            if min(uav.capacity, len(cover)) <= best_gain:
+                continue
+            gain = engine.try_open((k, v), cover, uav.capacity)
+            engine.rollback()
+            if gain > best_gain:
+                best_gain, best_v = gain, v
+        if best_v < 0:
+            break
+        engine.open(
+            (k, best_v), graph.coverable_users(best_v, uav), uav.capacity
+        )
+        placements[k] = best_v
+        used.add(best_v)
+    return optimal_assignment(graph, fleet, placements)

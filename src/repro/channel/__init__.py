@@ -1,0 +1,31 @@
+"""Wireless channel models (Section II-B).
+
+UAV-to-user links follow the probabilistic LoS/NLoS air-to-ground model of
+Al-Hourani et al. ("Optimal LAP altitude for maximum coverage", IEEE WCL
+2014): the expected pathloss mixes free-space pathloss plus LoS or NLoS
+excess shadowing, weighted by an elevation-angle-dependent LoS probability.
+UAV-to-UAV links are pure free-space pathloss (no obstacles in the air).
+
+On top of the pathloss models, :mod:`repro.channel.link` computes SNR and
+the Shannon data rate used for the users' minimum-rate constraint.
+"""
+
+from repro.channel.atg import AirToGroundChannel, los_probability
+from repro.channel.constants import SPEED_OF_LIGHT
+from repro.channel.freespace import FreeSpaceChannel, free_space_pathloss_db
+from repro.channel.link import LinkBudget, noise_power_dbm, shannon_rate_bps, snr_db
+from repro.channel.presets import Environment, ENVIRONMENTS
+
+__all__ = [
+    "AirToGroundChannel",
+    "los_probability",
+    "SPEED_OF_LIGHT",
+    "FreeSpaceChannel",
+    "free_space_pathloss_db",
+    "LinkBudget",
+    "noise_power_dbm",
+    "shannon_rate_bps",
+    "snr_db",
+    "Environment",
+    "ENVIRONMENTS",
+]

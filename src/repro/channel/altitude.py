@@ -1,0 +1,95 @@
+"""Optimal LAP (low-altitude platform) altitude — Al-Hourani et al. [2].
+
+The paper assumes "all UAVs hover at the same altitude H_uav ... the
+optimal altitude for the maximum coverage from the sky and the value of
+H_uav can be calculated by the algorithms in [2], [39]" (Section II-A).
+This module implements that computation: for a maximum allowed pathloss
+(the link budget), the coverage radius R(h) at altitude h is the largest
+horizontal distance whose expected ATG pathloss stays within budget;
+R(h) is unimodal in h (low altitudes are NLoS-dominated, high altitudes
+pay free-space distance), so ternary search finds the optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.channel.atg import AirToGroundChannel
+
+
+def coverage_radius_m(
+    channel: AirToGroundChannel,
+    altitude_m: float,
+    max_pathloss_db: float,
+    precision_m: float = 1.0,
+) -> float:
+    """Largest horizontal distance with expected pathloss <= budget.
+
+    The expected ATG pathloss increases monotonically with horizontal
+    distance at fixed altitude, so bisection applies.  Returns 0 when even
+    the nadir link exceeds the budget.
+    """
+    if altitude_m <= 0:
+        raise ValueError(f"altitude must be positive, got {altitude_m}")
+    if precision_m <= 0:
+        raise ValueError(f"precision must be positive, got {precision_m}")
+
+    def loss(r: float) -> float:
+        return channel.pathloss_at_db(r, altitude_m)
+
+    if loss(0.0) > max_pathloss_db:
+        return 0.0
+    lo, hi = 0.0, max(altitude_m, precision_m)
+    while loss(hi) <= max_pathloss_db and hi < 1e7:
+        hi *= 2.0
+    while hi - lo > precision_m:
+        mid = (lo + hi) / 2.0
+        if loss(mid) <= max_pathloss_db:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+@dataclass(frozen=True)
+class OptimalAltitude:
+    """Result of the altitude optimisation."""
+
+    altitude_m: float
+    coverage_radius_m: float
+
+
+def optimal_altitude(
+    channel: AirToGroundChannel,
+    max_pathloss_db: float,
+    min_altitude_m: float = 10.0,
+    max_altitude_m: float = 5000.0,
+    precision_m: float = 1.0,
+) -> OptimalAltitude:
+    """Altitude maximising the coverage radius, by ternary search.
+
+    ``R(h)`` is unimodal in ``h`` for the Al-Hourani model (validated both
+    analytically and empirically in [2]); ternary search over
+    ``[min_altitude, max_altitude]`` converges to the maximiser.
+    """
+    if not (0 < min_altitude_m < max_altitude_m):
+        raise ValueError(
+            f"need 0 < min < max altitude, got [{min_altitude_m}, "
+            f"{max_altitude_m}]"
+        )
+
+    def radius(h: float) -> float:
+        return coverage_radius_m(channel, h, max_pathloss_db, precision_m)
+
+    lo, hi = min_altitude_m, max_altitude_m
+    while hi - lo > precision_m:
+        m1 = lo + (hi - lo) / 3.0
+        m2 = hi - (hi - lo) / 3.0
+        if radius(m1) < radius(m2):
+            lo = m1
+        else:
+            hi = m2
+    best_h = (lo + hi) / 2.0
+    return OptimalAltitude(
+        altitude_m=best_h, coverage_radius_m=radius(best_h)
+    )

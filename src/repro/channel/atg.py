@@ -1,0 +1,80 @@
+"""Probabilistic LoS/NLoS air-to-ground channel (Al-Hourani et al. [2]).
+
+Section II-B of the paper: the expected pathloss between ground user ``u_i``
+and a UAV at hovering location ``v_j`` is
+
+    PL_ij = P_LoS * L_LoS + P_NLoS * L_NLoS,
+
+with ``L_LoS/NLoS = FSPL(d_ij) + eta_LoS/NLoS`` and the LoS probability a
+sigmoid in the elevation angle theta (degrees):
+
+    P_LoS = 1 / (1 + a * exp(-b * (theta - a))).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.channel.constants import DEFAULT_CARRIER_HZ
+from repro.channel.freespace import free_space_pathloss_db
+from repro.channel.presets import Environment, URBAN
+from repro.geometry.point import Point3D, elevation_angle_deg
+
+
+def los_probability(elevation_deg: float, env: Environment) -> float:
+    """LoS probability for an elevation angle in degrees.
+
+    Monotonically increasing in the angle: straight overhead (90°) is almost
+    surely LoS, grazing angles are mostly NLoS in built-up environments.
+    """
+    if not (0.0 <= elevation_deg <= 90.0):
+        raise ValueError(
+            f"elevation angle must be within [0, 90] degrees, got {elevation_deg}"
+        )
+    return 1.0 / (1.0 + env.a * math.exp(-env.b * (elevation_deg - env.a)))
+
+
+@dataclass(frozen=True, slots=True)
+class AirToGroundChannel:
+    """Expected-pathloss ATG channel for one propagation environment."""
+
+    environment: Environment = field(default=URBAN)
+    carrier_hz: float = DEFAULT_CARRIER_HZ
+
+    def pathloss_db(self, user: Point3D, uav: Point3D) -> float:
+        """Expected pathloss PL_ij (dB) between a ground user and a UAV."""
+        distance = user.distance_to(uav)
+        theta = elevation_angle_deg(user, uav)
+        p_los = los_probability(theta, self.environment)
+        fspl = free_space_pathloss_db(distance, self.carrier_hz)
+        loss_los = fspl + self.environment.eta_los_db
+        loss_nlos = fspl + self.environment.eta_nlos_db
+        return p_los * loss_los + (1.0 - p_los) * loss_nlos
+
+    def pathloss_at_db(self, horizontal_m: float, altitude_m: float) -> float:
+        """Pathloss for given horizontal separation and UAV altitude."""
+        if altitude_m <= 0:
+            raise ValueError(f"altitude must be positive, got {altitude_m}")
+        user = Point3D(0.0, 0.0, 0.0)
+        uav = Point3D(horizontal_m, 0.0, altitude_m)
+        return self.pathloss_db(user, uav)
+
+    def pathloss_vector_db(self, horizontal_m, altitude_m: float):
+        """Vectorised :meth:`pathloss_at_db` over a numpy array of
+        horizontal distances (metres).  Used to build coverage sets for
+        thousands of users at once."""
+        import numpy as np
+
+        if altitude_m <= 0:
+            raise ValueError(f"altitude must be positive, got {altitude_m}")
+        horizontal = np.asarray(horizontal_m, dtype=float)
+        distance = np.hypot(horizontal, altitude_m)
+        theta = np.degrees(np.arctan2(altitude_m, horizontal))
+        env = self.environment
+        p_los = 1.0 / (1.0 + env.a * np.exp(-env.b * (theta - env.a)))
+        fspl = 20.0 * np.log10(
+            4.0 * math.pi * self.carrier_hz * distance
+            / 299_792_458.0
+        )
+        return fspl + p_los * env.eta_los_db + (1.0 - p_los) * env.eta_nlos_db

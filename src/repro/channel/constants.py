@@ -1,0 +1,14 @@
+"""Physical constants and common defaults for the channel models."""
+
+SPEED_OF_LIGHT = 299_792_458.0
+"""Velocity of light ``c`` in m/s."""
+
+DEFAULT_CARRIER_HZ = 2.0e9
+"""Default carrier frequency ``f_c`` (2 GHz LTE band, as in [2], [37])."""
+
+DEFAULT_BANDWIDTH_HZ = 180e3
+"""Default per-user channel bandwidth ``B_w`` (one OFDMA resource block,
+180 kHz, Section II-B)."""
+
+THERMAL_NOISE_DBM_PER_HZ = -174.0
+"""Thermal noise power spectral density at ~290 K."""

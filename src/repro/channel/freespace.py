@@ -1,0 +1,43 @@
+"""Free-space pathloss, used directly for UAV-to-UAV links (Section II-B)
+and as the base term of the air-to-ground model."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.channel.constants import DEFAULT_CARRIER_HZ, SPEED_OF_LIGHT
+
+
+def free_space_pathloss_db(distance_m: float, carrier_hz: float) -> float:
+    """Free-space pathloss ``20 log10(4 pi f_c d / c)`` in dB.
+
+    Raises for non-positive distances: the model diverges at d = 0 and the
+    simulation never evaluates co-located transceivers.
+    """
+    if distance_m <= 0:
+        raise ValueError(f"distance must be positive, got {distance_m}")
+    if carrier_hz <= 0:
+        raise ValueError(f"carrier frequency must be positive, got {carrier_hz}")
+    return 20.0 * math.log10(4.0 * math.pi * carrier_hz * distance_m / SPEED_OF_LIGHT)
+
+
+@dataclass(frozen=True, slots=True)
+class FreeSpaceChannel:
+    """UAV-to-UAV channel: pure free-space propagation."""
+
+    carrier_hz: float = DEFAULT_CARRIER_HZ
+
+    def pathloss_db(self, distance_m: float) -> float:
+        return free_space_pathloss_db(distance_m, self.carrier_hz)
+
+    def max_range_m(self, max_pathloss_db: float) -> float:
+        """Distance at which pathloss reaches ``max_pathloss_db`` (link-budget
+        inversion of the pathloss formula)."""
+        if max_pathloss_db <= 0:
+            raise ValueError("max pathloss must be positive dB")
+        return (
+            SPEED_OF_LIGHT
+            * 10.0 ** (max_pathloss_db / 20.0)
+            / (4.0 * math.pi * self.carrier_hz)
+        )

@@ -1,0 +1,110 @@
+"""Link budget: SNR and achievable data rate (Section II-B).
+
+The SNR received by user ``u_i`` from the UAV at ``v_j`` is
+
+    SNR_ij = 10 ** ((P_t^j + g_t^j - PL_ij - P_N) / 10)      [linear]
+
+and the average data rate is ``r_ij = B_w log2(1 + SNR_ij)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.channel.atg import AirToGroundChannel
+from repro.channel.constants import (
+    DEFAULT_BANDWIDTH_HZ,
+    THERMAL_NOISE_DBM_PER_HZ,
+)
+from repro.geometry.point import Point3D
+
+
+def noise_power_dbm(bandwidth_hz: float = DEFAULT_BANDWIDTH_HZ,
+                    noise_figure_db: float = 7.0) -> float:
+    """Receiver noise power ``P_N`` over ``bandwidth_hz`` in dBm.
+
+    Thermal floor (-174 dBm/Hz) integrated over the bandwidth plus the
+    receiver noise figure.
+    """
+    if bandwidth_hz <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_hz}")
+    return THERMAL_NOISE_DBM_PER_HZ + 10.0 * math.log10(bandwidth_hz) + noise_figure_db
+
+
+def snr_db(tx_power_dbm: float, antenna_gain_db: float,
+           pathloss_db: float, noise_dbm: float) -> float:
+    """Link SNR in dB: ``P_t + g_t - PL - P_N``."""
+    return tx_power_dbm + antenna_gain_db - pathloss_db - noise_dbm
+
+
+def snr_linear(tx_power_dbm: float, antenna_gain_db: float,
+               pathloss_db: float, noise_dbm: float) -> float:
+    """Link SNR as a linear ratio (the paper's ``SNR_ij``)."""
+    return 10.0 ** (snr_db(tx_power_dbm, antenna_gain_db, pathloss_db, noise_dbm) / 10.0)
+
+
+def shannon_rate_bps(snr: float, bandwidth_hz: float = DEFAULT_BANDWIDTH_HZ) -> float:
+    """Average data rate ``r = B_w log2(1 + SNR)`` in bit/s (SNR linear)."""
+    if snr < 0:
+        raise ValueError(f"linear SNR must be non-negative, got {snr}")
+    if bandwidth_hz <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_hz}")
+    return bandwidth_hz * math.log2(1.0 + snr)
+
+
+@dataclass(frozen=True, slots=True)
+class LinkBudget:
+    """End-to-end UAV-to-user link evaluation for one base station.
+
+    Bundles the ATG channel with a base station's transmit power and antenna
+    gain so callers can ask directly for the rate a user would see.
+    """
+
+    channel: AirToGroundChannel
+    tx_power_dbm: float
+    antenna_gain_db: float = 0.0
+    bandwidth_hz: float = DEFAULT_BANDWIDTH_HZ
+    noise_figure_db: float = 7.0
+
+    @property
+    def noise_dbm(self) -> float:
+        return noise_power_dbm(self.bandwidth_hz, self.noise_figure_db)
+
+    def snr(self, user: Point3D, uav: Point3D) -> float:
+        """Linear SNR of the user <- UAV downlink."""
+        pl = self.channel.pathloss_db(user, uav)
+        return snr_linear(self.tx_power_dbm, self.antenna_gain_db, pl, self.noise_dbm)
+
+    def rate_bps(self, user: Point3D, uav: Point3D) -> float:
+        """Achievable Shannon rate of the user <- UAV downlink in bit/s."""
+        return shannon_rate_bps(self.snr(user, uav), self.bandwidth_hz)
+
+    def max_horizontal_range_m(
+        self, altitude_m: float, min_rate_bps: float, precision_m: float = 1.0
+    ) -> float:
+        """Largest horizontal distance at which the rate still meets
+        ``min_rate_bps``, found by bisection (rate decreases with distance).
+
+        Provides a physically derived alternative to the paper's fixed
+        ``R_user`` radii.
+        """
+        if min_rate_bps <= 0:
+            raise ValueError(f"min rate must be positive, got {min_rate_bps}")
+        user = Point3D(0.0, 0.0, 0.0)
+
+        def rate_at(r: float) -> float:
+            return self.rate_bps(user, Point3D(r, 0.0, altitude_m))
+
+        if rate_at(0.0 + precision_m) < min_rate_bps:
+            return 0.0
+        lo, hi = precision_m, precision_m * 2
+        while rate_at(hi) >= min_rate_bps and hi < 1e7:
+            hi *= 2
+        while hi - lo > precision_m:
+            mid = (lo + hi) / 2
+            if rate_at(mid) >= min_rate_bps:
+                lo = mid
+            else:
+                hi = mid
+        return lo

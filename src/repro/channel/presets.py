@@ -1,0 +1,50 @@
+"""Propagation-environment presets for the air-to-ground model.
+
+The (a, b) sigmoid parameters and the LoS/NLoS excess losses
+``eta_los`` / ``eta_nlos`` (dB) come from Al-Hourani et al. [2], Table/
+fitted values widely reused in the UAV-placement literature (e.g. [37],
+[45]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Environment:
+    """Fitted parameters of one propagation environment.
+
+    ``a`` and ``b`` parameterise the elevation-angle sigmoid of the LoS
+    probability; ``eta_los``/``eta_nlos`` are the average excess shadowing
+    losses (dB) added to free-space pathloss on LoS/NLoS links.
+    """
+
+    name: str
+    a: float
+    b: float
+    eta_los_db: float
+    eta_nlos_db: float
+
+
+SUBURBAN = Environment("suburban", a=4.88, b=0.43, eta_los_db=0.1, eta_nlos_db=21.0)
+URBAN = Environment("urban", a=9.61, b=0.16, eta_los_db=1.0, eta_nlos_db=20.0)
+DENSE_URBAN = Environment(
+    "dense-urban", a=12.08, b=0.11, eta_los_db=1.6, eta_nlos_db=23.0
+)
+HIGHRISE_URBAN = Environment(
+    "highrise-urban", a=27.23, b=0.08, eta_los_db=2.3, eta_nlos_db=34.0
+)
+
+ENVIRONMENTS = {
+    env.name: env for env in (SUBURBAN, URBAN, DENSE_URBAN, HIGHRISE_URBAN)
+}
+
+
+def get_environment(name: str) -> Environment:
+    """Look up a preset by name, with a helpful error on typos."""
+    try:
+        return ENVIRONMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(ENVIRONMENTS))
+        raise KeyError(f"unknown environment {name!r}; known: {known}") from None

@@ -1,0 +1,347 @@
+"""Command-line interface.
+
+    repro fig4 [--scale bench] [--reps 1] ...
+    repro fig5 ...
+    repro fig6a / fig6b ...
+    repro demo            # tiny end-to-end run
+
+Each figure command regenerates the corresponding paper figure's data as
+an ASCII table on stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.approx import appro_alg
+from repro.core.ratio import approximation_ratio
+from repro.sim.experiments import (
+    DEFAULT_ANCHOR_POOL,
+    fig4_sweep,
+    fig5_sweep,
+    fig6_sweep,
+)
+from repro.workload.scenarios import SCALES, paper_scenario
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="bench",
+        help="scenario scale preset (default: bench)",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=1, help="repetitions per sweep point"
+    )
+    parser.add_argument(
+        "--anchor-pool",
+        type=int,
+        default=DEFAULT_ANCHOR_POOL,
+        help="approAlg anchor-candidate pool size (0 = unrestricted)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override seed")
+    parser.add_argument(
+        "--chart", action="store_true",
+        help="also render an ASCII line chart of the series",
+    )
+
+
+def _pool(args: argparse.Namespace) -> "int | None":
+    return None if args.anchor_pool == 0 else args.anchor_pool
+
+
+def _print_result(args: argparse.Namespace, result, metric: str,
+                  title: str) -> None:
+    print(result.to_text(metric=metric, title=title))
+    if args.chart:
+        from repro.util.charts import ascii_chart
+
+        print()
+        print(ascii_chart(result.series(metric), title=f"{title} [chart]"))
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    kwargs = dict(
+        scale=args.scale,
+        repetitions=args.reps,
+        max_anchor_candidates=_pool(args),
+    )
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    result = fig4_sweep(**kwargs)
+    _print_result(args, result, "served",
+                  "Fig. 4 - served users vs K (n=3000, s=3)")
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    kwargs = dict(
+        scale=args.scale,
+        repetitions=args.reps,
+        max_anchor_candidates=_pool(args),
+    )
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    result = fig5_sweep(**kwargs)
+    _print_result(args, result, "served",
+                  "Fig. 5 - served users vs n (K=20, s=3)")
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace, metric: str, title: str) -> int:
+    kwargs = dict(
+        scale=args.scale,
+        repetitions=args.reps,
+        max_anchor_candidates=_pool(args),
+    )
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    result = fig6_sweep(**kwargs)
+    _print_result(args, result, metric, title)
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    seed = args.seed if args.seed is not None else 42
+    problem = paper_scenario(
+        num_users=300, num_uavs=6, scale="small", seed=seed
+    )
+    result = appro_alg(problem, s=2)
+    print(
+        f"demo: {problem.num_users} users, {problem.num_uavs} UAVs, "
+        f"{problem.num_locations} candidate locations"
+    )
+    print(
+        f"approAlg(s=2) served {result.served} users "
+        f"({result.served / problem.num_users:.0%}) at anchors "
+        f"{result.anchors}; theoretical guarantee "
+        f"{approximation_ratio(problem.num_uavs, 2):.3f} of optimum"
+    )
+    for k, loc in sorted(result.deployment.placements.items()):
+        load = result.deployment.load_of(k)
+        cap = problem.fleet[k].capacity
+        print(f"  UAV {k} (capacity {cap:3d}) at location {loc:3d}: "
+              f"{load} users")
+    from repro.sim.metrics import summarize
+
+    metrics = summarize(problem, result.deployment)
+    print(
+        f"throughput {metrics.throughput_bps / 1e6:.1f} Mbps, capacity "
+        f"utilisation {metrics.capacity_utilisation:.0%}, load fairness "
+        f"{metrics.load_fairness:.2f}"
+    )
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    from repro.sim.render import ascii_map
+
+    seed = args.seed if args.seed is not None else 42
+    problem = paper_scenario(
+        num_users=args.users, num_uavs=args.uavs, scale=args.scale, seed=seed
+    )
+    result = appro_alg(
+        problem, s=2, gain_mode="fast",
+        max_anchor_candidates=min(10, problem.num_locations),
+    )
+    print(ascii_map(problem, result.deployment, cols=args.cols,
+                    rows=args.cols // 2))
+    print(f"served {result.served}/{problem.num_users} users")
+    return 0
+
+
+def _cmd_selfcheck(args: argparse.Namespace) -> int:
+    """Quick end-to-end health check of the installation."""
+    from repro.core.exact import exact_optimum_value
+    from repro.core.ratio import approximation_ratio as ratio
+    from repro.network.validate import validate_deployment
+    from repro.sim.runner import ALGORITHMS, run_algorithm
+
+    failures = 0
+    problem = paper_scenario(num_users=120, num_uavs=4, scale="small", seed=1)
+
+    def check(label: str, ok: bool) -> None:
+        nonlocal failures
+        print(f"  [{'ok' if ok else 'FAIL'}] {label}")
+        failures += 0 if ok else 1
+
+    print("selfcheck: tiny scenario (120 users, 4 UAVs, 9 locations)")
+    result = appro_alg(problem, s=2)
+    try:
+        validate_deployment(problem.graph, problem.fleet, result.deployment)
+        valid = True
+    except AssertionError:
+        valid = False
+    check("approAlg produces a feasible deployment", valid)
+    check("approAlg serves someone", result.served > 0)
+    opt = exact_optimum_value(problem)
+    check(
+        f"Theorem 1 guarantee holds (served {result.served}, opt {opt}, "
+        f"bound {ratio(4, 2):.3f})",
+        result.served >= ratio(4, 2) * opt,
+    )
+    for name in sorted(ALGORITHMS):
+        if name == "approAlg":
+            continue
+        try:
+            rec = run_algorithm(problem, name)
+            check(f"{name} feasible (served {rec.served})", True)
+        except Exception as exc:  # noqa: BLE001 - selfcheck reports anything
+            check(f"{name} raised {type(exc).__name__}: {exc}", False)
+    print("selfcheck:", "all good" if failures == 0 else f"{failures} failures")
+    return 0 if failures == 0 else 1
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    """Run one algorithm on a scenario file (or a generated scenario) and
+    optionally save the deployment as JSON."""
+    from repro.sim.io import load_scenario, save_deployment
+    from repro.sim.metrics import summarize
+    from repro.sim.runner import ALGORITHMS, run_algorithm
+
+    if args.scenario is not None:
+        problem = load_scenario(args.scenario)
+    else:
+        problem = paper_scenario(
+            num_users=args.users,
+            num_uavs=args.uavs,
+            scale=args.scale,
+            seed=args.seed if args.seed is not None else 0,
+        )
+    params: dict = {}
+    if args.algorithm == "approAlg":
+        params = {"s": args.s, "gain_mode": "fast"}
+        if args.anchor_pool:
+            params["max_anchor_candidates"] = args.anchor_pool
+    record = run_algorithm(problem, args.algorithm, **params)
+    print(
+        f"{args.algorithm}: served {record.served}/{problem.num_users} "
+        f"users in {record.runtime_s:.2f}s"
+    )
+    # Re-run cheaply to obtain the deployment object for metrics/saving
+    # (run_algorithm returns only the record; algorithms are deterministic
+    # for a fixed problem except RandomConnected).
+    algorithm = ALGORITHMS[args.algorithm]
+    deployment = algorithm(problem, **params)
+    metrics = summarize(problem, deployment)
+    print(
+        f"throughput {metrics.throughput_bps / 1e6:.1f} Mbps, utilisation "
+        f"{metrics.capacity_utilisation:.0%}, fairness "
+        f"{metrics.load_fairness:.2f}"
+    )
+    if args.save is not None:
+        save_deployment(args.save, deployment)
+        print(f"deployment written to {args.save}")
+    if args.report:
+        from repro.sim.report import deployment_report
+
+        print()
+        print(deployment_report(problem, deployment))
+    return 0
+
+
+def _cmd_ratio(args: argparse.Namespace) -> int:
+    from repro.core.ratio import l1_of
+    from repro.core.segments import optimal_segments
+    from repro.util.tables import format_table
+
+    rows = []
+    for k in args.k:
+        for s in args.s:
+            if s > k:
+                continue
+            plan = optimal_segments(k, s)
+            rows.append(
+                [k, s, l1_of(k, s), plan.lmax,
+                 f"{approximation_ratio(k, s):.4f}"]
+            )
+    print(format_table(
+        ["K", "s", "L1 (Thm 1)", "Lmax (Alg 1)", "guarantee"], rows,
+        title="Theorem 1 guarantees and Algorithm 1 sub-path lengths",
+    ))
+    return 0
+
+
+def main(argv: "list | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Coverage Maximization of "
+        "Heterogeneous UAV Networks' (ICDCS 2023)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, help_text in (
+        ("fig4", "served users vs number of UAVs"),
+        ("fig5", "served users vs number of users"),
+        ("fig6a", "served users vs parameter s"),
+        ("fig6b", "running time vs parameter s"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        _add_common(p)
+
+    demo = sub.add_parser("demo", help="tiny end-to-end run")
+    demo.add_argument("--seed", type=int, default=None)
+
+    map_cmd = sub.add_parser("map", help="ASCII map of a deployment")
+    map_cmd.add_argument("--seed", type=int, default=None)
+    map_cmd.add_argument("--users", type=int, default=600)
+    map_cmd.add_argument("--uavs", type=int, default=8)
+    map_cmd.add_argument("--scale", choices=sorted(SCALES), default="bench")
+    map_cmd.add_argument("--cols", type=int, default=60)
+
+    ratio_cmd = sub.add_parser(
+        "ratio", help="Theorem 1 guarantee table for K and s values"
+    )
+    ratio_cmd.add_argument("--k", type=int, nargs="+",
+                           default=[5, 10, 20, 50, 100])
+    ratio_cmd.add_argument("--s", type=int, nargs="+", default=[1, 2, 3, 4])
+
+    run_cmd = sub.add_parser(
+        "run", help="run one algorithm on a scenario, optionally save JSON"
+    )
+    run_cmd.add_argument(
+        "--algorithm", default="approAlg",
+        help="registered algorithm name (default approAlg)",
+    )
+    run_cmd.add_argument("--scenario", default=None,
+                         help="scenario JSON (from repro.sim.io)")
+    run_cmd.add_argument("--save", default=None,
+                         help="write the deployment JSON here")
+    run_cmd.add_argument("--users", type=int, default=600)
+    run_cmd.add_argument("--uavs", type=int, default=8)
+    run_cmd.add_argument("--scale", choices=sorted(SCALES), default="bench")
+    run_cmd.add_argument("--seed", type=int, default=None)
+    run_cmd.add_argument("--s", type=int, default=2)
+    run_cmd.add_argument("--anchor-pool", type=int, default=10)
+    run_cmd.add_argument(
+        "--report", action="store_true",
+        help="print the full operational report (fleet, failures, spectrum)",
+    )
+
+    sub.add_parser("selfcheck", help="quick end-to-end installation check")
+
+    args = parser.parse_args(argv)
+    if args.command == "fig4":
+        return _cmd_fig4(args)
+    if args.command == "fig5":
+        return _cmd_fig5(args)
+    if args.command == "fig6a":
+        return _cmd_fig6(
+            args, "served", "Fig. 6(a) - served users vs s (n=3000, K=20)"
+        )
+    if args.command == "fig6b":
+        return _cmd_fig6(
+            args, "runtime_s", "Fig. 6(b) - running time (s) vs s (n=3000, K=20)"
+        )
+    if args.command == "demo":
+        return _cmd_demo(args)
+    if args.command == "map":
+        return _cmd_map(args)
+    if args.command == "ratio":
+        return _cmd_ratio(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "selfcheck":
+        return _cmd_selfcheck(args)
+    raise AssertionError(f"unhandled command {args.command!r}")

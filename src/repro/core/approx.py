@@ -1,0 +1,218 @@
+"""Algorithm 2: the O(sqrt(s/K))-approximation for the maximum connected
+coverage problem (Section III-E).
+
+Outer structure: enumerate anchor subsets ``V*_j`` of ``s`` candidate
+locations; for each, run the anchored matroid greedy
+(:mod:`repro.core.greedy`), connect the chosen locations via
+MST-of-shortest-paths and staff relays (:mod:`repro.core.connect`), and
+keep the feasible candidate serving the most users.  The final assignment
+is recomputed with the exact max-flow of Section II-D (line 25).
+
+Scaling knobs (all default to the paper-faithful behaviour):
+
+* subsets whose anchors provably cannot be connected within ``K`` UAVs are
+  skipped — a lossless prune (any such subset fails the ``q_j <= K`` test);
+* ``anchor_candidates`` / ``max_anchor_candidates`` restrict the anchor pool
+  (e.g. to the locations covering the most users).  This breaks the formal
+  guarantee but preserves solution quality in practice and makes the
+  ``O(m^s)`` outer loop tractable in pure Python; benches document when
+  they use it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from repro.core.assignment import optimal_assignment
+from repro.core.connect import connect_and_deploy
+from repro.core.greedy import anchored_greedy, pair_greedy
+from repro.core.problem import ProblemInstance
+from repro.core.segments import SegmentPlan, optimal_segments
+from repro.graphs.bfs import UNREACHABLE
+from repro.network.deployment import Deployment
+
+
+@dataclass
+class ApproxStats:
+    """Bookkeeping about one appro_alg run."""
+
+    subsets_total: int = 0
+    subsets_pruned: int = 0
+    subsets_evaluated: int = 0
+    subsets_infeasible: int = 0
+    fallback_used: bool = False
+
+
+@dataclass
+class ApproxResult:
+    """The algorithm's output: a feasible deployment plus diagnostics."""
+
+    deployment: Deployment
+    served: int
+    anchors: tuple
+    plan: "SegmentPlan | None"
+    stats: ApproxStats = field(default_factory=ApproxStats)
+
+
+def _anchor_pool(
+    problem: ProblemInstance,
+    anchor_candidates: "list | None",
+    max_anchor_candidates: "int | None",
+) -> list:
+    """The locations anchors may be drawn from."""
+    if anchor_candidates is not None:
+        pool = sorted(set(anchor_candidates))
+        for v in pool:
+            if not (0 <= v < problem.num_locations):
+                raise IndexError(f"anchor candidate {v} outside location range")
+    else:
+        pool = list(range(problem.num_locations))
+    if max_anchor_candidates is not None and len(pool) > max_anchor_candidates:
+        # Keep the locations that can cover the most users (evaluated with
+        # the largest-capacity UAV's radio), ties to lower index.
+        strongest = problem.fleet[problem.capacity_order()[0]]
+        graph = problem.graph
+        pool.sort(key=lambda v: (-graph.coverage_count(v, strongest), v))
+        pool = sorted(pool[:max_anchor_candidates])
+    return pool
+
+
+def _prunable(problem: ProblemInstance, subset: tuple) -> bool:
+    """True if the anchors provably cannot appear in any feasible solution:
+    some pair is disconnected, or the path joining the two farthest anchors
+    alone already needs more than ``K`` nodes (a valid lower bound on any
+    connected subgraph containing the anchors; see
+    :func:`repro.graphs.steiner.connection_cost_lower_bound`)."""
+    graph = problem.graph
+    worst = 0
+    for a_pos in range(len(subset) - 1):
+        row = graph.hops_from(subset[a_pos])
+        for b in subset[a_pos + 1:]:
+            d = row[b]
+            if d == UNREACHABLE:
+                return True
+            worst = max(worst, d)
+    return max(len(subset), worst + 1) > problem.num_uavs
+
+
+def _fallback_single(problem: ProblemInstance) -> ApproxResult:
+    """Last-resort feasible solution: the strongest UAV alone at the single
+    location covering the most users."""
+    graph = problem.graph
+    order = problem.capacity_order()
+    strongest = problem.fleet[order[0]]
+    best_loc = max(
+        range(problem.num_locations),
+        key=lambda v: (graph.coverage_count(v, strongest), -v),
+    )
+    deployment = optimal_assignment(
+        graph, problem.fleet, {order[0]: best_loc}
+    )
+    stats = ApproxStats(fallback_used=True)
+    return ApproxResult(
+        deployment=deployment,
+        served=deployment.served_count,
+        anchors=(best_loc,),
+        plan=None,
+        stats=stats,
+    )
+
+
+def appro_alg(
+    problem: ProblemInstance,
+    s: int = 3,
+    anchor_candidates: "list | None" = None,
+    max_anchor_candidates: "int | None" = None,
+    augment_leftover: bool = True,
+    gain_mode: str = "exact",
+    inner: str = "sorted",
+    progress: "object | None" = None,
+) -> ApproxResult:
+    """Run Algorithm 2 with parameter ``s`` (paper default 3).
+
+    ``s`` is clamped to ``K``; if no anchor subset of size ``s`` yields a
+    feasible connected deployment the algorithm retries with smaller ``s``
+    and ultimately falls back to a single-UAV deployment (always feasible).
+    ``augment_leftover`` additionally deploys the UAVs Algorithm 2 would
+    leave unused (see :func:`repro.core.connect.connect_and_deploy`); pass
+    ``False`` for the paper-strict behaviour.  ``gain_mode`` is ``"exact"``
+    (paper-faithful marginal gains) or ``"fast"`` (direct-bound candidate
+    ranking; see :func:`repro.core.greedy.anchored_greedy`).  ``inner``
+    selects the greedy flavour: ``"sorted"`` is Algorithm 2's
+    capacity-sorted loop, ``"pairs"`` the textbook FNW greedy over (UAV,
+    location) pairs (slower; ablation).  ``progress``, if given, is called
+    as ``progress(done, total)`` after each subset.
+    """
+    if s < 1:
+        raise ValueError(f"s must be a positive integer, got {s}")
+    if inner not in ("sorted", "pairs"):
+        raise ValueError(f"inner must be 'sorted' or 'pairs', got {inner!r}")
+    s = min(s, problem.num_uavs)
+    pool = _anchor_pool(problem, anchor_candidates, max_anchor_candidates)
+    if len(pool) < s:
+        raise ValueError(
+            f"anchor pool of {len(pool)} locations cannot host s = {s} anchors"
+        )
+
+    order = problem.capacity_order()
+    stats = ApproxStats()
+    best: "tuple[int, dict, tuple] | None" = None  # (served, placements, anchors)
+    plan = optimal_segments(problem.num_uavs, s)
+
+    subsets = list(combinations(pool, s))
+    stats.subsets_total = len(subsets)
+    for done, subset in enumerate(subsets, start=1):
+        if _prunable(problem, subset):
+            stats.subsets_pruned += 1
+        else:
+            stats.subsets_evaluated += 1
+            if inner == "pairs":
+                greedy = pair_greedy(problem, list(subset), plan)
+            else:
+                greedy = anchored_greedy(
+                    problem, list(subset), plan, order, gain_mode=gain_mode
+                )
+            solution = connect_and_deploy(
+                problem,
+                greedy,
+                order,
+                augment_leftover=augment_leftover,
+                gain_mode=gain_mode,
+            )
+            if solution is None:
+                stats.subsets_infeasible += 1
+            elif best is None or solution.served > best[0]:
+                best = (solution.served, solution.placements, subset)
+        if progress is not None:
+            progress(done, stats.subsets_total)
+
+    if best is None:
+        if s > 1:
+            smaller = appro_alg(
+                problem,
+                s=s - 1,
+                anchor_candidates=anchor_candidates,
+                max_anchor_candidates=max_anchor_candidates,
+                augment_leftover=augment_leftover,
+                gain_mode=gain_mode,
+                inner=inner,
+                progress=progress,
+            )
+            smaller.stats.fallback_used = True
+            return smaller
+        return _fallback_single(problem)
+
+    served, placements, anchors = best
+    deployment = optimal_assignment(problem.graph, problem.fleet, placements)
+    assert deployment.served_count == served, (
+        f"incremental engine served {served} but exact max-flow served "
+        f"{deployment.served_count}; the two must agree"
+    )
+    return ApproxResult(
+        deployment=deployment,
+        served=deployment.served_count,
+        anchors=anchors,
+        plan=plan,
+        stats=stats,
+    )

@@ -1,0 +1,140 @@
+"""Connection step of Algorithm 2 (lines 13-18).
+
+The greedy's chosen locations may induce a disconnected subgraph; build the
+complete hop-weighted graph over them, take an MST, expand each MST edge
+into a shortest path in the location graph, and deploy the remaining UAVs
+(in decreasing capacity order) on the relay nodes so the final network is
+connected.  If the connected subgraph needs more than ``K`` nodes the
+anchor set is infeasible and ``None`` is returned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.greedy import GreedyResult
+from repro.core.problem import ProblemInstance
+
+
+@dataclass
+class ConnectedSolution:
+    """A feasible connected deployment candidate for one anchor set."""
+
+    placements: dict   # uav_index -> location_index (greedy picks + relays)
+    served: int         # optimal served users for these placements
+    relay_locations: list
+    subgraph_nodes: set
+
+
+def connect_and_deploy(
+    problem: ProblemInstance,
+    greedy: GreedyResult,
+    order: "list | None" = None,
+    augment_leftover: bool = True,
+    gain_mode: str = "exact",
+) -> "ConnectedSolution | None":
+    """Connect the greedy's locations and staff the relays with UAVs.
+
+    Relay staffing follows the paper's "arbitrary, e.g. greedy" guidance:
+    remaining UAVs are taken in decreasing capacity order and each is put on
+    the relay location with the largest exact marginal gain (relays can
+    serve users too, so this only helps).  Returns ``None`` when the
+    connected subgraph would need more than ``K`` UAVs.
+
+    When ``augment_leftover`` is true (default) the ``K - q_j`` UAVs that
+    Algorithm 2 as written would leave on the ground are deployed too: each
+    goes, in decreasing capacity order, to the unoccupied location adjacent
+    to the current network with the largest exact gain, stopping at zero
+    gain.  This preserves connectivity and can only increase coverage; the
+    ablation bench quantifies its effect (it is our addition, not the
+    paper's — see DESIGN.md §3).
+    """
+    graph = problem.graph
+    fleet = problem.fleet
+    if order is None:
+        order = problem.capacity_order()
+
+    terminals = [loc for _, loc in greedy.chosen]
+    nodes, _tree = graph.connect_terminals(terminals)
+    if len(nodes) > problem.num_uavs:
+        return None
+
+    placements = {k: loc for k, loc in greedy.chosen}
+    used_uavs = set(placements)
+    relays = sorted(nodes - set(terminals))
+    remaining = [k for k in order if k not in used_uavs]
+    assert len(remaining) >= len(relays), "q_j <= K must leave enough UAVs"
+
+    engine = greedy.engine
+    fast = gain_mode == "fast"
+    pending = list(relays)
+    for k in remaining[: len(relays)]:
+        uav = fleet[k]
+        best_gain = -1
+        best_loc = pending[0]
+        for loc in pending:
+            if fast:
+                gain = engine.direct_gain_bound(
+                    graph.coverable_array(loc, uav), uav.capacity
+                )
+            else:
+                gain = engine.try_open(
+                    (k, loc), graph.coverable_users(loc, uav), uav.capacity
+                )
+                engine.rollback()
+            if gain > best_gain:
+                best_gain, best_loc = gain, loc
+        engine.open(
+            (k, best_loc), graph.coverable_users(best_loc, uav), uav.capacity
+        )
+        placements[k] = best_loc
+        pending.remove(best_loc)
+
+    occupied = set(nodes)
+    if augment_leftover:
+        adjacency = graph.location_graph
+        frontier = {
+            w
+            for v in occupied
+            for w in adjacency.neighbours(v)
+            if w not in occupied
+        }
+        for k in remaining[len(relays):]:
+            if not frontier:
+                break
+            uav = fleet[k]
+            best_gain = 0
+            best_loc = -1
+            for loc in sorted(frontier):
+                cover = graph.coverable_users(loc, uav)
+                if min(uav.capacity, len(cover)) <= best_gain:
+                    continue
+                if fast:
+                    gain = engine.direct_gain_bound(
+                        graph.coverable_array(loc, uav), uav.capacity
+                    )
+                else:
+                    gain = engine.try_open((k, loc), cover, uav.capacity)
+                    engine.rollback()
+                if gain > best_gain:
+                    best_gain, best_loc = gain, loc
+            if best_loc < 0:
+                break  # nothing adjacent helps; stop deploying
+            engine.open(
+                (k, best_loc),
+                graph.coverable_users(best_loc, fleet[k]),
+                fleet[k].capacity,
+            )
+            placements[k] = best_loc
+            occupied.add(best_loc)
+            frontier.discard(best_loc)
+            frontier.update(
+                w for w in adjacency.neighbours(best_loc) if w not in occupied
+            )
+
+    return ConnectedSolution(
+        placements=placements,
+        served=engine.served_count,
+        relay_locations=relays,
+        subgraph_nodes=occupied,
+    )

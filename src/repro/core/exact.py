@@ -1,0 +1,60 @@
+"""Exhaustive optimum for tiny instances.
+
+Used only by tests and examples to measure the empirical approximation
+ratio of :func:`repro.core.approx.appro_alg` against the true optimum: it
+enumerates every connected location subset of size at most ``K`` and every
+injective mapping of UAVs onto it, solving the Section II-D assignment
+exactly for each.  Exponential — guarded to tiny inputs.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, permutations
+
+from repro.core.assignment import optimal_assignment
+from repro.core.problem import ProblemInstance
+from repro.network.deployment import Deployment
+
+_MAX_LOCATIONS = 14
+_MAX_UAVS = 6
+
+
+def exact_optimum(
+    problem: ProblemInstance, require_connected: bool = True
+) -> Deployment:
+    """The optimal deployment (ties broken arbitrarily).
+
+    Considers deployments of any size ``1..K`` — deploying fewer UAVs than
+    available is feasible (and sometimes better, because connectivity binds
+    harder with more nodes).  Raises ``ValueError`` on instances too large
+    to enumerate.
+    """
+    graph = problem.graph
+    fleet = problem.fleet
+    m, big_k = graph.num_locations, problem.num_uavs
+    if m > _MAX_LOCATIONS or big_k > _MAX_UAVS:
+        raise ValueError(
+            f"instance too large for brute force: m = {m} (max "
+            f"{_MAX_LOCATIONS}), K = {big_k} (max {_MAX_UAVS})"
+        )
+
+    best: "Deployment | None" = None
+    for size in range(1, big_k + 1):
+        for locs in combinations(range(m), size):
+            if require_connected and not graph.locations_connected(list(locs)):
+                continue
+            for uavs in permutations(range(big_k), size):
+                placements = dict(zip(uavs, locs))
+                deployment = optimal_assignment(graph, fleet, placements)
+                if best is None or deployment.served_count > best.served_count:
+                    best = deployment
+    if best is None:  # m >= 1 always yields at least a single placement
+        raise AssertionError("no deployment enumerated; empty location set?")
+    return best
+
+
+def exact_optimum_value(
+    problem: ProblemInstance, require_connected: bool = True
+) -> int:
+    """Just the optimal served-user count."""
+    return exact_optimum(problem, require_connected).served_count

@@ -1,0 +1,156 @@
+"""Gateway-UAV constraint (extension; the paper's system model requires
+"at least one of the UAVs serving as a gateway UAV ... connected to the
+Internet with the help of satellites or emergency communication vehicles",
+Fig. 1 and Section II-A, but its algorithm does not enforce it).
+
+A ground gateway (e.g. an emergency communication vehicle) sits at a known
+position; a deployment satisfies the gateway constraint when at least one
+deployed UAV is within the UAV-to-UAV range of the gateway's antenna.
+``ensure_gateway`` retrofits a deployment: if no deployed UAV can reach
+the gateway, it extends the network with relay UAVs along a shortest hop
+path to the nearest gateway-adjacent hovering location, using spare
+(undeployed) UAVs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.assignment import optimal_assignment
+from repro.core.problem import ProblemInstance
+from repro.geometry.point import Point2D, Point3D
+from repro.graphs.bfs import UNREACHABLE, multi_source_hops, shortest_hop_path
+from repro.network.deployment import Deployment
+
+
+@dataclass(frozen=True)
+class Gateway:
+    """A ground gateway with an antenna at ``mast_height_m``."""
+
+    position: Point2D
+    mast_height_m: float = 5.0
+
+    def antenna(self) -> Point3D:
+        return Point3D(self.position.x, self.position.y, self.mast_height_m)
+
+
+def gateway_adjacent_locations(
+    problem: ProblemInstance, gateway: Gateway
+) -> list:
+    """Hovering locations whose UAV could reach the gateway antenna
+    (3-D distance within the UAV-to-UAV range)."""
+    antenna = gateway.antenna()
+    reach = problem.graph.uav_range_m
+    return [
+        j
+        for j, loc in enumerate(problem.graph.locations)
+        if loc.distance_to(antenna) <= reach
+    ]
+
+
+def has_gateway_link(
+    problem: ProblemInstance, deployment: Deployment, gateway: Gateway
+) -> bool:
+    """Whether some deployed UAV reaches the gateway."""
+    adjacent = set(gateway_adjacent_locations(problem, gateway))
+    return any(loc in adjacent for loc in deployment.locations_used())
+
+
+def ensure_gateway(
+    problem: ProblemInstance, deployment: Deployment, gateway: Gateway
+) -> "Deployment | None":
+    """Extend ``deployment`` so it reaches the gateway, if necessary.
+
+    Spare UAVs (not in the deployment) staff a shortest hop path from the
+    current network to the nearest gateway-adjacent location.  Returns the
+    (possibly unchanged) deployment, or ``None`` when the constraint
+    cannot be met — no adjacent location exists, the path is disconnected,
+    or too few spare UAVs remain.  The returned deployment's assignment is
+    re-optimised so new relays also serve users.
+    """
+    adjacent = gateway_adjacent_locations(problem, gateway)
+    if not adjacent:
+        return None
+    if has_gateway_link(problem, deployment, gateway):
+        return deployment
+    if not deployment.placements:
+        return None
+
+    graph = problem.graph
+    used = set(deployment.locations_used())
+    hops_to_adjacent = multi_source_hops(graph.location_graph, adjacent)
+    # Attach from the deployed location closest (in hops) to any adjacent
+    # location.
+    best_src = min(
+        used,
+        key=lambda v: (
+            hops_to_adjacent[v] if hops_to_adjacent[v] != UNREACHABLE
+            else float("inf")
+        ),
+    )
+    if hops_to_adjacent[best_src] == UNREACHABLE:
+        return None
+    target = min(
+        adjacent,
+        key=lambda a: (
+            graph.hops_from(best_src)[a]
+            if graph.hops_from(best_src)[a] != UNREACHABLE
+            else float("inf")
+        ),
+    )
+    path = shortest_hop_path(graph.location_graph, best_src, target)
+    if path is None:
+        return None
+    new_locations = [v for v in path if v not in used]
+    spare = [k for k in range(problem.num_uavs) if k not in deployment.placements]
+    spare.sort(key=lambda k: -problem.fleet[k].capacity)
+    if len(new_locations) > len(spare):
+        return None
+
+    placements = dict(deployment.placements)
+    for k, loc in zip(spare, new_locations):
+        placements[k] = loc
+    return optimal_assignment(graph, problem.fleet, placements)
+
+
+def appro_alg_with_gateway(
+    problem: ProblemInstance, gateway: Gateway, **appro_kwargs: object
+) -> "Deployment | None":
+    """Run Algorithm 2 and retrofit the gateway constraint.
+
+    If the unconstrained solution already reaches the gateway (or spare
+    UAVs can bridge to it), done.  Otherwise UAVs are *reserved* for the
+    gateway link: the plan is recomputed with the ``reserve``
+    smallest-capacity UAVs withheld from placement, and those UAVs then
+    staff the bridge.  ``reserve`` grows until the constraint is met or
+    the fleet is exhausted (returns ``None`` only when no gateway-adjacent
+    hovering location is reachable at all).
+    """
+    from repro.core.approx import appro_alg
+
+    if not gateway_adjacent_locations(problem, gateway):
+        return None
+
+    by_capacity = sorted(
+        range(problem.num_uavs),
+        key=lambda k: (-problem.fleet[k].capacity, k),
+    )
+    s = appro_kwargs.get("s", 3)
+    max_reserve = problem.num_uavs - max(2, int(s) if isinstance(s, int) else 2)
+    for reserve in range(0, max(1, max_reserve + 1)):
+        kept = by_capacity[: problem.num_uavs - reserve]
+        if len(kept) < 1:
+            break
+        sub_fleet = [problem.fleet[k] for k in kept]
+        sub_problem = ProblemInstance(graph=problem.graph, fleet=sub_fleet)
+        result = appro_alg(sub_problem, **appro_kwargs)
+        # Remap sub-fleet indices back to the full fleet.
+        placements = {
+            kept[k_sub]: loc
+            for k_sub, loc in result.deployment.placements.items()
+        }
+        full = optimal_assignment(problem.graph, problem.fleet, placements)
+        with_link = ensure_gateway(problem, full, gateway)
+        if with_link is not None:
+            return with_link
+    return None

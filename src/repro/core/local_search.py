@@ -1,0 +1,128 @@
+"""Connectivity-preserving local search post-optimisation (extension; the
+natural "improve the delivered solution" step the paper leaves to future
+work).
+
+Starting from any feasible deployment, hill-climb over single-UAV
+relocation moves: pick up one UAV and put it on a free candidate location
+such that (i) the network stays connected and (ii) the objective improves
+*lexicographically*: more served users, or equal served users but smaller
+total distance from UAV positions to the nearest unserved user.  The
+secondary term lets the swarm drift across coverage deserts (where every
+single move has zero gain) toward unserved demand — plain strict-gain
+hill-climbing stalls on those plateaus.  Gains are exact (each candidate
+move re-solves the assignment).  Terminates at a local optimum or after
+``max_rounds`` sweeps; served users can only improve on the input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.assignment import optimal_assignment
+from repro.core.problem import ProblemInstance
+from repro.graphs.bfs import is_connected
+from repro.network.deployment import Deployment
+
+
+@dataclass
+class LocalSearchResult:
+    deployment: Deployment
+    served: int
+    moves_applied: int
+    rounds: int
+
+
+def _move_keeps_connectivity(
+    graph, occupied: set, src: int, dst: int
+) -> bool:
+    """Whether moving one UAV from ``src`` to ``dst`` keeps the occupied
+    set connected (single-node networks are trivially fine)."""
+    after = (occupied - {src}) | {dst}
+    return is_connected(graph, after)
+
+
+def local_search(
+    problem: ProblemInstance,
+    deployment: Deployment,
+    max_rounds: int = 10,
+    neighbourhood_hops: int = 2,
+) -> LocalSearchResult:
+    """Improve ``deployment`` by single-UAV relocation moves.
+
+    ``neighbourhood_hops`` bounds how far (in candidate-graph hops from
+    the current network) a UAV may be moved per step — moves farther out
+    would disconnect it anyway unless they land next to the network, and
+    the bound keeps each sweep O(K * neighbourhood * assignment).
+    """
+    if max_rounds < 0:
+        raise ValueError(f"max_rounds must be non-negative, got {max_rounds}")
+    if neighbourhood_hops < 1:
+        raise ValueError("neighbourhood_hops must be at least 1")
+    graph = problem.graph
+    adjacency = graph.location_graph
+
+    def potential(placement_map: dict, assignment: dict) -> float:
+        """Secondary objective: total distance from each UAV to the
+        nearest unserved user (0 when everyone is served)."""
+        unserved = [
+            graph.users[u].position
+            for u in range(graph.num_users)
+            if u not in assignment
+        ]
+        if not unserved:
+            return 0.0
+        total = 0.0
+        for loc in placement_map.values():
+            here = graph.locations[loc]
+            total += min(here.distance_to(p) for p in unserved)
+        return total
+
+    placements = dict(deployment.placements)
+    current = optimal_assignment(graph, problem.fleet, placements)
+    best_served = current.served_count
+    best_potential = potential(placements, current.assignment)
+
+    moves = 0
+    rounds = 0
+    for _round in range(max_rounds):
+        rounds += 1
+        improved = False
+        for k in sorted(placements):
+            src = placements[k]
+            occupied = set(placements.values())
+            # Candidate destinations: within the hop neighbourhood of the
+            # network, not occupied.
+            frontier = set(occupied)
+            for _ in range(neighbourhood_hops):
+                frontier |= {
+                    w for v in frontier for w in adjacency.neighbours(v)
+                }
+            candidates = sorted(frontier - occupied)
+            for dst in candidates:
+                if not _move_keeps_connectivity(adjacency, occupied, src, dst):
+                    continue
+                trial = dict(placements)
+                trial[k] = dst
+                solved = optimal_assignment(graph, problem.fleet, trial)
+                served = solved.served_count
+                trial_potential = potential(trial, solved.assignment)
+                if served > best_served or (
+                    served == best_served
+                    and trial_potential < best_potential - 1e-9
+                ):
+                    placements = trial
+                    best_served = served
+                    best_potential = trial_potential
+                    moves += 1
+                    improved = True
+                    break
+        if not improved:
+            break
+
+    final = optimal_assignment(graph, problem.fleet, placements)
+    return LocalSearchResult(
+        deployment=final,
+        served=final.served_count,
+        moves_applied=moves,
+        rounds=rounds,
+    )

@@ -1,0 +1,53 @@
+"""The maximum connected coverage problem instance (Section II-C).
+
+Bundles the coverage graph and the heterogeneous fleet, validates the basic
+sanity conditions, and is the single argument every solver takes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.network.coverage import CoverageGraph
+
+
+@dataclass(frozen=True)
+class ProblemInstance:
+    """An instance: deploy ``K = len(fleet)`` UAVs on ``graph.locations`` to
+    maximise served users subject to capacities and connectivity."""
+
+    graph: CoverageGraph
+    fleet: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.fleet) < 1:
+            raise ValueError("fleet must contain at least one UAV")
+        if len(self.fleet) > self.graph.num_locations:
+            raise ValueError(
+                f"cannot deploy {len(self.fleet)} UAVs on only "
+                f"{self.graph.num_locations} candidate locations "
+                "(at most one UAV per grid)"
+            )
+
+    @property
+    def num_uavs(self) -> int:
+        return len(self.fleet)
+
+    @property
+    def num_users(self) -> int:
+        return self.graph.num_users
+
+    @property
+    def num_locations(self) -> int:
+        return self.graph.num_locations
+
+    def capacity_order(self) -> list:
+        """Fleet indices sorted by service capacity, largest first (the order
+        Algorithm 2 deploys UAVs in); ties broken by index for determinism."""
+        return sorted(
+            range(len(self.fleet)),
+            key=lambda k: (-self.fleet[k].capacity, k),
+        )
+
+    def total_capacity(self) -> int:
+        return sum(u.capacity for u in self.fleet)

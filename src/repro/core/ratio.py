@@ -1,0 +1,47 @@
+"""Theorem 1: the approximation guarantee of the proposed algorithm.
+
+The algorithm is a ``1 / (3 * ceil((2K - 2) / L_1))``-approximation with
+``L_1 = floor(sqrt(4sK + 4s^2 - 8.5s)) - 2s + 2``, which is
+``Theta(sqrt(s / K))``.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def l1_of(num_uavs: int, s: int) -> int:
+    """``L_1 = floor(sqrt(4sK + 4s^2 - 8.5s)) - 2s + 2`` (Theorem 1)."""
+    if s < 1:
+        raise ValueError(f"s must be positive, got {s}")
+    if num_uavs < s:
+        raise ValueError(f"need K >= s, got K = {num_uavs}, s = {s}")
+    radicand = 4 * s * num_uavs + 4 * s * s - 8.5 * s
+    if radicand < 0:
+        raise ValueError(
+            f"degenerate parameters: radicand {radicand} < 0 for "
+            f"K = {num_uavs}, s = {s}"
+        )
+    return math.floor(math.sqrt(radicand)) - 2 * s + 2
+
+
+def approximation_ratio(num_uavs: int, s: int) -> float:
+    """The Theorem 1 guarantee ``1 / (3 * ceil((2K - 2) / L_1))``.
+
+    For very small ``K`` the closed-form ``L_1`` can be non-positive; the
+    guarantee then degrades to the trivial ``1 / (3 * (2K - 2))`` (one node
+    per sub-path).
+    """
+    if num_uavs < 2:
+        raise ValueError(f"the problem requires K >= 2 UAVs, got {num_uavs}")
+    l1 = max(1, l1_of(num_uavs, s))
+    delta = math.ceil((2 * num_uavs - 2) / l1)
+    return 1.0 / (3.0 * delta)
+
+
+def ratio_order_of_magnitude(num_uavs: int, s: int) -> float:
+    """The asymptotic form ``sqrt(s / K) / 3`` (up to constants), useful for
+    sanity plots against :func:`approximation_ratio`."""
+    if num_uavs < 1 or s < 1:
+        raise ValueError("K and s must be positive")
+    return math.sqrt(s / num_uavs) / 3.0

@@ -1,0 +1,135 @@
+"""Minimum-cost bipartite assignment (Hungarian algorithm, the
+Jonker-Volgenant / e-maxx formulation with row/column potentials and
+Dijkstra-style column scans).
+
+Used by :mod:`repro.sim.relocation` to move a UAV fleet from its current
+hovering locations to a newly planned set while minimising travel cost.
+Written from scratch; ``scipy.optimize.linear_sum_assignment`` serves as
+the test oracle only.  Complexity O(n^2 m) for an ``n x m`` matrix.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+def min_cost_assignment(costs: Sequence) -> "tuple[list, float]":
+    """Assign each row to a distinct column minimising total cost.
+
+    ``costs`` is an ``n x m`` matrix (sequence of rows) with ``n <= m``;
+    entries may be ``float('inf')`` to forbid a pairing.  Returns
+    ``(assignment, total)`` where ``assignment[i]`` is the column chosen
+    for row ``i``.  Raises ``ValueError`` for ragged or oversized input,
+    or when forbidden pairings make a complete assignment impossible.
+    """
+    n = len(costs)
+    if n == 0:
+        return [], 0.0
+    m = len(costs[0])
+    for row in costs:
+        if len(row) != m:
+            raise ValueError("cost matrix is ragged")
+    if n > m:
+        raise ValueError(f"need rows <= columns, got {n} x {m}")
+
+    INF = math.inf
+    # 1-indexed rows and columns; index 0 is the virtual start column.
+    u = [0.0] * (n + 1)        # row potentials
+    v = [0.0] * (m + 1)        # column potentials
+    p = [0] * (m + 1)          # p[j] = row assigned to column j (0 = free)
+    way = [0] * (m + 1)        # predecessor column on the alternating path
+
+    for i in range(1, n + 1):
+        p[0] = i
+        j0 = 0
+        minv = [INF] * (m + 1)
+        used = [False] * (m + 1)
+        while True:
+            used[j0] = True
+            i0 = p[j0]
+            delta = INF
+            j1 = -1
+            row_costs = costs[i0 - 1]
+            u_i0 = u[i0]
+            for j in range(1, m + 1):
+                if used[j]:
+                    continue
+                cur = row_costs[j - 1] - u_i0 - v[j]
+                if cur < minv[j]:
+                    minv[j] = cur
+                    way[j] = j0
+                if minv[j] < delta:
+                    delta = minv[j]
+                    j1 = j
+            if j1 < 0 or delta == INF:
+                raise ValueError(
+                    "no finite-cost complete assignment exists (forbidden "
+                    f"pairings block row {i - 1})"
+                )
+            for j in range(m + 1):
+                if used[j]:
+                    u[p[j]] += delta
+                    v[j] -= delta
+                else:
+                    minv[j] -= delta
+            j0 = j1
+            if p[j0] == 0:
+                break
+        # Augment: shift assignments along the alternating path.
+        while j0 != 0:
+            j1 = way[j0]
+            p[j0] = p[j1]
+            j0 = j1
+
+    assignment = [-1] * n
+    total = 0.0
+    for j in range(1, m + 1):
+        if p[j] != 0:
+            assignment[p[j] - 1] = j - 1
+            total += costs[p[j] - 1][j - 1]
+    if any(a < 0 for a in assignment):
+        raise AssertionError("incomplete assignment after augmentation")
+    return assignment, total
+
+
+def min_max_assignment(costs: Sequence) -> "tuple[list, float]":
+    """Assign rows to columns minimising the *maximum* single cost
+    (bottleneck assignment), by binary searching the threshold and
+    checking feasibility with forbidden pairings.
+
+    Relocation often cares about makespan — the fleet is ready when the
+    slowest UAV arrives — rather than total distance.
+    """
+    n = len(costs)
+    if n == 0:
+        return [], 0.0
+    values = sorted({c for row in costs for c in row if c != math.inf})
+    if not values:
+        raise ValueError("all pairings forbidden")
+
+    def feasible(threshold: float) -> "list | None":
+        capped = [
+            [0.0 if c <= threshold else math.inf for c in row]
+            for row in costs
+        ]
+        try:
+            assignment, _ = min_cost_assignment(capped)
+        except ValueError:
+            return None
+        return assignment
+
+    lo, hi = 0, len(values) - 1
+    best: "list | None" = feasible(values[hi])
+    if best is None:
+        raise ValueError("no complete assignment exists at any threshold")
+    while lo < hi:
+        mid = (lo + hi) // 2
+        candidate = feasible(values[mid])
+        if candidate is not None:
+            best = candidate
+            hi = mid
+        else:
+            lo = mid + 1
+    bottleneck = max(costs[i][j] for i, j in enumerate(best))
+    return best, bottleneck

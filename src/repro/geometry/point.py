@@ -1,0 +1,72 @@
+"""Immutable 2-D/3-D points with Euclidean metrics.
+
+Users are ``Point3D(x, y, 0)``; candidate hovering locations are
+``Point3D(x, y, H_uav)``.  All coordinates are metres.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Point2D:
+    """A point on the ground plane (metres)."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point2D") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def at_altitude(self, z: float) -> "Point3D":
+        return Point3D(self.x, self.y, z)
+
+    def __iter__(self):
+        yield self.x
+        yield self.y
+
+
+@dataclass(frozen=True, slots=True)
+class Point3D:
+    """A point in the 3-D disaster zone (metres)."""
+
+    x: float
+    y: float
+    z: float = 0.0
+
+    def distance_to(self, other: "Point3D") -> float:
+        return math.sqrt(
+            (self.x - other.x) ** 2
+            + (self.y - other.y) ** 2
+            + (self.z - other.z) ** 2
+        )
+
+    def horizontal_distance_to(self, other: "Point3D") -> float:
+        """Ground-projected distance, ignoring altitude."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def ground(self) -> Point2D:
+        """Project onto the ground plane."""
+        return Point2D(self.x, self.y)
+
+    def __iter__(self):
+        yield self.x
+        yield self.y
+        yield self.z
+
+
+def elevation_angle_deg(ground: Point3D, aerial: Point3D) -> float:
+    """Elevation angle (degrees) from a ground node to an aerial node.
+
+    This is the angle θ used by the Al-Hourani LoS-probability model.  When
+    the two points are vertically aligned the angle is 90°.
+    """
+    dz = aerial.z - ground.z
+    if dz < 0:
+        raise ValueError("aerial node must be above the ground node")
+    dr = ground.horizontal_distance_to(aerial)
+    if dr == 0.0:
+        return 90.0
+    return math.degrees(math.atan2(dz, dr))

@@ -1,0 +1,99 @@
+"""A minimal undirected graph over integer node ids ``0..n-1``.
+
+Nodes are dense integers because every consumer in this library indexes
+candidate hovering locations by position; adjacency is a list of lists,
+which keeps BFS allocation-free and fast in pure Python.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+
+class Graph:
+    """Undirected simple graph with optional edge weights."""
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 0:
+            raise ValueError(f"num_nodes must be non-negative, got {num_nodes}")
+        self._adj: list = [[] for _ in range(num_nodes)]
+        self._weights: dict = {}
+        self._num_edges = 0
+
+    @classmethod
+    def from_edges(
+        cls, num_nodes: int, edges: Iterable, weighted: bool = False
+    ) -> "Graph":
+        """Build from an iterable of ``(u, v)`` or ``(u, v, w)`` tuples."""
+        g = cls(num_nodes)
+        for edge in edges:
+            if weighted:
+                u, v, w = edge
+                g.add_edge(u, v, w)
+            else:
+                u, v = edge[0], edge[1]
+                g.add_edge(u, v)
+        return g
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def _check_node(self, u: int) -> None:
+        if not (0 <= u < len(self._adj)):
+            raise IndexError(f"node {u} outside [0, {len(self._adj)})")
+
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> None:
+        """Add undirected edge (u, v).  Parallel edges and self-loops are
+        rejected — neither occurs in the coverage graph."""
+        self._check_node(u)
+        self._check_node(v)
+        if u == v:
+            raise ValueError(f"self-loop on node {u} not allowed")
+        if self.has_edge(u, v):
+            raise ValueError(f"edge ({u}, {v}) already present")
+        self._adj[u].append(v)
+        self._adj[v].append(u)
+        self._weights[(min(u, v), max(u, v))] = weight
+        self._num_edges += 1
+
+    def has_edge(self, u: int, v: int) -> bool:
+        self._check_node(u)
+        self._check_node(v)
+        return (min(u, v), max(u, v)) in self._weights
+
+    def weight(self, u: int, v: int) -> float:
+        try:
+            return self._weights[(min(u, v), max(u, v))]
+        except KeyError:
+            raise KeyError(f"no edge ({u}, {v})") from None
+
+    def neighbours(self, u: int) -> list:
+        self._check_node(u)
+        return self._adj[u]
+
+    def degree(self, u: int) -> int:
+        self._check_node(u)
+        return len(self._adj[u])
+
+    def edges(self) -> list:
+        """All edges as (u, v, weight) with u < v."""
+        return [(u, v, w) for (u, v), w in self._weights.items()]
+
+    def subgraph(self, nodes: Iterable) -> "tuple[Graph, dict]":
+        """Induced subgraph on ``nodes``.
+
+        Returns ``(graph, mapping)`` where ``mapping[original] = new`` and
+        the new graph is indexed densely ``0..len(nodes)-1``.
+        """
+        node_list = sorted(set(nodes))
+        mapping = {orig: new for new, orig in enumerate(node_list)}
+        sub = Graph(len(node_list))
+        for (u, v), w in self._weights.items():
+            if u in mapping and v in mapping:
+                sub.add_edge(mapping[u], mapping[v], w)
+        return sub, mapping

@@ -1,0 +1,87 @@
+"""Shortest-path Steiner expansion (the connection step of Section III-E).
+
+Given terminals ``V'_j`` chosen by the greedy, the paper builds a complete
+graph ``G'_j`` over the terminals weighted by hop distance in ``G``, finds
+an MST ``T'_j``, and replaces each MST edge by a shortest path in ``G``;
+the union is a connected subgraph ``G_j`` containing all terminals, and the
+extra nodes become relay UAV positions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.graphs.adjacency import Graph
+from repro.graphs.bfs import UNREACHABLE, bfs_hops, shortest_hop_path
+from repro.graphs.mst import minimum_spanning_tree
+
+
+def steiner_connect(graph: Graph, terminals: Sequence) -> "tuple[set, list]":
+    """Connect ``terminals`` in ``graph`` via MST-of-shortest-paths.
+
+    Returns ``(nodes, tree_edges)`` where ``nodes`` is the node set of the
+    connected subgraph ``G_j`` (terminals plus relays) and ``tree_edges`` is
+    the list of terminal pairs that were joined, as
+    ``(terminal_u, terminal_v, path)`` with ``path`` the node list used.
+
+    Raises ``ValueError`` if some terminal pair is disconnected in ``graph``.
+    """
+    terms = sorted(set(terminals))
+    if not terms:
+        return set(), []
+    if len(terms) == 1:
+        return {terms[0]}, []
+
+    # Pairwise hop distances among terminals via one BFS per terminal.
+    hop_rows = {t: bfs_hops(graph, t) for t in terms}
+    metric = Graph(len(terms))
+    for a in range(len(terms)):
+        row = hop_rows[terms[a]]
+        for b in range(a + 1, len(terms)):
+            d = row[terms[b]]
+            if d == UNREACHABLE:
+                raise ValueError(
+                    f"terminals {terms[a]} and {terms[b]} are disconnected"
+                )
+            metric.add_edge(a, b, d)
+
+    mst_edges = minimum_spanning_tree(metric)
+    nodes: set = set(terms)
+    expanded = []
+    for a, b, _w in mst_edges:
+        u, v = terms[a], terms[b]
+        path = shortest_hop_path(graph, u, v)
+        if path is None:  # cannot happen after the distance check above
+            raise AssertionError(f"no path between terminals {u} and {v}")
+        nodes.update(path)
+        expanded.append((u, v, path))
+    return nodes, expanded
+
+
+def connection_cost_lower_bound(graph: Graph, terminals: Sequence) -> int:
+    """A lower bound on ``|G_j|`` for the given terminals.
+
+    Any connected subgraph containing the terminals contains all of them
+    and a path between the two farthest ones (``max_pair_hops + 1`` nodes;
+    other terminals may lie on that very path, so the two counts cannot be
+    added), hence
+
+        |G_j| >= max(len(terminals), max(hop(u, v)) + 1).
+
+    Used by the outer enumeration to prune anchor subsets that can never
+    satisfy ``q_j <= K``; see DESIGN.md §3.
+    """
+    terms = sorted(set(terminals))
+    if len(terms) <= 1:
+        return len(terms)
+    worst = 0
+    for t in terms[:-1]:
+        row = bfs_hops(graph, t)
+        for other in terms:
+            if other == t:
+                continue
+            d = row[other]
+            if d == UNREACHABLE:
+                return graph.num_nodes + 1  # impossible to connect
+            worst = max(worst, d)
+    return max(len(terms), worst + 1)

@@ -1,0 +1,43 @@
+"""The matroid abstraction (Section II-E).
+
+A matroid ``M = (N, I)`` is a ground set ``N`` with a family ``I`` of
+"independent" subsets satisfying (i) the empty set is independent, (ii) the
+hereditary property, and (iii) the augmentation property.  Implementations
+only need an independence oracle; the property tests in
+``tests/test_matroid_axioms.py`` verify all three axioms hold for every
+concrete matroid in this package.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Hashable, Iterable
+
+
+class Matroid(ABC):
+    """Independence-oracle interface."""
+
+    @abstractmethod
+    def ground_set(self) -> frozenset:
+        """The finite ground set ``N``."""
+
+    @abstractmethod
+    def is_independent(self, subset: Iterable) -> bool:
+        """Whether ``subset`` (⊆ N) is independent."""
+
+    def can_extend(self, independent_subset: Iterable, element: Hashable) -> bool:
+        """Whether ``independent_subset ∪ {element}`` stays independent.
+
+        Concrete matroids may override with an incremental check; the
+        default re-tests the union.
+        """
+        subset = set(independent_subset)
+        if element in subset:
+            return False
+        subset.add(element)
+        return self.is_independent(subset)
+
+    def rank_upper_bound(self) -> int:
+        """An upper bound on the matroid's rank (size of the largest
+        independent set); defaults to |N|."""
+        return len(self.ground_set())

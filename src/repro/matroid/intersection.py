@@ -1,0 +1,24 @@
+"""Matroid-intersection helpers.
+
+The maximisation in Section III-E is over the intersection of ρ = 2
+matroids; the only operation the greedy needs is a joint independence
+oracle, provided here.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+
+
+def independent_in_all(matroids: Sequence, subset: Iterable) -> bool:
+    """Whether ``subset`` is independent in every matroid."""
+    elements = set(subset)
+    return all(m.is_independent(elements) for m in matroids)
+
+
+def can_extend_all(
+    matroids: Sequence, independent_subset: Iterable, element: Hashable
+) -> bool:
+    """Whether adding ``element`` preserves independence in every matroid."""
+    subset = set(independent_subset)
+    return all(m.can_extend(subset, element) for m in matroids)

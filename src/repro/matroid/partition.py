@@ -1,0 +1,71 @@
+"""Partition matroid ``M1`` (Section III-B).
+
+Ground set: ``N = X × V``, all (UAV, hovering-location) pairs.  A subset is
+independent iff no UAV appears in more than one pair — each UAV can be
+deployed at at most one location.  This is the partition matroid whose
+blocks are the per-UAV slices of ``N`` with block capacity 1 (generalised
+here to arbitrary capacities, which also lets tests exercise the axioms on
+richer instances).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Callable, Hashable, Iterable
+
+from repro.matroid.base import Matroid
+
+
+class PartitionMatroid(Matroid):
+    """Elements partitioned into blocks; at most ``capacity(block)`` elements
+    of each block may be selected."""
+
+    def __init__(
+        self,
+        ground: Iterable,
+        block_of: Callable,
+        capacity: "int | dict" = 1,
+    ) -> None:
+        self._ground = frozenset(ground)
+        self._block_of = block_of
+        if isinstance(capacity, int):
+            if capacity < 0:
+                raise ValueError(f"capacity must be non-negative, got {capacity}")
+            self._capacity = {self._block_of(e): capacity for e in self._ground}
+        else:
+            self._capacity = dict(capacity)
+        for e in self._ground:
+            block = self._block_of(e)
+            if block not in self._capacity:
+                raise ValueError(f"no capacity given for block {block!r}")
+
+    @classmethod
+    def uav_placement(cls, num_uavs: int, num_locations: int) -> "PartitionMatroid":
+        """The paper's ``M1``: pairs (k, v_j), each UAV k used at most once."""
+        ground = [
+            (k, j) for k in range(num_uavs) for j in range(num_locations)
+        ]
+        return cls(ground, block_of=lambda pair: pair[0], capacity=1)
+
+    def ground_set(self) -> frozenset:
+        return self._ground
+
+    def is_independent(self, subset: Iterable) -> bool:
+        elements = set(subset)
+        if not elements <= self._ground:
+            return False
+        counts = Counter(self._block_of(e) for e in elements)
+        return all(c <= self._capacity[b] for b, c in counts.items())
+
+    def can_extend(self, independent_subset: Iterable, element: Hashable) -> bool:
+        if element not in self._ground:
+            return False
+        subset = set(independent_subset)
+        if element in subset:
+            return False
+        block = self._block_of(element)
+        used = sum(1 for e in subset if self._block_of(e) == block)
+        return used + 1 <= self._capacity[block]
+
+    def rank_upper_bound(self) -> int:
+        return sum(self._capacity.values())

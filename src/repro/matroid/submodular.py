@@ -1,0 +1,90 @@
+"""The coverage set function ``f(A)`` (Section III-B) and the generic
+Fisher–Nemhauser–Wolsey greedy.
+
+``f(A)`` maps a set of (UAV, location) pairs to the number of users served
+by an *optimal* assignment (Section II-D), which is monotone submodular
+(following Megiddo [24]).  The generic greedy here is the textbook FNW
+procedure over an arbitrary ground set under matroid constraints; the
+production path in :mod:`repro.core.greedy` is a specialised, much faster
+equivalent, and the two are cross-checked in tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.flow.bipartite import IncrementalAssignment
+from repro.matroid.intersection import can_extend_all
+from repro.network.coverage import CoverageGraph
+
+
+class CoverageObjective:
+    """Evaluates ``f(A)`` = max users served by the UAV placements in ``A``.
+
+    Elements of ``A`` are pairs ``(uav_index, location_index)``.  Each call
+    solves the Section II-D maximum assignment exactly (incremental
+    augmenting paths reach the true maximum; see repro.flow.bipartite).
+    """
+
+    def __init__(self, graph: CoverageGraph, fleet: Sequence) -> None:
+        self.graph = graph
+        self.fleet = list(fleet)
+
+    def value(self, pairs: Iterable) -> int:
+        engine = IncrementalAssignment(self.graph.num_users)
+        for k, j in pairs:
+            uav = self.fleet[k]
+            engine.open((k, j), self.graph.coverable_users(j, uav), uav.capacity)
+        return engine.served_count
+
+    def assignment(self, pairs: Iterable) -> dict:
+        """Optimal assignment ``user -> uav_index`` for the placements."""
+        engine = IncrementalAssignment(self.graph.num_users)
+        for k, j in pairs:
+            uav = self.fleet[k]
+            engine.open((k, j), self.graph.coverable_users(j, uav), uav.capacity)
+        return {
+            user: station[0]
+            for station, users in engine.assignment().items()
+            for user in users
+        }
+
+    def __call__(self, pairs: Iterable) -> int:
+        return self.value(pairs)
+
+
+def fnw_greedy(
+    ground_set: Iterable,
+    objective: Callable,
+    matroids: Sequence,
+    max_size: "int | None" = None,
+) -> list:
+    """Textbook FNW greedy: repeatedly add the feasible element with the
+    largest marginal gain until no feasible element improves the objective.
+
+    Achieves a 1/(ρ+1) approximation for monotone submodular ``objective``
+    under ρ matroid constraints.  ``objective`` takes a list of elements and
+    returns a number; this generic version re-evaluates it per candidate, so
+    use it only for small instances, tests, and the ``pair_greedy`` ablation.
+    """
+    universe = list(ground_set)
+    chosen: list = []
+    current_value = objective(chosen)
+    limit = max_size if max_size is not None else len(universe)
+    while len(chosen) < limit:
+        best_gain = 0
+        best_element = None
+        for element in universe:
+            if element in chosen:
+                continue
+            if not can_extend_all(matroids, chosen, element):
+                continue
+            gain = objective(chosen + [element]) - current_value
+            if gain > best_gain:
+                best_gain = gain
+                best_element = element
+        if best_element is None:
+            break
+        chosen.append(best_element)
+        current_value += best_gain
+    return chosen

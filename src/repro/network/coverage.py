@@ -1,0 +1,200 @@
+"""The coverage graph ``G = (U ∪ V, E)`` of Section II-C.
+
+``U`` is the set of ground users, ``V`` the set of candidate hovering
+locations.  Location-location edges exist within the UAV-to-UAV range
+``R_uav``; user-location edges exist when the user is within the UAV's
+coverage radius ``R_user^k`` *and* its achievable rate meets the user's
+minimum requirement.  Because the latter depends on the UAV's radio, the
+coverage sets are exposed per (location, UAV) and cached by radio signature.
+
+This object is the single substrate every placement algorithm (approAlg and
+all baselines) consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channel.atg import AirToGroundChannel
+from repro.channel.constants import DEFAULT_BANDWIDTH_HZ
+from repro.channel.link import noise_power_dbm, shannon_rate_bps
+from repro.channel.presets import URBAN
+from repro.geometry.grid import SpatialHash
+from repro.geometry.point import Point3D
+from repro.graphs.adjacency import Graph
+from repro.graphs.bfs import (
+    UNREACHABLE,
+    bfs_hops,
+    is_connected,
+    multi_source_hops,
+)
+from repro.graphs.steiner import steiner_connect
+from repro.network.uav import UAV
+from repro.network.users import User
+
+
+class CoverageGraph:
+    """Users, candidate locations, radio model and all derived structure."""
+
+    def __init__(
+        self,
+        users: list,
+        locations: list,
+        uav_range_m: float,
+        channel: "AirToGroundChannel | None" = None,
+        bandwidth_hz: float = DEFAULT_BANDWIDTH_HZ,
+        noise_figure_db: float = 7.0,
+    ) -> None:
+        if uav_range_m <= 0:
+            raise ValueError(f"UAV range must be positive, got {uav_range_m}")
+        for loc in locations:
+            if loc.z <= 0:
+                raise ValueError(
+                    f"hovering locations must be airborne (z > 0), got {loc}"
+                )
+        self.users: list = list(users)
+        self.locations: list = list(locations)
+        self.uav_range_m = uav_range_m
+        self.channel = channel if channel is not None else AirToGroundChannel(URBAN)
+        self.bandwidth_hz = bandwidth_hz
+        self.noise_dbm = noise_power_dbm(bandwidth_hz, noise_figure_db)
+
+        self._user_xy = np.array(
+            [[u.position.x, u.position.y] for u in self.users], dtype=float
+        ).reshape(len(self.users), 2)
+        self._user_min_rate = np.array(
+            [u.min_rate_bps for u in self.users], dtype=float
+        )
+        self._user_hash = SpatialHash(
+            [u.ground for u in self.users], cell_size=max(uav_range_m, 1.0)
+        ) if self.users else None
+
+        self.location_graph = self._build_location_graph()
+        self._coverage_cache: dict = {}
+        self._hop_cache: dict = {}
+
+    # -- construction -------------------------------------------------------
+
+    def _build_location_graph(self) -> Graph:
+        graph = Graph(len(self.locations))
+        if not self.locations:
+            return graph
+        loc_hash = SpatialHash(
+            [p.ground() for p in self.locations], cell_size=self.uav_range_m
+        )
+        for j, loc in enumerate(self.locations):
+            for k in loc_hash.query_disc(loc.ground(), self.uav_range_m):
+                if k > j and self.locations[j].distance_to(self.locations[k]) <= self.uav_range_m:
+                    graph.add_edge(j, k)
+        return graph
+
+    # -- sizes ---------------------------------------------------------------
+
+    @property
+    def num_users(self) -> int:
+        return len(self.users)
+
+    @property
+    def num_locations(self) -> int:
+        return len(self.locations)
+
+    # -- link evaluation -----------------------------------------------------
+
+    def rate_bps(self, user_index: int, loc_index: int, uav: UAV) -> float:
+        """Exact achievable rate of one user from a UAV at one location."""
+        user: User = self.users[user_index]
+        loc: Point3D = self.locations[loc_index]
+        pl = self.channel.pathloss_db(user.position, loc)
+        snr = 10.0 ** (
+            (uav.tx_power_dbm + uav.antenna_gain_db - pl - self.noise_dbm) / 10.0
+        )
+        return shannon_rate_bps(snr, self.bandwidth_hz)
+
+    def _radio_key(self, uav: UAV) -> tuple:
+        return (uav.user_range_m, uav.tx_power_dbm, uav.antenna_gain_db)
+
+    def coverable_users(self, loc_index: int, uav: UAV) -> list:
+        """Users the given UAV could serve from ``loc_index``: within
+        ``R_user^k`` and with rate >= their minimum requirement.  Cached per
+        (location, radio signature)."""
+        key = (loc_index, self._radio_key(uav))
+        cached = self._coverage_cache.get(key)
+        if cached is not None:
+            return cached
+        loc: Point3D = self.locations[loc_index]
+        if self._user_hash is None:
+            self._coverage_cache[key] = []
+            return []
+        # Range pre-filter on ground projection, then exact 3-D distance and
+        # rate check, vectorised over the candidate users.
+        max_ground = uav.user_range_m  # 3-D range implies ground range <= it
+        candidates = self._user_hash.query_disc(loc.ground(), max_ground)
+        if not candidates:
+            self._coverage_cache[key] = []
+            return []
+        idx = np.array(sorted(candidates), dtype=int)
+        dx = self._user_xy[idx, 0] - loc.x
+        dy = self._user_xy[idx, 1] - loc.y
+        horiz = np.hypot(dx, dy)
+        dist3 = np.hypot(horiz, loc.z)
+        in_range = dist3 <= uav.user_range_m
+        idx = idx[in_range]
+        if idx.size == 0:
+            self._coverage_cache[key] = []
+            return []
+        horiz = horiz[in_range]
+        pl = self.channel.pathloss_vector_db(horiz, loc.z)
+        snr_db_arr = uav.tx_power_dbm + uav.antenna_gain_db - pl - self.noise_dbm
+        rates = self.bandwidth_hz * np.log2(1.0 + 10.0 ** (snr_db_arr / 10.0))
+        ok = rates >= self._user_min_rate[idx]
+        covered = [int(i) for i in idx[ok]]
+        self._coverage_cache[key] = covered
+        return covered
+
+    def coverable_array(self, loc_index: int, uav: UAV):
+        """:meth:`coverable_users` as a cached numpy int array (used by the
+        vectorised gain bounds in the greedy)."""
+        key = (loc_index, self._radio_key(uav), "np")
+        cached = self._coverage_cache.get(key)
+        if cached is None:
+            cached = np.asarray(
+                self.coverable_users(loc_index, uav), dtype=np.int64
+            )
+            self._coverage_cache[key] = cached
+        return cached
+
+    def coverage_count(self, loc_index: int, uav: UAV) -> int:
+        return len(self.coverable_users(loc_index, uav))
+
+    # -- hop structure over the location graph -------------------------------
+
+    def hops_from(self, loc_index: int) -> list:
+        """BFS hop distances from one location to all locations (cached)."""
+        row = self._hop_cache.get(loc_index)
+        if row is None:
+            row = bfs_hops(self.location_graph, loc_index)
+            self._hop_cache[loc_index] = row
+        return row
+
+    def hops_between(self, a: int, b: int) -> int:
+        """Hop distance between two locations (-1 if disconnected)."""
+        return self.hops_from(a)[b]
+
+    def hops_to_set(self, sources: list) -> list:
+        """Hop distance from each location to the nearest of ``sources``
+        (the ``d_l`` of Section III-C)."""
+        return multi_source_hops(self.location_graph, sources)
+
+    def locations_connected(self, loc_indices: list) -> bool:
+        """Whether the induced location subgraph is connected."""
+        return is_connected(self.location_graph, loc_indices)
+
+    def connect_terminals(self, terminals: list) -> "tuple[set, list]":
+        """Section III-E connection step: MST over hop metric, expanded to
+        shortest paths.  Returns (node set of G_j, expanded tree edges)."""
+        return steiner_connect(self.location_graph, terminals)
+
+    def reachable_from(self, loc_index: int) -> list:
+        """All locations in the same connected component as ``loc_index``."""
+        row = self.hops_from(loc_index)
+        return [j for j, d in enumerate(row) if d != UNREACHABLE]

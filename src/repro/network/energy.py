@@ -1,0 +1,102 @@
+"""Energy / endurance model (extension beyond the paper, see DESIGN.md).
+
+The paper motivates heterogeneity partly through battery capacities but
+never uses them; this module turns each UAV's battery into a mission
+endurance estimate so deployments can be checked against the mission
+duration (e.g. rotating fleets through the 72 golden hours).
+
+Hover power uses the standard momentum-theory induced-power formula
+
+    P_hover = (m g)^(3/2) / sqrt(2 rho A) / eta
+
+(m = all-up mass, A = total rotor disk area, rho = air density, eta =
+propulsive efficiency), plus the base-station payload power: the radio PA
+(transmit power over PA efficiency) and a constant compute/avionics draw.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.network.deployment import Deployment
+from repro.network.uav import UAV
+
+GRAVITY = 9.81
+AIR_DENSITY = 1.225  # kg/m^3 at sea level
+
+
+def dbm_to_watts(dbm: float) -> float:
+    """Convert dBm to watts: 30 dBm = 1 W."""
+    return 10.0 ** ((dbm - 30.0) / 10.0)
+
+
+@dataclass(frozen=True, slots=True)
+class EnergyModel:
+    """Physical parameters for endurance estimation.
+
+    Defaults approximate a quadrotor in the Matrice 300 class carrying a
+    lightweight LTE base station.
+    """
+
+    airframe_mass_kg: float = 6.3
+    payload_mass_kg: float = 2.5
+    rotor_disk_area_m2: float = 1.13   # four ~0.6 m props
+    propulsive_efficiency: float = 0.70
+    pa_efficiency: float = 0.30        # radio power amplifier
+    avionics_power_w: float = 25.0     # SkyCore compute + sensors
+
+    def __post_init__(self) -> None:
+        if self.airframe_mass_kg <= 0 or self.payload_mass_kg < 0:
+            raise ValueError("masses must be positive (payload >= 0)")
+        if self.rotor_disk_area_m2 <= 0:
+            raise ValueError("rotor disk area must be positive")
+        if not (0 < self.propulsive_efficiency <= 1):
+            raise ValueError("propulsive efficiency must be in (0, 1]")
+        if not (0 < self.pa_efficiency <= 1):
+            raise ValueError("PA efficiency must be in (0, 1]")
+        if self.avionics_power_w < 0:
+            raise ValueError("avionics power must be non-negative")
+
+    @property
+    def total_mass_kg(self) -> float:
+        return self.airframe_mass_kg + self.payload_mass_kg
+
+    def hover_power_w(self) -> float:
+        """Induced hover power for the all-up mass."""
+        thrust = self.total_mass_kg * GRAVITY
+        ideal = thrust ** 1.5 / math.sqrt(2.0 * AIR_DENSITY * self.rotor_disk_area_m2)
+        return ideal / self.propulsive_efficiency
+
+    def radio_power_w(self, uav: UAV) -> float:
+        """DC power of the base-station radio at full transmit power."""
+        return dbm_to_watts(uav.tx_power_dbm) / self.pa_efficiency
+
+    def total_power_w(self, uav: UAV) -> float:
+        return self.hover_power_w() + self.radio_power_w(uav) + self.avionics_power_w
+
+    def endurance_s(self, uav: UAV) -> float:
+        """Hover endurance of one UAV in seconds."""
+        return uav.battery_wh * 3600.0 / self.total_power_w(uav)
+
+
+def fleet_endurance_s(
+    fleet: list, deployment: Deployment, model: "EnergyModel | None" = None
+) -> dict:
+    """Per-deployed-UAV endurance in seconds."""
+    model = model if model is not None else EnergyModel()
+    return {k: model.endurance_s(fleet[k]) for k in deployment.placements}
+
+
+def mission_endurance_s(
+    fleet: list, deployment: Deployment, model: "EnergyModel | None" = None
+) -> float:
+    """Endurance of the *network*: the first UAV to land breaks either
+    coverage or connectivity, so the mission endurance is the minimum.
+
+    Returns ``inf`` for an empty deployment (nothing to keep aloft).
+    """
+    per_uav = fleet_endurance_s(fleet, deployment, model)
+    if not per_uav:
+        return math.inf
+    return min(per_uav.values())

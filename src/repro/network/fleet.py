@@ -1,0 +1,114 @@
+"""Fleet builders for heterogeneous and homogeneous UAV fleets.
+
+The evaluation (Section IV-A) draws each UAV's service capacity uniformly
+from ``[C_min, C_max] = [50, 300]``.  We additionally scale transmission
+power mildly with capacity — a stronger base station is the *reason* a UAV
+can serve more users — which keeps the model self-consistent without
+changing the experiment (user radii stay the paper's fixed ``R_user``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network.uav import MATRICE_300, MATRICE_600, UAV, UAVModel
+from repro.util.rng import ensure_rng
+
+
+def heterogeneous_fleet(
+    count: int,
+    capacity_min: int = 50,
+    capacity_max: int = 300,
+    user_range_m: float = 500.0,
+    heterogeneous_ranges: bool = False,
+    seed: "int | np.random.Generator | None" = None,
+) -> list:
+    """Fleet of ``count`` UAVs with capacities uniform in
+    ``[capacity_min, capacity_max]`` (inclusive), per Section IV-A.
+
+    With ``heterogeneous_ranges`` the coverage radii ``R_user^k`` also
+    differ per UAV (Section II-B allows this: different transmit powers
+    and antenna gains give different radii): a UAV's radius scales from
+    80% of ``user_range_m`` for the weakest base station up to 100% for
+    the strongest.  The paper's evaluation uses a single radius, so this
+    is off by default.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if not (0 <= capacity_min <= capacity_max):
+        raise ValueError(
+            f"need 0 <= capacity_min <= capacity_max, got "
+            f"[{capacity_min}, {capacity_max}]"
+        )
+    rng = ensure_rng(seed)
+    capacities = rng.integers(capacity_min, capacity_max + 1, size=count)
+    fleet = []
+    span = max(1, capacity_max - capacity_min)
+    for k, cap in enumerate(capacities):
+        strength = (int(cap) - capacity_min) / span
+        radius = (
+            user_range_m * (0.8 + 0.2 * strength)
+            if heterogeneous_ranges
+            else user_range_m
+        )
+        fleet.append(
+            UAV(
+                capacity=int(cap),
+                tx_power_dbm=34.0 + 4.0 * strength,
+                antenna_gain_db=3.0 + 2.0 * strength,
+                user_range_m=radius,
+                battery_wh=274.0 + 326.0 * strength,
+                name=f"uav-{k}",
+            )
+        )
+    return fleet
+
+
+def homogeneous_fleet(
+    count: int, capacity: int = 175, user_range_m: float = 500.0
+) -> list:
+    """Fleet of identical UAVs (what the baselines were designed for)."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return [
+        UAV(capacity=capacity, user_range_m=user_range_m, name=f"uav-{k}")
+        for k in range(count)
+    ]
+
+
+def fleet_from_models(
+    counts: "dict[str, int] | None" = None,
+    seed: "int | np.random.Generator | None" = None,
+) -> list:
+    """Fleet mixing the paper's motivating hardware models.
+
+    ``counts`` maps model name ("M600"/"M300") to the number of that model;
+    defaults to one M600 and three M300 (the Fig. 1 scenario).
+    """
+    models: dict = {m.name: m for m in (MATRICE_600, MATRICE_300)}
+    if counts is None:
+        counts = {"M600": 1, "M300": 3}
+    rng = ensure_rng(seed)
+    fleet = []
+    k = 0
+    for name, count in counts.items():
+        if name not in models:
+            known = ", ".join(sorted(models))
+            raise KeyError(f"unknown UAV model {name!r}; known: {known}")
+        if count < 0:
+            raise ValueError(f"count for {name!r} must be non-negative")
+        model: UAVModel = models[name]
+        lo, hi = model.capacity_range
+        for _ in range(count):
+            fleet.append(
+                UAV(
+                    capacity=int(rng.integers(lo, hi + 1)),
+                    tx_power_dbm=model.tx_power_dbm,
+                    antenna_gain_db=model.antenna_gain_db,
+                    user_range_m=model.user_range_m,
+                    battery_wh=model.battery_wh,
+                    name=f"{model.name.lower()}-{k}",
+                )
+            )
+            k += 1
+    return fleet

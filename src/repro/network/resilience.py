@@ -1,0 +1,319 @@
+"""Deployment resilience analysis (extension; motivated by the paper's
+disaster setting — a UAV can fail, run out of battery, or be recalled, and
+"the data from the users served by one UAV may need to be sent to the
+users served by another UAV", so connectivity losses are service losses).
+
+For a deployment this module reports, per single-UAV failure:
+
+* whether the failure splits the remaining UAV network (the failed UAV's
+  location is a cut vertex / articulation point of the induced subgraph),
+* how many users remain served afterwards, assuming the operator keeps
+  only the largest connected remnant online and re-assigns users optimally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.assignment import optimal_assignment
+from repro.core.problem import ProblemInstance
+from repro.graphs.adjacency import Graph
+from repro.network.deployment import Deployment
+
+
+def articulation_points(graph: Graph, nodes: list) -> set:
+    """Articulation points of the subgraph induced by ``nodes``.
+
+    Iterative Tarjan low-link computation (no recursion: deployments can
+    be long chains).  Returns original node ids whose removal increases
+    the number of connected components among the remaining nodes.
+    """
+    node_set = set(nodes)
+    index = {v: i for i, v in enumerate(sorted(node_set))}
+    n = len(index)
+    adj: list = [[] for _ in range(n)]
+    for v in node_set:
+        for w in graph.neighbours(v):
+            if w in node_set:
+                adj[index[v]].append(index[w])
+
+    disc = [-1] * n
+    low = [0] * n
+    parent = [-1] * n
+    is_cut = [False] * n
+    timer = 0
+    for root in range(n):
+        if disc[root] != -1:
+            continue
+        root_children = 0
+        stack = [(root, 0)]
+        disc[root] = low[root] = timer
+        timer += 1
+        while stack:
+            v, edge_idx = stack[-1]
+            if edge_idx < len(adj[v]):
+                stack[-1] = (v, edge_idx + 1)
+                w = adj[v][edge_idx]
+                if disc[w] == -1:
+                    parent[w] = v
+                    if v == root:
+                        root_children += 1
+                    disc[w] = low[w] = timer
+                    timer += 1
+                    stack.append((w, 0))
+                elif w != parent[v]:
+                    low[v] = min(low[v], disc[w])
+            else:
+                stack.pop()
+                p = parent[v]
+                if p != -1:
+                    low[p] = min(low[p], low[v])
+                    if p != root and low[v] >= disc[p]:
+                        is_cut[p] = True
+        if root_children > 1:
+            is_cut[root] = True
+
+    reverse = {i: v for v, i in index.items()}
+    return {reverse[i] for i in range(n) if is_cut[i]}
+
+
+@dataclass(frozen=True)
+class FailureImpact:
+    """Impact of one UAV failing."""
+
+    uav_index: int
+    location: int
+    splits_network: bool
+    surviving_uavs: int       # UAVs still online (largest remnant)
+    served_after: int
+    served_lost: int
+
+
+def _largest_remnant(graph: Graph, nodes: list) -> list:
+    """Largest connected component among ``nodes`` in ``graph``."""
+    remaining = set(nodes)
+    best: list = []
+    seen: set = set()
+    for start in sorted(remaining):
+        if start in seen:
+            continue
+        component = [start]
+        seen.add(start)
+        queue = [start]
+        while queue:
+            v = queue.pop()
+            for w in graph.neighbours(v):
+                if w in remaining and w not in seen:
+                    seen.add(w)
+                    component.append(w)
+                    queue.append(w)
+        if len(component) > len(best):
+            best = component
+    return best
+
+
+def single_failure_impacts(
+    problem: ProblemInstance, deployment: Deployment
+) -> list:
+    """Impact of each single-UAV failure, sorted by users lost (worst
+    first).  The operator policy modelled: the largest connected remnant
+    stays online; stranded UAVs (disconnected from it) stop serving."""
+    graph = problem.graph
+    base_served = optimal_assignment(
+        graph, problem.fleet, deployment.placements
+    ).served_count
+    location_graph = graph.location_graph
+    locations = deployment.locations_used()
+    cuts = articulation_points(location_graph, locations)
+
+    impacts = []
+    for failed_uav, failed_loc in sorted(deployment.placements.items()):
+        rest = [loc for loc in locations if loc != failed_loc]
+        remnant = set(_largest_remnant(location_graph, rest)) if rest else set()
+        placements = {
+            k: loc
+            for k, loc in deployment.placements.items()
+            if loc in remnant
+        }
+        served_after = optimal_assignment(
+            graph, problem.fleet, placements
+        ).served_count
+        impacts.append(
+            FailureImpact(
+                uav_index=failed_uav,
+                location=failed_loc,
+                splits_network=failed_loc in cuts,
+                surviving_uavs=len(placements),
+                served_after=served_after,
+                served_lost=base_served - served_after,
+            )
+        )
+    impacts.sort(key=lambda fi: (-fi.served_lost, fi.uav_index))
+    return impacts
+
+
+def worst_single_failure(
+    problem: ProblemInstance, deployment: Deployment
+) -> "FailureImpact | None":
+    """The failure losing the most users, or None for empty deployments."""
+    impacts = single_failure_impacts(problem, deployment)
+    return impacts[0] if impacts else None
+
+
+@dataclass
+class HardenResult:
+    """Outcome of a hardening pass."""
+
+    deployment: Deployment
+    added: list          # [(uav_index, location)] redundancy relays added
+    cut_vertices_before: int
+    cut_vertices_after: int
+
+
+def harden(
+    problem: ProblemInstance,
+    deployment: Deployment,
+    max_extra: "int | None" = None,
+) -> HardenResult:
+    """Spend spare (undeployed) UAVs on redundancy relays that bypass
+    articulation points.
+
+    Greedy: while the network has a cut vertex and spares remain, remove
+    the worst cut vertex conceptually and find the shortest bypass — a
+    path through unoccupied locations (never through the cut vertex)
+    joining two of the components it leaves behind.  The bypass's
+    unoccupied nodes are staffed with spares (largest capacity first), so
+    if that UAV fails the pieces stay connected.  Stops when the network
+    is biconnected (no cut vertices), spares run out, or no bypass exists
+    (e.g. a pure line of candidate locations).
+
+    The final assignment is re-optimised, so hardening can only increase
+    served users.
+    """
+    graph = problem.graph
+    adjacency = graph.location_graph
+    placements = dict(deployment.placements)
+    spares = sorted(
+        (k for k in range(problem.num_uavs) if k not in placements),
+        key=lambda k: (-problem.fleet[k].capacity, k),
+    )
+    if max_extra is not None:
+        if max_extra < 0:
+            raise ValueError(f"max_extra must be non-negative, got {max_extra}")
+        spares = spares[:max_extra]
+
+    cuts_before = len(
+        articulation_points(adjacency, sorted(set(placements.values())))
+    )
+    added: list = []
+    while spares:
+        occupied = sorted(set(placements.values()))
+        cuts = articulation_points(adjacency, occupied)
+        if not cuts:
+            break
+        # Worst cut vertex by users lost if it fails.
+        tmp = Deployment(placements=placements)
+        impacts = single_failure_impacts(problem, tmp)
+        worst = next(
+            (fi for fi in impacts if fi.location in cuts), None
+        )
+        if worst is None:
+            break
+        remaining = [loc for loc in occupied if loc != worst.location]
+        components = _components_among(adjacency, remaining)
+        bypass = _shortest_bypass(
+            adjacency, components, set(occupied), worst.location,
+            max_len=len(spares),
+        )
+        if bypass is None:
+            break
+        for loc in bypass:
+            k = spares.pop(0)
+            placements[k] = loc
+            added.append((k, loc))
+
+    final = optimal_assignment(graph, problem.fleet, placements)
+    cuts_after = len(
+        articulation_points(adjacency, sorted(set(placements.values())))
+    )
+    return HardenResult(
+        deployment=final,
+        added=added,
+        cut_vertices_before=cuts_before,
+        cut_vertices_after=cuts_after,
+    )
+
+
+def _shortest_bypass(
+    graph: Graph,
+    components: list,
+    occupied: set,
+    cut_vertex: int,
+    max_len: int,
+) -> "list | None":
+    """Shortest list of unoccupied locations whose staffing joins two of
+    ``components`` without using ``cut_vertex``.
+
+    BFS from the first component through unoccupied non-cut nodes until
+    any other component is reached.  Returns the unoccupied intermediate
+    nodes (possibly empty if two components are directly adjacent, which
+    cannot happen right after a cut split but is handled for safety), or
+    ``None`` if no bypass of length ``<= max_len`` exists.
+    """
+    if len(components) < 2:
+        return None
+    component_of = {}
+    for ci, comp in enumerate(components):
+        for v in comp:
+            component_of[v] = ci
+
+    from collections import deque
+
+    # Multi-source BFS from component 0; traverse unoccupied nodes.
+    parent: dict = {}
+    queue: deque = deque()
+    for v in components[0]:
+        parent[v] = None
+        queue.append(v)
+    while queue:
+        v = queue.popleft()
+        for w in graph.neighbours(v):
+            if w == cut_vertex or w in parent:
+                continue
+            if w in component_of and component_of[w] != 0:
+                # Reached another component: walk back collecting the
+                # unoccupied intermediates.
+                path = []
+                node = v
+                while node is not None and node not in components[0]:
+                    path.append(node)
+                    node = parent[node]
+                path = [x for x in reversed(path) if x not in occupied]
+                return path if len(path) <= max_len else None
+            if w in occupied:
+                continue  # other occupied nodes outside components: skip
+            parent[w] = v
+            queue.append(w)
+    return None
+
+
+def _components_among(graph: Graph, nodes: list) -> list:
+    """Connected components of the induced subgraph, as sets."""
+    remaining = set(nodes)
+    components = []
+    seen: set = set()
+    for start in sorted(remaining):
+        if start in seen:
+            continue
+        comp = {start}
+        seen.add(start)
+        queue = [start]
+        while queue:
+            v = queue.pop()
+            for w in graph.neighbours(v):
+                if w in remaining and w not in seen:
+                    seen.add(w)
+                    comp.add(w)
+                    queue.append(w)
+        components.append(comp)
+    return components

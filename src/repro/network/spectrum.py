@@ -1,0 +1,93 @@
+"""Channel allocation across the UAV network (extension).
+
+The interference audit (:mod:`repro.channel.interference`) shows what
+reuse-1 operation costs; the practical mitigation is to give mutually
+interfering UAVs different channels.  This module colours the deployment's
+"interference graph" — UAVs whose cells are close enough that their
+downlinks meaningfully couple — with a greedy Welsh-Powell colouring
+(largest degree first), written from scratch.
+
+The resulting channel map plugs back into the audit: only same-channel
+UAVs interfere, so a handful of channels recovers near-SNR link quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.problem import ProblemInstance
+from repro.network.deployment import Deployment
+
+
+def interference_graph(
+    problem: ProblemInstance,
+    deployment: Deployment,
+    coupling_range_m: "float | None" = None,
+) -> dict:
+    """Adjacency (uav -> set of uavs) of meaningfully coupled stations.
+
+    Two deployed UAVs couple when their hovering locations are within
+    ``coupling_range_m`` (default: twice the largest user radius — beyond
+    that, an interferer is farther from any victim user than twice the
+    serving distance and its contribution is marginal).
+    """
+    if coupling_range_m is None:
+        radii = [problem.fleet[k].user_range_m for k in deployment.placements]
+        coupling_range_m = 2.0 * max(radii, default=0.0)
+    if coupling_range_m < 0:
+        raise ValueError("coupling range must be non-negative")
+    graph = problem.graph
+    uavs = sorted(deployment.placements)
+    adjacency: dict = {k: set() for k in uavs}
+    for i, a in enumerate(uavs):
+        loc_a = graph.locations[deployment.placements[a]]
+        for b in uavs[i + 1:]:
+            loc_b = graph.locations[deployment.placements[b]]
+            if loc_a.distance_to(loc_b) <= coupling_range_m:
+                adjacency[a].add(b)
+                adjacency[b].add(a)
+    return adjacency
+
+
+@dataclass
+class ChannelPlan:
+    """A frequency plan for the deployment."""
+
+    channels: dict = field(default_factory=dict)  # uav -> channel id (0-based)
+    num_channels: int = 0
+
+    def co_channel(self, a: int, b: int) -> bool:
+        return self.channels.get(a) == self.channels.get(b)
+
+
+def allocate_channels(
+    problem: ProblemInstance,
+    deployment: Deployment,
+    coupling_range_m: "float | None" = None,
+    max_channels: "int | None" = None,
+) -> ChannelPlan:
+    """Welsh-Powell greedy colouring of the interference graph.
+
+    Guaranteed to use at most ``max_degree + 1`` channels.  If
+    ``max_channels`` is given and the greedy needs more, a ``ValueError``
+    is raised (the operator must accept co-channel operation or thin the
+    deployment).
+    """
+    adjacency = interference_graph(problem, deployment, coupling_range_m)
+    order = sorted(adjacency, key=lambda k: (-len(adjacency[k]), k))
+    channels: dict = {}
+    for k in order:
+        used = {channels[n] for n in adjacency[k] if n in channels}
+        channel = 0
+        while channel in used:
+            channel += 1
+        if max_channels is not None and channel >= max_channels:
+            raise ValueError(
+                f"greedy colouring needs more than {max_channels} channels "
+                f"(UAV {k} has {len(used)} coloured neighbours)"
+            )
+        channels[k] = channel
+    return ChannelPlan(
+        channels=channels,
+        num_channels=(max(channels.values()) + 1) if channels else 0,
+    )

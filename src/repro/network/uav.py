@@ -1,0 +1,90 @@
+"""Heterogeneous UAV model (Section II-A).
+
+A UAV carries an LTE/WiFi base station; its payload and battery determine
+the station's computing power, so different UAVs have different service
+capacities ``C_k``, transmission powers ``P_t^k``, antenna gains ``g_t^k``
+and user communication radii ``R_user^k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class UAV:
+    """One UAV-mounted aerial base station.
+
+    Parameters
+    ----------
+    capacity:
+        Service capacity ``C_k``: maximum number of simultaneously served
+        users (paper example: 50..300).
+    tx_power_dbm:
+        Base-station transmission power ``P_t^k`` in dBm.
+    antenna_gain_db:
+        Antenna gain ``g_t^k`` in dB.
+    user_range_m:
+        Communication coverage radius ``R_user^k`` in metres; a user can be
+        served only within this Euclidean distance of the hovering UAV.
+    battery_wh:
+        Battery capacity in watt-hours (informational; heterogeneity in
+        endurance, not used by the coverage objective).
+    name:
+        Human-readable model tag, e.g. "M600" / "M300".
+    """
+
+    capacity: int
+    tx_power_dbm: float = 36.0
+    antenna_gain_db: float = 3.0
+    user_range_m: float = 500.0
+    battery_wh: float = 500.0
+    name: str = "uav"
+
+    def __post_init__(self) -> None:
+        if self.capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {self.capacity}")
+        if self.user_range_m <= 0:
+            raise ValueError(
+                f"user range must be positive, got {self.user_range_m}"
+            )
+        if self.battery_wh <= 0:
+            raise ValueError(f"battery must be positive, got {self.battery_wh}")
+
+
+@dataclass(frozen=True, slots=True)
+class UAVModel:
+    """A purchasable UAV model used by fleet builders.
+
+    Mirrors the paper's motivating hardware: DJI Matrice 600 RTK (larger
+    payload, stronger base station) vs DJI Matrice 300 RTK.
+    """
+
+    name: str
+    max_payload_kg: float
+    capacity_range: tuple
+    tx_power_dbm: float
+    antenna_gain_db: float
+    user_range_m: float
+    battery_wh: float
+
+
+MATRICE_600 = UAVModel(
+    name="M600",
+    max_payload_kg=5.5,
+    capacity_range=(200, 300),
+    tx_power_dbm=38.0,
+    antenna_gain_db=5.0,
+    user_range_m=500.0,
+    battery_wh=600.0,
+)
+
+MATRICE_300 = UAVModel(
+    name="M300",
+    max_payload_kg=2.7,
+    capacity_range=(50, 200),
+    tx_power_dbm=34.0,
+    antenna_gain_db=3.0,
+    user_range_m=500.0,
+    battery_wh=274.0,
+)

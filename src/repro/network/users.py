@@ -1,0 +1,53 @@
+"""Ground users (Section II-A).
+
+Each user sits at ground coordinates ``(x, y, 0)`` and has a minimum data
+rate requirement ``r_min`` (paper example: 2 kbps) that a serving UAV must
+meet.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.geometry.point import Point2D, Point3D
+
+DEFAULT_MIN_RATE_BPS = 2_000.0
+"""Paper's example minimum data rate requirement (2 kbps)."""
+
+
+@dataclass(frozen=True, slots=True)
+class User:
+    """One ground user with a position and a minimum-rate requirement."""
+
+    position: Point3D
+    min_rate_bps: float = DEFAULT_MIN_RATE_BPS
+
+    def __post_init__(self) -> None:
+        if self.position.z != 0.0:
+            raise ValueError(
+                f"users are ground nodes (z = 0), got z = {self.position.z}"
+            )
+        if self.min_rate_bps < 0:
+            raise ValueError(
+                f"min rate must be non-negative, got {self.min_rate_bps}"
+            )
+
+    @property
+    def ground(self) -> Point2D:
+        return self.position.ground()
+
+
+def users_from_points(
+    points: "Iterable[Point2D] | Sequence",
+    min_rate_bps: float = DEFAULT_MIN_RATE_BPS,
+) -> list:
+    """Lift ground points (Point2D or (x, y) pairs) into :class:`User`\\ s."""
+    users = []
+    for p in points:
+        if isinstance(p, Point2D):
+            x, y = p.x, p.y
+        else:
+            x, y = p
+        users.append(User(Point3D(float(x), float(y), 0.0), min_rate_bps))
+    return users

@@ -1,0 +1,93 @@
+"""Independent feasibility validation of deployments (Section II-C's
+constraints (i)-(iii)).
+
+Every algorithm's output in this library — the proposed approximation and
+all baselines — is run through :func:`validate_deployment` in tests; it
+re-derives feasibility from first principles (distances, rates, capacities,
+connectivity) without trusting any cached structure the algorithms used.
+"""
+
+from __future__ import annotations
+
+from repro.network.coverage import CoverageGraph
+from repro.network.deployment import Deployment
+
+
+class ValidationError(AssertionError):
+    """A deployment violates one of the problem's constraints."""
+
+
+def validate_deployment(
+    graph: CoverageGraph,
+    fleet: list,
+    deployment: Deployment,
+    require_connected: bool = True,
+) -> None:
+    """Raise :class:`ValidationError` on any constraint violation.
+
+    Checks, in order: UAV and location indices are valid; at most one UAV
+    per location (enforced structurally by :class:`Deployment`); per-UAV
+    loads within capacity; every served user is within its UAV's coverage
+    radius with an adequate rate; and (optionally) the deployed locations
+    induce a connected UAV-to-UAV graph.
+    """
+    for k, loc in deployment.placements.items():
+        if not (0 <= k < len(fleet)):
+            raise ValidationError(f"UAV index {k} outside fleet of {len(fleet)}")
+        if not (0 <= loc < graph.num_locations):
+            raise ValidationError(
+                f"location index {loc} outside [0, {graph.num_locations})"
+            )
+
+    loads = deployment.loads()
+    for k, load in loads.items():
+        capacity = fleet[k].capacity
+        if load > capacity:
+            raise ValidationError(
+                f"UAV {k} serves {load} users, exceeding capacity {capacity}"
+            )
+
+    for user, k in deployment.assignment.items():
+        if not (0 <= user < graph.num_users):
+            raise ValidationError(
+                f"user index {user} outside [0, {graph.num_users})"
+            )
+        uav = fleet[k]
+        loc_index = deployment.placements[k]
+        distance = graph.users[user].position.distance_to(
+            graph.locations[loc_index]
+        )
+        if distance > uav.user_range_m + 1e-9:
+            raise ValidationError(
+                f"user {user} is {distance:.1f} m from UAV {k}, beyond its "
+                f"range {uav.user_range_m} m"
+            )
+        rate = graph.rate_bps(user, loc_index, uav)
+        required = graph.users[user].min_rate_bps
+        if rate < required - 1e-9:
+            raise ValidationError(
+                f"user {user} gets {rate:.0f} bps from UAV {k}, below its "
+                f"requirement {required:.0f} bps"
+            )
+
+    if require_connected and deployment.num_deployed > 1:
+        locs = deployment.locations_used()
+        if not graph.locations_connected(locs):
+            raise ValidationError(
+                f"deployed locations {locs} do not induce a connected "
+                "UAV network"
+            )
+
+
+def is_feasible(
+    graph: CoverageGraph,
+    fleet: list,
+    deployment: Deployment,
+    require_connected: bool = True,
+) -> bool:
+    """Boolean wrapper around :func:`validate_deployment`."""
+    try:
+        validate_deployment(graph, fleet, deployment, require_connected)
+    except ValidationError:
+        return False
+    return True

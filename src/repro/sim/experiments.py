@@ -1,0 +1,201 @@
+"""Sweep drivers regenerating each figure of Section IV.
+
+* Fig. 4 — served users vs number of UAVs ``K`` (n = 3000, s = 3);
+* Fig. 5 — served users vs number of users ``n`` (K = 20, s = 3);
+* Fig. 6(a) — served users vs parameter ``s`` (n = 3000, K = 20);
+* Fig. 6(b) — running time vs parameter ``s`` (same runs as 6(a)).
+
+Scaling: the authors' machine ran a compiled implementation on a fine
+grid; this pure-Python reproduction defaults to the "bench" scale (coarse
+36-location grid) and restricts approAlg's anchor pool to the
+``max_anchor_candidates`` best-covering locations (see DESIGN.md §3).  The
+sweeps accept overrides to run closer to paper scale when time permits.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.sim.results import SweepResult
+from repro.sim.runner import run_algorithm
+from repro.util.rng import ensure_rng, spawn_rngs
+from repro.workload.scenarios import paper_scenario
+
+PAPER_ALGORITHMS = (
+    "approAlg",
+    "maxThroughput",
+    "MotionCtrl",
+    "MCS",
+    "GreedyAssign",
+)
+
+DEFAULT_ANCHOR_POOL = 10
+
+
+def _appro_params(
+    s: int, max_anchor_candidates: "int | None", gain_mode: str = "fast"
+) -> dict:
+    params: dict = {"s": s, "gain_mode": gain_mode}
+    if max_anchor_candidates is not None:
+        params["max_anchor_candidates"] = max_anchor_candidates
+    return params
+
+
+def _run_point(
+    result: SweepResult,
+    sweep_value: object,
+    problem,
+    algorithms: Sequence,
+    appro_params: dict,
+) -> None:
+    for name in algorithms:
+        params = appro_params if name == "approAlg" else {}
+        result.add(sweep_value, run_algorithm(problem, name, **params))
+
+
+def fig4_sweep(
+    ks: Sequence = (2, 4, 6, 8, 10, 12, 14, 16, 18, 20),
+    num_users: int = 3000,
+    s: int = 3,
+    scale: str = "bench",
+    seed: int = 7,
+    repetitions: int = 1,
+    algorithms: Sequence = PAPER_ALGORITHMS,
+    max_anchor_candidates: "int | None" = DEFAULT_ANCHOR_POOL,
+    gain_mode: str = "fast",
+) -> SweepResult:
+    """Fig. 4: served users vs K.
+
+    Within one repetition the users and the fleet are held fixed: the
+    scenario is drawn once with ``max(ks)`` UAVs and each sweep point uses
+    the first ``K`` of them, so the series isolates the effect of adding
+    UAVs (as the paper's "increasing the number K of UAVs" does).
+    """
+    from repro.core.problem import ProblemInstance
+
+    ks = list(ks)
+    result = SweepResult(name="fig4", sweep_param="K")
+    for rep_rng in spawn_rngs(seed, repetitions):
+        base = paper_scenario(
+            num_users=num_users, num_uavs=max(ks), scale=scale, seed=rep_rng
+        )
+        for k in ks:
+            problem = ProblemInstance(graph=base.graph, fleet=base.fleet[:k])
+            appro = _appro_params(min(s, k), max_anchor_candidates, gain_mode)
+            _run_point(result, k, problem, algorithms, appro)
+    return result
+
+
+def fig5_sweep(
+    ns: Sequence = (1000, 1500, 2000, 2500, 3000),
+    num_uavs: int = 20,
+    s: int = 3,
+    scale: str = "bench",
+    seed: int = 11,
+    repetitions: int = 1,
+    algorithms: Sequence = PAPER_ALGORITHMS,
+    max_anchor_candidates: "int | None" = DEFAULT_ANCHOR_POOL,
+    gain_mode: str = "fast",
+) -> SweepResult:
+    """Fig. 5: served users vs n."""
+    result = SweepResult(name="fig5", sweep_param="n")
+    appro = _appro_params(s, max_anchor_candidates, gain_mode)
+    for rep_rng in spawn_rngs(seed, repetitions):
+        point_rngs = spawn_rngs(rep_rng, len(list(ns)))
+        for n, rng in zip(ns, point_rngs):
+            problem = paper_scenario(
+                num_users=n, num_uavs=num_uavs, scale=scale, seed=rng
+            )
+            _run_point(result, n, problem, algorithms, appro)
+    return result
+
+
+def capacity_spread_sweep(
+    spreads: Sequence = ((175, 175), (125, 225), (50, 300)),
+    num_users: int = 2000,
+    num_uavs: int = 12,
+    s: int = 2,
+    scale: str = "bench",
+    seed: int = 29,
+    max_anchor_candidates: "int | None" = 8,
+    gain_mode: str = "fast",
+) -> SweepResult:
+    """Extended evaluation (ours): served users vs the heterogeneity
+    spread ``[C_min, C_max]`` at (roughly) fixed mean capacity.  Isolates
+    the paper's thesis that a capacity-aware algorithm benefits from
+    spread."""
+    from repro.core.problem import ProblemInstance
+    from repro.network.fleet import heterogeneous_fleet
+
+    result = SweepResult(name="capacity-spread", sweep_param="C range")
+    base = paper_scenario(num_users=num_users, num_uavs=num_uavs,
+                          scale=scale, seed=seed)
+    appro = _appro_params(s, max_anchor_candidates, gain_mode)
+    for lo, hi in spreads:
+        fleet = heterogeneous_fleet(
+            num_uavs, capacity_min=lo, capacity_max=hi, seed=seed
+        )
+        problem = ProblemInstance(graph=base.graph, fleet=fleet)
+        _run_point(result, f"[{lo},{hi}]", problem, ("approAlg",), appro)
+    return result
+
+
+def environment_sweep(
+    environments: Sequence = ("suburban", "urban", "dense-urban",
+                              "highrise-urban"),
+    num_users: int = 1500,
+    num_uavs: int = 10,
+    min_rate_bps: float = 2.5e6,
+    s: int = 2,
+    scale: str = "bench",
+    seed: int = 23,
+    max_anchor_candidates: "int | None" = 8,
+    gain_mode: str = "fast",
+) -> SweepResult:
+    """Extended evaluation (ours): served users vs propagation
+    environment.  A demanding ``min_rate_bps`` (default video-grade) makes
+    the environment matter; the paper's 2 kbps floor never binds."""
+    from repro.workload.fat_tailed import FatTailedWorkload
+    from repro.workload.scenarios import SCALES, build_scenario
+
+    result = SweepResult(name="environment", sweep_param="environment")
+    appro = _appro_params(s, max_anchor_candidates, gain_mode)
+    for env in environments:
+        config = SCALES[scale].with_overrides(
+            num_users=num_users,
+            num_uavs=num_uavs,
+            environment=env,
+            workload=FatTailedWorkload(min_rate_bps=min_rate_bps),
+        )
+        problem = build_scenario(config, seed=seed)
+        _run_point(result, env, problem, ("approAlg",), appro)
+    return result
+
+
+def fig6_sweep(
+    ss: Sequence = (1, 2, 3, 4),
+    num_users: int = 3000,
+    num_uavs: int = 20,
+    scale: str = "bench",
+    seed: int = 13,
+    repetitions: int = 1,
+    algorithms: Sequence = PAPER_ALGORITHMS,
+    max_anchor_candidates: "int | None" = DEFAULT_ANCHOR_POOL,
+    gain_mode: str = "fast",
+) -> SweepResult:
+    """Fig. 6: served users (a) and running time (b) vs s.
+
+    Baselines do not depend on ``s``; the paper still plots them as flat
+    series, so they are re-run at every sweep point (their runtimes feed
+    Fig. 6(b)).
+    """
+    result = SweepResult(name="fig6", sweep_param="s")
+    rng = ensure_rng(seed)
+    for rep_rng in spawn_rngs(rng, repetitions):
+        problem = paper_scenario(
+            num_users=num_users, num_uavs=num_uavs, scale=scale, seed=rep_rng
+        )
+        for s in ss:
+            appro = _appro_params(s, max_anchor_candidates, gain_mode)
+            _run_point(result, s, problem, algorithms, appro)
+    return result

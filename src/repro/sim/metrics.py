@@ -1,0 +1,77 @@
+"""Deployment metrics beyond the served-user objective.
+
+The paper's objective is the number of served users; its closest prior
+work ([37], the maxThroughput baseline) optimises the *sum of data rates*
+instead.  This module computes both, plus load-balance statistics, so the
+two objectives can be compared on any deployment (the tension between
+them is exactly the paper's Section V discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.problem import ProblemInstance
+from repro.network.deployment import Deployment
+
+
+def deployment_throughput_bps(
+    problem: ProblemInstance, deployment: Deployment
+) -> float:
+    """Sum of achievable data rates of all served users (the [37]
+    objective evaluated on this deployment's assignment)."""
+    graph = problem.graph
+    total = 0.0
+    for user, k in deployment.assignment.items():
+        loc = deployment.placements[k]
+        total += graph.rate_bps(user, loc, problem.fleet[k])
+    return total
+
+
+def jain_fairness(values: list) -> float:
+    """Jain's fairness index of a list of non-negative values; 1.0 means
+    perfectly even, 1/n means all mass on one element.  Empty or all-zero
+    input yields 1.0 (trivially fair)."""
+    if not values:
+        return 1.0
+    if any(v < 0 for v in values):
+        raise ValueError("fairness is defined for non-negative values")
+    total = sum(values)
+    if total == 0:
+        return 1.0
+    squares = sum(v * v for v in values)
+    return total * total / (len(values) * squares)
+
+
+@dataclass(frozen=True)
+class DeploymentMetrics:
+    """Summary statistics of one deployment."""
+
+    served: int
+    served_fraction: float
+    throughput_bps: float
+    mean_rate_bps: float
+    capacity_utilisation: float   # served / total deployed capacity
+    load_fairness: float          # Jain index over per-UAV utilisation
+    num_deployed: int
+
+
+def summarize(problem: ProblemInstance, deployment: Deployment) -> DeploymentMetrics:
+    """Compute all metrics for a deployment."""
+    served = deployment.served_count
+    throughput = deployment_throughput_bps(problem, deployment)
+    loads = deployment.loads()
+    capacities = {k: problem.fleet[k].capacity for k in loads}
+    total_capacity = sum(capacities.values())
+    utilisations = [
+        loads[k] / capacities[k] for k in loads if capacities[k] > 0
+    ]
+    return DeploymentMetrics(
+        served=served,
+        served_fraction=served / problem.num_users if problem.num_users else 0.0,
+        throughput_bps=throughput,
+        mean_rate_bps=throughput / served if served else 0.0,
+        capacity_utilisation=served / total_capacity if total_capacity else 0.0,
+        load_fairness=jain_fairness(utilisations),
+        num_deployed=deployment.num_deployed,
+    )

@@ -1,0 +1,91 @@
+"""Fleet-sizing helpers (extension): how many UAVs does a target need?
+
+The paper fixes ``K`` and asks how many users it can serve; operators ask
+the inverse — "how many UAVs until 90% of the zone is covered?"  These
+helpers walk the coverage curve by deploying growing prefixes of a fleet
+(largest assets first would be another policy; we keep the fleet's given
+order so the answer matches what the operator owns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.problem import ProblemInstance
+
+
+@dataclass(frozen=True)
+class CoveragePoint:
+    num_uavs: int
+    served: int
+    fraction: float
+
+
+@dataclass
+class FleetSizing:
+    """Result of a fleet-sizing walk."""
+
+    target_fraction: float
+    required_uavs: "int | None"    # None = target unreachable with this fleet
+    curve: list = field(default_factory=list)
+
+    @property
+    def achieved(self) -> bool:
+        return self.required_uavs is not None
+
+
+def coverage_curve(
+    problem: ProblemInstance,
+    planner,
+    ks: "list | None" = None,
+) -> list:
+    """Served users for growing fleet prefixes.
+
+    ``planner`` maps a ProblemInstance to a Deployment.  ``ks`` defaults
+    to ``1..K``.  Returns a list of :class:`CoveragePoint`.
+    """
+    if ks is None:
+        ks = list(range(1, problem.num_uavs + 1))
+    for k in ks:
+        if not (1 <= k <= problem.num_uavs):
+            raise ValueError(
+                f"fleet prefix {k} outside [1, {problem.num_uavs}]"
+            )
+    points = []
+    for k in ks:
+        sub = ProblemInstance(graph=problem.graph, fleet=problem.fleet[:k])
+        deployment = planner(sub)
+        served = deployment.served_count
+        points.append(
+            CoveragePoint(
+                num_uavs=k,
+                served=served,
+                fraction=served / problem.num_users if problem.num_users else 0.0,
+            )
+        )
+    return points
+
+
+def uavs_needed_for_target(
+    problem: ProblemInstance,
+    planner,
+    target_fraction: float,
+) -> FleetSizing:
+    """Smallest fleet prefix reaching ``target_fraction`` of users served.
+
+    Walks ``k = 1..K`` (stopping early at the first success); reports the
+    whole measured curve for context.  ``required_uavs`` is ``None`` when
+    even the full fleet misses the target.
+    """
+    if not (0.0 < target_fraction <= 1.0):
+        raise ValueError(
+            f"target fraction must be in (0, 1], got {target_fraction}"
+        )
+    sizing = FleetSizing(target_fraction=target_fraction, required_uavs=None)
+    for k in range(1, problem.num_uavs + 1):
+        point = coverage_curve(problem, planner, ks=[k])[0]
+        sizing.curve.append(point)
+        if point.fraction >= target_fraction:
+            sizing.required_uavs = k
+            break
+    return sizing

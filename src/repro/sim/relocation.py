@@ -1,0 +1,132 @@
+"""UAV relocation planning between consecutive deployments (extension).
+
+When users move and the network is re-planned (Section II-C), the fleet
+must physically fly from the old hovering locations to the new ones.
+Which UAV should take which new position?  Capacities are heterogeneous,
+so the *role* mapping matters (the re-planner decides which capacity goes
+where); what remains free is pairing equal-capacity UAVs to positions —
+and, more generally, evaluating the travel cost of the transition.
+
+This module computes relocation plans between two deployments:
+
+* ``total`` policy — minimise the summed flight distance (fuel);
+* ``makespan`` policy — minimise the arrival time of the slowest UAV
+  (service restored fastest), via bottleneck assignment.
+
+Both respect capacity requirements exactly: a UAV may take over a new
+position only if its capacity is at least the capacity the plan assumed
+there, so the served-user count of the new plan is preserved.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.problem import ProblemInstance
+from repro.flow.mincost import min_cost_assignment, min_max_assignment
+from repro.network.deployment import Deployment
+
+
+@dataclass(frozen=True)
+class RelocationPlan:
+    """How the fleet moves from an old deployment to a new one."""
+
+    moves: dict              # uav_index -> (from_location | None, to_location)
+    total_distance_m: float
+    max_distance_m: float
+    policy: str
+
+    @property
+    def num_moves(self) -> int:
+        """UAVs that actually change position (launches count as moves)."""
+        return sum(1 for src, dst in self.moves.values() if src != dst)
+
+
+def _distance(problem: ProblemInstance, a: "int | None", b: int) -> float:
+    """Flight distance from location a (or the staging point when None —
+    UAVs not previously deployed launch from the area's origin corner)."""
+    locations = problem.graph.locations
+    target = locations[b]
+    if a is None:
+        return math.hypot(target.x, target.y) + target.z
+    return locations[a].distance_to(target)
+
+
+def plan_relocation(
+    problem: ProblemInstance,
+    old: Deployment,
+    new: Deployment,
+    policy: str = "makespan",
+) -> RelocationPlan:
+    """Pair the fleet's UAVs to the new deployment's positions.
+
+    The new deployment dictates what each position must be able to serve:
+    UAV ``k`` may take the position planned for UAV ``k'`` iff
+    ``capacity_k`` covers the *load* the plan actually assigns there
+    (``new.load_of(k')``) — then the plan's assignment stays feasible and
+    the served-user count is preserved (re-optimising the assignment
+    afterwards can only help).  This is weaker than requiring
+    ``capacity_k >= capacity_{k'}`` and unlocks swaps between UAVs whose
+    spare capacity is not needed.
+    """
+    if policy not in ("total", "makespan"):
+        raise ValueError(f"policy must be 'total' or 'makespan', got {policy!r}")
+    fleet = problem.fleet
+    targets = sorted(new.placements.items())  # (planned_uav, location)
+    if not targets:
+        return RelocationPlan(moves={}, total_distance_m=0.0,
+                              max_distance_m=0.0, policy=policy)
+
+    loads = new.loads()
+    candidates = sorted(
+        set(old.placements) | set(k for k, _ in targets)
+    )
+    # Build cost matrix rows = target positions, cols = candidate UAVs.
+    rows = []
+    for planned_uav, loc in targets:
+        need = loads.get(planned_uav, 0)
+        row = []
+        for k in candidates:
+            if fleet[k].capacity < need:
+                row.append(math.inf)
+            else:
+                row.append(_distance(problem, old.placements.get(k), loc))
+        rows.append(row)
+
+    if policy == "total":
+        assignment, _ = min_cost_assignment(rows)
+    else:
+        assignment, _ = min_max_assignment(rows)
+
+    moves: dict = {}
+    for (planned_uav, loc), col in zip(targets, assignment):
+        k = candidates[col]
+        moves[k] = (old.placements.get(k), loc)
+    distances = [
+        _distance(problem, src, dst) for src, dst in moves.values()
+    ]
+    return RelocationPlan(
+        moves=moves,
+        total_distance_m=sum(distances),
+        max_distance_m=max(distances, default=0.0),
+        policy=policy,
+    )
+
+
+def naive_relocation(
+    problem: ProblemInstance, old: Deployment, new: Deployment
+) -> RelocationPlan:
+    """The baseline a planner-less operator uses: each UAV keeps its
+    planned role (UAV k flies to new.placements[k])."""
+    moves = {
+        k: (old.placements.get(k), loc)
+        for k, loc in sorted(new.placements.items())
+    }
+    distances = [_distance(problem, src, dst) for src, dst in moves.values()]
+    return RelocationPlan(
+        moves=moves,
+        total_distance_m=sum(distances),
+        max_distance_m=max(distances, default=0.0),
+        policy="naive",
+    )

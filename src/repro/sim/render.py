@@ -1,0 +1,75 @@
+"""ASCII rendering of scenarios and deployments (extension; used by the
+examples and handy in a terminal-only environment).
+
+The map bins users into character cells: digits show user density per
+cell (log-ish scale capped at 9), ``U`` marks an occupied hovering
+location (overrides the density digit), ``+`` marks an unoccupied
+candidate location in an otherwise empty cell, and ``.`` is empty ground.
+"""
+
+from __future__ import annotations
+
+from repro.core.problem import ProblemInstance
+from repro.network.deployment import Deployment
+
+
+def ascii_map(
+    problem: ProblemInstance,
+    deployment: "Deployment | None" = None,
+    cols: int = 36,
+    rows: int = 18,
+) -> str:
+    """Render the scenario (and optionally a deployment) as ASCII art."""
+    if cols < 1 or rows < 1:
+        raise ValueError("map must have at least one cell")
+    graph = problem.graph
+    xs = [loc.x for loc in graph.locations] + [u.position.x for u in graph.users]
+    ys = [loc.y for loc in graph.locations] + [u.position.y for u in graph.users]
+    if not xs:
+        return "(empty scenario)"
+    min_x, max_x = min(xs), max(xs)
+    min_y, max_y = min(ys), max(ys)
+    span_x = max(max_x - min_x, 1e-9)
+    span_y = max(max_y - min_y, 1e-9)
+
+    def cell_of(x: float, y: float) -> tuple:
+        c = min(int((x - min_x) / span_x * cols), cols - 1)
+        r = min(int((y - min_y) / span_y * rows), rows - 1)
+        return c, r
+
+    counts = [[0] * cols for _ in range(rows)]
+    for u in graph.users:
+        c, r = cell_of(u.position.x, u.position.y)
+        counts[r][c] += 1
+
+    max_count = max((max(row) for row in counts), default=0)
+    grid = []
+    for r in range(rows):
+        line = []
+        for c in range(cols):
+            if counts[r][c] == 0:
+                line.append(".")
+            elif max_count <= 9:
+                line.append(str(counts[r][c]))
+            else:
+                scaled = max(1, round(counts[r][c] / max_count * 9))
+                line.append(str(min(9, scaled)))
+        grid.append(line)
+
+    occupied = set()
+    if deployment is not None:
+        occupied = set(deployment.locations_used())
+    for j, loc in enumerate(graph.locations):
+        c, r = cell_of(loc.x, loc.y)
+        if j in occupied:
+            grid[r][c] = "U"
+        elif grid[r][c] == ".":
+            grid[r][c] = "+"
+
+    # Row 0 is the south edge; print north-up.
+    lines = ["".join(row) for row in reversed(grid)]
+    legend = (
+        "legend: digits = user density, U = deployed UAV, "
+        "+ = free hovering location"
+    )
+    return "\n".join(lines + [legend])

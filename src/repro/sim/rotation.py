@@ -1,0 +1,186 @@
+"""Battery-rotation scheduling (extension).
+
+A deployment's mission endurance is bounded by its first empty battery
+(:mod:`repro.network.energy`), yet rescue missions run for days ("the
+first 72 golden hours", Section II-C).  Operators therefore rotate UAVs:
+when one runs low it lands to recharge and a charged one takes its
+position.  This module builds such a rotation schedule.
+
+Model: every hovering *position* of the deployment must be staffed
+continuously for ``mission_s`` seconds.  A physical UAV flies at most its
+endurance per sortie, then needs ``recharge_s`` on the ground before the
+next sortie.  Spare UAVs (fleet members the deployment left grounded) are
+part of the pool.  A greedy earliest-deadline scheduler assigns sorties;
+it is optimal for this identical-machines-with-availability structure in
+the sense that if the greedy leaves a gap, no schedule avoids one (the
+pool's aggregate flight-time supply is exhausted at that moment).
+
+Simplification (documented): swaps are instantaneous hand-offs (the
+relief UAV launches early enough to arrive before the hand-off); capacity
+differences between the UAV and the position's planned role are checked
+the same way relocation does — the replacement must cover the position's
+assigned load.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.core.problem import ProblemInstance
+from repro.network.deployment import Deployment
+from repro.network.energy import EnergyModel
+
+
+@dataclass(frozen=True)
+class Sortie:
+    """One continuous stint of one UAV at one position."""
+
+    position: int       # location index
+    uav_index: int
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass
+class RotationSchedule:
+    """A full rotation plan for one mission."""
+
+    mission_s: float
+    sorties: list = field(default_factory=list)
+    feasible: bool = True
+    first_gap_s: "float | None" = None   # when coverage first breaks
+
+    def sorties_at(self, position: int) -> list:
+        return sorted(
+            (s for s in self.sorties if s.position == position),
+            key=lambda s: s.start_s,
+        )
+
+    def swaps(self) -> int:
+        """Number of hand-offs (sorties beyond the first per position)."""
+        positions = {s.position for s in self.sorties}
+        return len(self.sorties) - len(positions)
+
+
+def plan_rotation(
+    problem: ProblemInstance,
+    deployment: Deployment,
+    mission_s: float,
+    model: "EnergyModel | None" = None,
+    recharge_s: float = 3600.0,
+) -> RotationSchedule:
+    """Schedule sorties keeping every deployed position staffed for
+    ``mission_s``.
+
+    Returns a schedule with ``feasible=False`` and the time of the first
+    coverage gap when the pool cannot sustain the mission.
+    """
+    if mission_s <= 0:
+        raise ValueError(f"mission duration must be positive, got {mission_s}")
+    if recharge_s < 0:
+        raise ValueError(f"recharge time must be non-negative, got {recharge_s}")
+    model = model if model is not None else EnergyModel()
+
+    loads = deployment.loads()
+    positions = [
+        (loc, loads[k]) for k, loc in sorted(deployment.placements.items())
+    ]
+    schedule = RotationSchedule(mission_s=mission_s)
+    if not positions:
+        return schedule
+
+    endurance = {
+        k: model.endurance_s(problem.fleet[k]) for k in range(problem.num_uavs)
+    }
+    # Pool of (available_at, uav).  Deployed UAVs start on their position
+    # at t = 0: seed each position with its own UAV's first sortie.
+    pool: list = []
+    occupied_until: dict = {}
+    for k, loc in sorted(deployment.placements.items()):
+        first = Sortie(position=loc, uav_index=k, start_s=0.0,
+                       end_s=min(endurance[k], mission_s))
+        schedule.sorties.append(first)
+        occupied_until[loc] = first.end_s
+        heapq.heappush(pool, (first.end_s + recharge_s, k))
+    spares = sorted(
+        set(range(problem.num_uavs)) - set(deployment.placements)
+    )
+    for k in spares:
+        heapq.heappush(pool, (0.0, k))
+
+    need = {loc: load for loc, load in positions}
+    # Repeatedly staff the position whose coverage ends soonest.
+    while True:
+        open_positions = [
+            (until, loc) for loc, until in occupied_until.items()
+            if until < mission_s
+        ]
+        if not open_positions:
+            break
+        until, loc = min(open_positions)
+        # Pull available UAVs; those not yet available may still be the
+        # only option — greedy takes the earliest-available *compatible*.
+        compatible: list = []
+        incompatible: list = []
+        while pool:
+            avail, k = heapq.heappop(pool)
+            if problem.fleet[k].capacity >= need[loc]:
+                compatible.append((avail, k))
+                break
+            incompatible.append((avail, k))
+        for item in incompatible:
+            heapq.heappush(pool, item)
+        if not compatible:
+            schedule.feasible = False
+            schedule.first_gap_s = until
+            break
+        avail, k = compatible[0]
+        start = max(until, avail)
+        if start > until:  # the relief arrives after coverage expired
+            schedule.feasible = False
+            schedule.first_gap_s = until
+            break
+        end = min(start + endurance[k], mission_s)
+        sortie = Sortie(position=loc, uav_index=k, start_s=start, end_s=end)
+        schedule.sorties.append(sortie)
+        occupied_until[loc] = end
+        heapq.heappush(pool, (end + recharge_s, k))
+    return schedule
+
+
+def max_sustainable_mission_s(
+    problem: ProblemInstance,
+    deployment: Deployment,
+    model: "EnergyModel | None" = None,
+    recharge_s: float = 3600.0,
+    horizon_s: float = 72 * 3600.0,
+) -> float:
+    """Longest mission (up to ``horizon_s``) the pool can sustain, by
+    bisection over :func:`plan_rotation` feasibility."""
+    model = model if model is not None else EnergyModel()
+
+    def ok(duration: float) -> bool:
+        return plan_rotation(
+            problem, deployment, duration, model, recharge_s
+        ).feasible
+
+    if not deployment.placements:
+        return horizon_s
+    lo = 1.0
+    if not ok(lo):
+        return 0.0
+    if ok(horizon_s):
+        return horizon_s
+    hi = horizon_s
+    while hi - lo > 60.0:  # one-minute resolution
+        mid = (lo + hi) / 2.0
+        if ok(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo

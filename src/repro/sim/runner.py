@@ -1,0 +1,69 @@
+"""Algorithm registry and timed runner.
+
+Every algorithm takes a :class:`ProblemInstance` and returns a
+:class:`Deployment`; the runner times it, validates the output against the
+problem constraints, and wraps everything into a :class:`RunRecord`.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.greedy_assign import greedy_assign
+from repro.baselines.max_throughput import max_throughput
+from repro.baselines.mcs import mcs
+from repro.baselines.motionctrl import motion_ctrl
+from repro.baselines.random_connected import random_connected
+from repro.baselines.unconstrained import unconstrained_greedy
+from repro.core.approx import appro_alg
+from repro.core.problem import ProblemInstance
+from repro.network.validate import validate_deployment
+from repro.sim.results import RunRecord
+from repro.util.timing import Stopwatch
+
+
+def _appro(problem: ProblemInstance, **kw: object):
+    return appro_alg(problem, **kw).deployment
+
+
+ALGORITHMS = {
+    "approAlg": _appro,
+    "MCS": mcs,
+    "MotionCtrl": motion_ctrl,
+    "GreedyAssign": greedy_assign,
+    "maxThroughput": max_throughput,
+    "RandomConnected": random_connected,
+    "Unconstrained": unconstrained_greedy,
+}
+
+# The connectivity-free reference point intentionally violates constraint
+# (iii); every other algorithm must produce connected deployments.
+_UNCONNECTED_OK = {"Unconstrained"}
+
+
+def run_algorithm(
+    problem: ProblemInstance, name: str, validate: bool = True, **params: object
+) -> RunRecord:
+    """Run one registered algorithm, timed and (by default) validated."""
+    try:
+        algorithm = ALGORITHMS[name]
+    except KeyError:
+        known = ", ".join(sorted(ALGORITHMS))
+        raise KeyError(f"unknown algorithm {name!r}; known: {known}") from None
+
+    watch = Stopwatch()
+    with watch:
+        deployment = algorithm(problem, **params)
+    if validate:
+        validate_deployment(
+            problem.graph,
+            problem.fleet,
+            deployment,
+            require_connected=name not in _UNCONNECTED_OK,
+        )
+    return RunRecord(
+        algorithm=name,
+        served=deployment.served_count,
+        runtime_s=watch.elapsed,
+        num_users=problem.num_users,
+        num_uavs=problem.num_uavs,
+        params=dict(params),
+    )

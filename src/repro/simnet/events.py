@@ -1,0 +1,48 @@
+"""A minimal discrete-event engine: a time-ordered event queue.
+
+Events are ``(time, payload)``; ties break by insertion order (FIFO), so
+simultaneous events are deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Hashable
+
+
+class EventQueue:
+    """Priority queue of timestamped events."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = 0
+        self.now = 0.0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, time: float, payload: Hashable) -> None:
+        """Schedule ``payload`` at absolute ``time`` (>= now)."""
+        if time < self.now - 1e-12:
+            raise ValueError(
+                f"cannot schedule into the past: {time} < now {self.now}"
+            )
+        heapq.heappush(self._heap, (time, self._counter, payload))
+        self._counter += 1
+
+    def schedule_in(self, delay: float, payload: Hashable) -> None:
+        """Schedule ``payload`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self.schedule(self.now + delay, payload)
+
+    def pop(self) -> "tuple[float, object]":
+        """Advance the clock to the next event and return (time, payload)."""
+        if not self._heap:
+            raise IndexError("event queue is empty")
+        time, _, payload = heapq.heappop(self._heap)
+        self.now = time
+        return time, payload
+
+    def peek_time(self) -> "float | None":
+        return self._heap[0][0] if self._heap else None

@@ -1,0 +1,178 @@
+"""Discrete-event simulation of a deployed UAV network.
+
+Users assigned to each UAV generate Poisson requests; each UAV station
+serves them FIFO with exponential service times sized by its capacity
+class (see :mod:`repro.simnet.station`).  The simulator measures per-
+request sojourn times (queueing + service) per station and network-wide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.problem import ProblemInstance
+from repro.network.deployment import Deployment
+from repro.simnet.events import EventQueue
+from repro.simnet.station import StationModel
+from repro.util.rng import ensure_rng
+
+
+@dataclass
+class StationStats:
+    """Measured behaviour of one UAV station."""
+
+    uav_index: int
+    assigned_users: int
+    load_factor: float
+    completed: int = 0
+    mean_sojourn_s: float = 0.0
+    p95_sojourn_s: float = 0.0
+    max_queue: int = 0
+
+
+@dataclass
+class NetworkStats:
+    """Network-wide summary."""
+
+    duration_s: float
+    stations: list = field(default_factory=list)
+    completed: int = 0
+    mean_sojourn_s: float = 0.0
+    p95_sojourn_s: float = 0.0
+
+    def station(self, uav_index: int) -> StationStats:
+        for st in self.stations:
+            if st.uav_index == uav_index:
+                return st
+        raise KeyError(f"no station for UAV {uav_index}")
+
+
+_ARRIVAL = 0
+_DEPARTURE = 1
+
+
+def simulate_network(
+    problem: ProblemInstance,
+    deployment: Deployment,
+    duration_s: float = 60.0,
+    model: "StationModel | None" = None,
+    warmup_s: float = 5.0,
+    seed: "int | np.random.Generator | None" = None,
+) -> NetworkStats:
+    """Simulate the deployment's request traffic for ``duration_s``.
+
+    Sojourn times from requests arriving before ``warmup_s`` are dropped
+    (transient).  Stations with zero assigned users are reported with zero
+    load and no samples.
+    """
+    if duration_s <= 0:
+        raise ValueError(f"duration must be positive, got {duration_s}")
+    if not (0 <= warmup_s < duration_s):
+        raise ValueError("need 0 <= warmup < duration")
+    model = model if model is not None else StationModel()
+    rng = ensure_rng(seed)
+
+    loads = deployment.loads()
+    stations = sorted(loads)
+    lam = {k: loads[k] * model.request_rate_per_user_hz for k in stations}
+    mu = {
+        k: model.service_rate_hz(max(problem.fleet[k].capacity, 1))
+        for k in stations
+    }
+
+    queue_depth = {k: 0 for k in stations}   # waiting + in service
+    arrivals: dict = {k: [] for k in stations}  # FIFO arrival times
+    sojourns: dict = {k: [] for k in stations}
+    max_queue = {k: 0 for k in stations}
+
+    events = EventQueue()
+    for k in stations:
+        if lam[k] > 0:
+            events.schedule(float(rng.exponential(1.0 / lam[k])), (_ARRIVAL, k))
+
+    while True:
+        next_time = events.peek_time()
+        if next_time is None or next_time > duration_s:
+            break
+        now, (kind, k) = events.pop()
+        if kind == _ARRIVAL:
+            arrivals[k].append(now)
+            queue_depth[k] += 1
+            max_queue[k] = max(max_queue[k], queue_depth[k])
+            if queue_depth[k] == 1:  # server idle: start service now
+                events.schedule_in(
+                    float(rng.exponential(1.0 / mu[k])), (_DEPARTURE, k)
+                )
+            events.schedule_in(
+                float(rng.exponential(1.0 / lam[k])), (_ARRIVAL, k)
+            )
+        else:
+            arrived = arrivals[k].pop(0)
+            queue_depth[k] -= 1
+            if arrived >= warmup_s:
+                sojourns[k].append(now - arrived)
+            if queue_depth[k] > 0:
+                events.schedule_in(
+                    float(rng.exponential(1.0 / mu[k])), (_DEPARTURE, k)
+                )
+
+    station_stats = []
+    all_sojourns: list = []
+    for k in stations:
+        samples = sojourns[k]
+        all_sojourns.extend(samples)
+        station_stats.append(
+            StationStats(
+                uav_index=k,
+                assigned_users=loads[k],
+                load_factor=model.load_factor(
+                    max(problem.fleet[k].capacity, 1), loads[k]
+                ),
+                completed=len(samples),
+                mean_sojourn_s=float(np.mean(samples)) if samples else 0.0,
+                p95_sojourn_s=(
+                    float(np.percentile(samples, 95)) if samples else 0.0
+                ),
+                max_queue=max_queue[k],
+            )
+        )
+    return NetworkStats(
+        duration_s=duration_s,
+        stations=station_stats,
+        completed=len(all_sojourns),
+        mean_sojourn_s=float(np.mean(all_sojourns)) if all_sojourns else 0.0,
+        p95_sojourn_s=(
+            float(np.percentile(all_sojourns, 95)) if all_sojourns else 0.0
+        ),
+    )
+
+
+def overload_assignment(
+    problem: ProblemInstance, deployment: Deployment
+) -> Deployment:
+    """A capacity-*ignoring* counterfactual of ``deployment``: every user
+    coverable by some deployed UAV is assigned to the nearest one,
+    regardless of C_k.  Used to demonstrate why the capacity constraint
+    exists (simulate both and compare latency)."""
+    graph = problem.graph
+    coverable = {
+        k: set(graph.coverable_users(loc, problem.fleet[k]))
+        for k, loc in deployment.placements.items()
+    }
+    assignment: dict = {}
+    for user in range(graph.num_users):
+        best_k = None
+        best_dist = float("inf")
+        for k, loc in deployment.placements.items():
+            if user not in coverable[k]:
+                continue
+            dist = graph.users[user].position.distance_to(graph.locations[loc])
+            if dist < best_dist:
+                best_dist = dist
+                best_k = k
+        if best_k is not None:
+            assignment[user] = best_k
+    return Deployment(placements=dict(deployment.placements),
+                      assignment=assignment)

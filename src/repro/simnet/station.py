@@ -1,0 +1,52 @@
+"""The onboard base-station processing model.
+
+Each UAV's SkyCore-style server handles user requests (control-plane
+transactions, data-plane flow setups) one at a time, FIFO, with
+exponential service times.  Its service rate scales with the station's
+capacity class: a station rated for ``C_k`` simultaneous users is
+provisioned to sustain their aggregate request rate with a configurable
+headroom, so load factor rho = (assigned users) / (C_k * headroom).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StationModel:
+    """Sizing of the onboard server relative to the capacity rating.
+
+    ``request_rate_per_user_hz`` — Poisson request rate of one user;
+    ``headroom`` — provisioning margin: a station at exactly ``C_k``
+    assigned users runs at rho = 1 / headroom.
+    """
+
+    request_rate_per_user_hz: float = 2.0
+    headroom: float = 1.25
+
+    def __post_init__(self) -> None:
+        if self.request_rate_per_user_hz <= 0:
+            raise ValueError("request rate must be positive")
+        if self.headroom <= 0:
+            raise ValueError("headroom must be positive")
+
+    def service_rate_hz(self, capacity: int) -> float:
+        """Exponential service rate of a station rated for ``capacity``."""
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        return capacity * self.request_rate_per_user_hz * self.headroom
+
+    def load_factor(self, capacity: int, assigned_users: int) -> float:
+        """Offered load rho = lambda / mu for ``assigned_users`` users."""
+        lam = assigned_users * self.request_rate_per_user_hz
+        return lam / self.service_rate_hz(capacity)
+
+    def mm1_mean_sojourn_s(self, capacity: int, assigned_users: int) -> float:
+        """Analytic M/M/1 mean sojourn time 1 / (mu - lambda); ``inf`` at
+        or beyond saturation.  Used as the theory oracle in tests."""
+        mu = self.service_rate_hz(capacity)
+        lam = assigned_users * self.request_rate_per_user_hz
+        if lam >= mu:
+            return float("inf")
+        return 1.0 / (mu - lam)

@@ -1,0 +1,7 @@
+"""Small shared utilities: RNG discipline, timing, ASCII tables."""
+
+from repro.util.rng import ensure_rng
+from repro.util.tables import format_table
+from repro.util.timing import Stopwatch
+
+__all__ = ["ensure_rng", "format_table", "Stopwatch"]

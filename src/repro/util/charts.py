@@ -1,0 +1,86 @@
+"""ASCII line charts for sweep results.
+
+Terminal-only environments (like the one this reproduction targets) still
+deserve figure-shaped output: multiple series over a shared numeric or
+categorical x-axis, rendered with per-series marker characters.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: Mapping,
+    width: int = 60,
+    height: int = 15,
+    title: "str | None" = None,
+) -> str:
+    """Render ``{name: {x: y}}`` as an ASCII scatter/line chart.
+
+    X positions are spread evenly in data order (works for categorical
+    axes too); Y is scaled linearly between the global min and max.  Each
+    series gets a marker from :data:`MARKERS`; collisions show the later
+    series' marker.
+    """
+    if width < 10 or height < 4:
+        raise ValueError("chart needs width >= 10 and height >= 4")
+    names = list(series)
+    if not names:
+        return "(no data)"
+    xs: list = []
+    for name in names:
+        for x in series[name]:
+            if x not in xs:
+                xs.append(x)
+    ys = [y for name in names for y in series[name].values()]
+    if not ys:
+        return "(no data)"
+    y_min, y_max = min(ys), max(ys)
+    span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    x_pos = {
+        x: (
+            round(i * (width - 1) / (len(xs) - 1))
+            if len(xs) > 1 else width // 2
+        )
+        for i, x in enumerate(xs)
+    }
+    for si, name in enumerate(names):
+        marker = MARKERS[si % len(MARKERS)]
+        for x, y in series[name].items():
+            row = height - 1 - round((y - y_min) / span * (height - 1))
+            grid[row][x_pos[x]] = marker
+
+    y_labels = [f"{y_max:g}", f"{(y_max + y_min) / 2:g}", f"{y_min:g}"]
+    label_width = max(len(s) for s in y_labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = y_labels[0]
+        elif r == height // 2:
+            label = y_labels[1]
+        elif r == height - 1:
+            label = y_labels[2]
+        else:
+            label = ""
+        lines.append(f"{label.rjust(label_width)} |" + "".join(row))
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    x_axis = [" "] * width
+    for x in (xs[0], xs[-1]):
+        text = str(x)
+        pos = min(x_pos[x], width - len(text))
+        for i, ch in enumerate(text):
+            x_axis[pos + i] = ch
+    lines.append(" " * label_width + "  " + "".join(x_axis))
+    legend = "  ".join(
+        f"{MARKERS[i % len(MARKERS)]}={name}" for i, name in enumerate(names)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

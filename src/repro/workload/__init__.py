@@ -1,0 +1,22 @@
+"""User-distribution workloads for the evaluation (Section IV-A).
+
+The paper places 1,000-3,000 users with a fat-tailed density — "many users
+are located at a small portion of places while a few users are sparsely
+located at many other places" (citing Song et al. [30]).
+:mod:`repro.workload.fat_tailed` implements that as Pareto-weighted
+Gaussian hotspots over a uniform background; :mod:`repro.workload.uniform`
+provides the uniform control; :mod:`repro.workload.scenarios` bundles the
+paper's full experimental setup into ready-to-run problem instances.
+"""
+
+from repro.workload.fat_tailed import FatTailedWorkload
+from repro.workload.scenarios import ScenarioConfig, build_scenario, paper_scenario
+from repro.workload.uniform import UniformWorkload
+
+__all__ = [
+    "FatTailedWorkload",
+    "ScenarioConfig",
+    "build_scenario",
+    "paper_scenario",
+    "UniformWorkload",
+]

@@ -1,0 +1,67 @@
+"""Shared fixtures: hand-built tiny instances and small random scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channel.atg import AirToGroundChannel
+from repro.channel.presets import URBAN
+from repro.core.problem import ProblemInstance
+from repro.geometry.point import Point3D
+from repro.network.coverage import CoverageGraph
+from repro.network.uav import UAV
+from repro.network.users import users_from_points
+from repro.workload.scenarios import paper_scenario
+
+
+def make_line_instance(
+    num_locations: int = 5,
+    users_per_location: int = 4,
+    capacities: "tuple | None" = None,
+    spacing: float = 500.0,
+    altitude: float = 300.0,
+    uav_range: float = 600.0,
+    user_range: float = 500.0,
+) -> ProblemInstance:
+    """Locations on a line, ``users_per_location`` users directly beneath
+    each location.  Coverage is disjoint per location when ``spacing``
+    exceeds twice the ground radius, making optima easy to reason about."""
+    locations = [
+        Point3D(spacing * (j + 1), 0.0, altitude) for j in range(num_locations)
+    ]
+    points = []
+    for j in range(num_locations):
+        for i in range(users_per_location):
+            points.append((spacing * (j + 1) + 5.0 * i, 0.0))
+    users = users_from_points(points)
+    graph = CoverageGraph(
+        users=users,
+        locations=locations,
+        uav_range_m=uav_range,
+        channel=AirToGroundChannel(URBAN),
+    )
+    if capacities is None:
+        capacities = tuple([users_per_location] * num_locations)
+    fleet = [
+        UAV(capacity=c, tx_power_dbm=36.0, antenna_gain_db=3.0,
+            user_range_m=user_range, name=f"uav-{k}")
+        for k, c in enumerate(capacities)
+    ]
+    return ProblemInstance(graph=graph, fleet=fleet)
+
+
+@pytest.fixture
+def line_instance() -> ProblemInstance:
+    return make_line_instance()
+
+
+@pytest.fixture(scope="session")
+def small_scenario() -> ProblemInstance:
+    """The reusable 'small' scale paper scenario (9 locations, 6 UAVs)."""
+    return paper_scenario(num_users=250, num_uavs=6, scale="small", seed=3)
+
+
+@pytest.fixture(scope="session")
+def bench_scenario() -> ProblemInstance:
+    """A moderate scenario for integration tests (36 locations)."""
+    return paper_scenario(num_users=600, num_uavs=10, scale="bench", seed=5)

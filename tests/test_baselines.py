@@ -1,0 +1,146 @@
+"""Tests for the four baseline algorithms and the reference points."""
+
+import pytest
+
+from repro.baselines.common import finalize, grow_connected_greedy, reference_uav
+from repro.baselines.greedy_assign import _greedy_profits, greedy_assign
+from repro.baselines.max_throughput import max_throughput
+from repro.baselines.mcs import mcs
+from repro.baselines.motionctrl import motion_ctrl
+from repro.baselines.random_connected import random_connected
+from repro.baselines.unconstrained import unconstrained_greedy
+from repro.network.validate import validate_deployment
+from tests.conftest import make_line_instance
+
+CONNECTED_BASELINES = (mcs, motion_ctrl, greedy_assign, max_throughput)
+
+
+@pytest.fixture
+def problem():
+    return make_line_instance(
+        num_locations=6, users_per_location=3,
+        capacities=(3, 1, 5, 2, 4, 3),
+    )
+
+
+class TestCommonHelpers:
+    def test_reference_uav_median_capacity(self, problem):
+        ref = reference_uav(problem)
+        assert ref.capacity == 3  # median of (3,1,5,2,4,3) sorted -> idx 3
+        assert ref.user_range_m == problem.fleet[0].user_range_m
+
+    def test_finalize_index_order(self, problem):
+        dep = finalize(problem, [2, 3, 4])
+        assert dep.placements == {0: 2, 1: 3, 2: 4}
+
+    def test_finalize_dedupes(self, problem):
+        dep = finalize(problem, [2, 2, 3])
+        assert dep.placements == {0: 2, 1: 3}
+
+    def test_finalize_rejects_overflow(self, problem):
+        with pytest.raises(ValueError, match="locations"):
+            finalize(problem, list(range(7)))
+
+    def test_grow_connected(self, problem):
+        chosen = grow_connected_greedy(
+            problem, seed_location=0, budget=4, gain=lambda v, _c: -v
+        )
+        assert chosen[0] == 0
+        assert len(chosen) == 4
+        # Each new node adjacent to an earlier one (line graph: contiguous).
+        assert sorted(chosen) == list(range(4))
+
+
+class TestBaselineFeasibility:
+    @pytest.mark.parametrize("algorithm", CONNECTED_BASELINES,
+                             ids=lambda a: a.__name__)
+    def test_connected_and_valid(self, problem, algorithm):
+        dep = algorithm(problem)
+        validate_deployment(problem.graph, problem.fleet, dep)
+        assert dep.num_deployed <= problem.num_uavs
+
+    def test_random_connected_valid(self, problem):
+        dep = random_connected(problem, seed=4)
+        validate_deployment(problem.graph, problem.fleet, dep)
+
+    def test_unconstrained_valid_without_connectivity(self, problem):
+        dep = unconstrained_greedy(problem)
+        validate_deployment(problem.graph, problem.fleet, dep,
+                            require_connected=False)
+
+    def test_unconstrained_at_least_connected_algorithms(self, problem):
+        """Dropping a constraint can only help (with exact greedy gains on
+        the disjoint line this is guaranteed)."""
+        free = unconstrained_greedy(problem).served_count
+        for algorithm in CONNECTED_BASELINES:
+            assert free >= algorithm(problem).served_count
+
+
+class TestGreedyProfits:
+    def test_residual_profits_no_double_count(self, problem):
+        profits = _greedy_profits(problem)
+        # Disjoint coverage on the line: every location's profit is its own
+        # pile (3 users), no residual discounting needed.
+        assert all(p == 3 for p in profits)
+
+    def test_overlapping_discounts(self):
+        problem = make_line_instance(
+            num_locations=3, users_per_location=2, spacing=300.0,
+            capacities=(2, 2, 2),
+        )
+        profits = _greedy_profits(problem)
+        # Coverage overlaps (300 m spacing, 400 m ground radius): total
+        # profit across locations equals total distinct coverable users.
+        ref = reference_uav(problem)
+        union = set()
+        for v in range(problem.num_locations):
+            union |= set(problem.graph.coverable_users(v, ref))
+        assert sum(profits) == len(union)
+
+
+class TestBaselineBehaviour:
+    def test_mcs_prefers_dense_regions(self):
+        problem = make_line_instance(
+            num_locations=5, users_per_location=4, capacities=(4, 4)
+        )
+        dep = mcs(problem)
+        # Two UAVs, disjoint piles of 4: serves 8 wherever it lands.
+        assert dep.served_count == 8
+
+    def test_motionctrl_moves_toward_users(self):
+        """All users sit under the last two locations; the initial centroid
+        formation should migrate right and serve them."""
+        from repro.core.problem import ProblemInstance
+        from repro.network.coverage import CoverageGraph
+        from repro.network.users import users_from_points
+
+        base = make_line_instance(num_locations=6, users_per_location=1,
+                                  capacities=(4, 4))
+        points = [(2500.0 + i, 0.0) for i in range(4)]
+        points += [(3000.0 + i, 0.0) for i in range(4)]
+        graph = CoverageGraph(users=users_from_points(points),
+                              locations=base.graph.locations,
+                              uav_range_m=600.0)
+        problem = ProblemInstance(graph=graph, fleet=base.fleet)
+        dep = motion_ctrl(problem)
+        assert dep.served_count == 8
+
+    def test_max_throughput_serves_many(self, problem):
+        dep = max_throughput(problem)
+        assert dep.served_count > 0
+
+    def test_random_connected_deterministic_by_seed(self, problem):
+        a = random_connected(problem, seed=11)
+        b = random_connected(problem, seed=11)
+        assert a.placements == b.placements
+
+    def test_capacity_obliviousness(self):
+        """The documented heterogeneity-unawareness: fleet order, not
+        capacity order, maps UAVs to locations."""
+        problem = make_line_instance(
+            num_locations=4, users_per_location=3, capacities=(1, 5, 1, 5)
+        )
+        dep = mcs(problem)
+        # UAV 0 (capacity 1) occupies the first chosen location regardless
+        # of its tiny capacity.
+        assert 0 in dep.placements

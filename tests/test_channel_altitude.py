@@ -1,0 +1,90 @@
+"""Tests for the optimal LAP altitude computation (paper dependency [2])."""
+
+import pytest
+
+from repro.channel.altitude import coverage_radius_m, optimal_altitude
+from repro.channel.atg import AirToGroundChannel
+from repro.channel.presets import DENSE_URBAN, SUBURBAN, URBAN
+
+BUDGET_DB = 110.0
+
+
+class TestCoverageRadius:
+    def test_zero_when_budget_too_tight(self):
+        ch = AirToGroundChannel(URBAN)
+        assert coverage_radius_m(ch, 300.0, 10.0) == 0.0
+
+    def test_boundary_is_tight(self):
+        ch = AirToGroundChannel(URBAN)
+        r = coverage_radius_m(ch, 300.0, BUDGET_DB, precision_m=0.5)
+        assert ch.pathloss_at_db(r, 300.0) <= BUDGET_DB
+        assert ch.pathloss_at_db(r + 2.0, 300.0) > BUDGET_DB
+
+    def test_bigger_budget_bigger_radius(self):
+        ch = AirToGroundChannel(URBAN)
+        r1 = coverage_radius_m(ch, 300.0, 105.0)
+        r2 = coverage_radius_m(ch, 300.0, 115.0)
+        assert r2 > r1
+
+    def test_validation(self):
+        ch = AirToGroundChannel(URBAN)
+        with pytest.raises(ValueError):
+            coverage_radius_m(ch, 0.0, BUDGET_DB)
+        with pytest.raises(ValueError):
+            coverage_radius_m(ch, 100.0, BUDGET_DB, precision_m=0.0)
+
+
+class TestOptimalAltitude:
+    def test_interior_optimum(self):
+        """The hallmark result of [2]: the optimal altitude is interior —
+        strictly better than both very low and very high hovering."""
+        ch = AirToGroundChannel(URBAN)
+        best = optimal_altitude(ch, BUDGET_DB, 10.0, 5000.0)
+        r_low = coverage_radius_m(ch, 20.0, BUDGET_DB)
+        r_high = coverage_radius_m(ch, 4900.0, BUDGET_DB)
+        assert best.coverage_radius_m > r_low
+        assert best.coverage_radius_m > r_high
+        assert 50.0 < best.altitude_m < 4500.0
+
+    def test_optimal_elevation_angle_increases_with_density(self):
+        """The invariant [2] reports: the optimal elevation angle
+        theta* = atan(h*/R*) grows with environment density — roughly 20°
+        suburban, 42° urban, 55° dense-urban (their published values)."""
+        import math
+
+        def theta_deg(env):
+            best = optimal_altitude(AirToGroundChannel(env), BUDGET_DB)
+            return math.degrees(
+                math.atan2(best.altitude_m, best.coverage_radius_m)
+            )
+
+        t_sub = theta_deg(SUBURBAN)
+        t_urb = theta_deg(URBAN)
+        t_den = theta_deg(DENSE_URBAN)
+        assert t_sub < t_urb < t_den
+        assert t_sub == pytest.approx(20.0, abs=5.0)
+        assert t_urb == pytest.approx(42.0, abs=6.0)
+        assert t_den == pytest.approx(55.0, abs=6.0)
+
+    def test_radius_consistent(self):
+        ch = AirToGroundChannel(URBAN)
+        best = optimal_altitude(ch, BUDGET_DB)
+        assert best.coverage_radius_m == pytest.approx(
+            coverage_radius_m(ch, best.altitude_m, BUDGET_DB), rel=0.02
+        )
+
+    def test_validation(self):
+        ch = AirToGroundChannel(URBAN)
+        with pytest.raises(ValueError):
+            optimal_altitude(ch, BUDGET_DB, min_altitude_m=100.0,
+                             max_altitude_m=50.0)
+
+    def test_paper_scenario_altitude_reasonable(self):
+        """The paper hovers at 300 m with R_user = 500 m in an urban
+        disaster zone.  For the link budget that yields roughly that
+        coverage radius, the optimal altitude should sit within the same
+        order of magnitude as 300 m (it scales with the budget)."""
+        ch = AirToGroundChannel(URBAN)
+        best = optimal_altitude(ch, 98.0)
+        assert 200.0 < best.altitude_m < 1200.0
+        assert 300.0 < best.coverage_radius_m < 900.0

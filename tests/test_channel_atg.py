@@ -1,0 +1,86 @@
+"""Tests for the air-to-ground channel model (Al-Hourani)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel.atg import AirToGroundChannel, los_probability
+from repro.channel.freespace import free_space_pathloss_db
+from repro.channel.presets import DENSE_URBAN, SUBURBAN, URBAN
+from repro.geometry.point import Point3D
+
+
+class TestLosProbability:
+    def test_range(self):
+        for theta in (0, 10, 45, 80, 90):
+            p = los_probability(theta, URBAN)
+            assert 0.0 < p < 1.0
+
+    def test_monotone_in_angle(self):
+        probs = [los_probability(t, URBAN) for t in range(0, 91, 5)]
+        assert probs == sorted(probs)
+
+    def test_overhead_near_certain(self):
+        assert los_probability(90.0, URBAN) > 0.99
+
+    def test_suburban_more_los_than_dense(self):
+        # Fewer obstructions -> higher LoS probability at the same angle.
+        for theta in (10, 30, 60):
+            assert los_probability(theta, SUBURBAN) > los_probability(
+                theta, DENSE_URBAN
+            )
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            los_probability(-1.0, URBAN)
+        with pytest.raises(ValueError):
+            los_probability(90.5, URBAN)
+
+
+class TestAirToGroundChannel:
+    def test_pathloss_between_los_and_nlos_extremes(self):
+        ch = AirToGroundChannel(URBAN)
+        user = Point3D(0, 0, 0)
+        uav = Point3D(400, 0, 300)
+        fspl = free_space_pathloss_db(user.distance_to(uav), ch.carrier_hz)
+        pl = ch.pathloss_db(user, uav)
+        assert fspl + URBAN.eta_los_db <= pl <= fspl + URBAN.eta_nlos_db
+
+    def test_monotone_in_horizontal_distance(self):
+        ch = AirToGroundChannel(URBAN)
+        losses = [ch.pathloss_at_db(r, 300.0) for r in (50, 200, 500, 1000, 2000)]
+        assert losses == sorted(losses)
+
+    def test_optimal_altitude_exists(self):
+        """The hallmark of the model (paper [2]): at a fixed horizontal
+        distance there is an interior optimal altitude — too low is NLoS-
+        dominated, too high pays distance."""
+        ch = AirToGroundChannel(URBAN)
+        altitudes = np.linspace(20, 3000, 120)
+        losses = [ch.pathloss_at_db(500.0, float(h)) for h in altitudes]
+        best = int(np.argmin(losses))
+        assert 0 < best < len(losses) - 1
+
+    def test_vector_matches_scalar(self):
+        ch = AirToGroundChannel(DENSE_URBAN)
+        horizontals = np.array([10.0, 100.0, 400.0, 900.0])
+        vec = ch.pathloss_vector_db(horizontals, 300.0)
+        for h, v in zip(horizontals, vec):
+            assert v == pytest.approx(ch.pathloss_at_db(float(h), 300.0), rel=1e-9)
+
+    @given(st.floats(1.0, 5000.0), st.floats(10.0, 2000.0))
+    @settings(max_examples=50, deadline=None)
+    def test_vector_scalar_property(self, horizontal, altitude):
+        ch = AirToGroundChannel(URBAN)
+        vec = ch.pathloss_vector_db(np.array([horizontal]), altitude)
+        assert vec[0] == pytest.approx(
+            ch.pathloss_at_db(horizontal, altitude), rel=1e-9
+        )
+
+    def test_rejects_nonpositive_altitude(self):
+        ch = AirToGroundChannel(URBAN)
+        with pytest.raises(ValueError):
+            ch.pathloss_at_db(100.0, 0.0)

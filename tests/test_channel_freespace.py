@@ -1,0 +1,47 @@
+"""Tests for free-space pathloss (UAV-to-UAV channel)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.channel.constants import SPEED_OF_LIGHT
+from repro.channel.freespace import FreeSpaceChannel, free_space_pathloss_db
+
+
+class TestFreeSpacePathloss:
+    def test_textbook_value(self):
+        # FSPL at 1 km, 2 GHz: 20 log10(4 pi f d / c) ~ 98.46 dB.
+        pl = free_space_pathloss_db(1000.0, 2e9)
+        expected = 20 * math.log10(4 * math.pi * 2e9 * 1000 / SPEED_OF_LIGHT)
+        assert pl == pytest.approx(expected)
+        assert pl == pytest.approx(98.46, abs=0.05)
+
+    def test_plus_6db_per_distance_doubling(self):
+        pl1 = free_space_pathloss_db(500.0, 2e9)
+        pl2 = free_space_pathloss_db(1000.0, 2e9)
+        assert pl2 - pl1 == pytest.approx(20 * math.log10(2), abs=1e-9)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            free_space_pathloss_db(0.0, 2e9)
+        with pytest.raises(ValueError):
+            free_space_pathloss_db(100.0, 0.0)
+
+    @given(st.floats(1.0, 1e6), st.floats(1e8, 1e11))
+    def test_monotone_in_distance_and_frequency(self, d, f):
+        assert free_space_pathloss_db(d * 2, f) > free_space_pathloss_db(d, f)
+        assert free_space_pathloss_db(d, f * 2) > free_space_pathloss_db(d, f)
+
+
+class TestFreeSpaceChannel:
+    def test_max_range_inverts_pathloss(self):
+        ch = FreeSpaceChannel(carrier_hz=2e9)
+        for budget in (80.0, 100.0, 120.0):
+            r = ch.max_range_m(budget)
+            assert ch.pathloss_db(r) == pytest.approx(budget, abs=1e-6)
+
+    def test_max_range_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            FreeSpaceChannel().max_range_m(0.0)

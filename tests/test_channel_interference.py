@@ -1,0 +1,94 @@
+"""Tests for the co-channel interference audit."""
+
+import pytest
+
+from repro.channel.interference import audit_interference
+from repro.core.approx import appro_alg
+from repro.core.assignment import optimal_assignment
+from repro.network.deployment import Deployment
+from tests.conftest import make_line_instance
+
+
+class TestAuditInterference:
+    def make_two_station_problem(self, spacing=500.0):
+        return make_line_instance(
+            num_locations=2, users_per_location=3, capacities=(3, 3),
+            spacing=spacing,
+        )
+
+    def test_single_uav_no_interference(self):
+        problem = make_line_instance(num_locations=1, users_per_location=3,
+                                     capacities=(3,))
+        dep = optimal_assignment(problem.graph, problem.fleet, {0: 0})
+        audit = audit_interference(problem, dep)
+        assert audit.served == 3
+        for link in audit.links:
+            assert link.sinr_db == pytest.approx(link.snr_db)
+            assert link.rate_sinr_bps == pytest.approx(link.rate_snr_bps)
+        assert audit.mean_sinr_loss_db == pytest.approx(0.0)
+
+    def test_neighbour_degrades_sinr(self):
+        problem = self.make_two_station_problem()
+        dep = optimal_assignment(problem.graph, problem.fleet, {0: 0, 1: 1})
+        audit = audit_interference(problem, dep)
+        assert audit.served == 6
+        for link in audit.links:
+            assert link.sinr_db < link.snr_db
+            assert link.rate_sinr_bps < link.rate_snr_bps
+        assert audit.mean_sinr_loss_db > 3.0  # close co-channel neighbour
+
+    def test_activity_factor_scales_damage(self):
+        problem = self.make_two_station_problem()
+        dep = optimal_assignment(problem.graph, problem.fleet, {0: 0, 1: 1})
+        harsh = audit_interference(problem, dep, activity_factor=1.0)
+        mild = audit_interference(problem, dep, activity_factor=0.1)
+        assert mild.mean_sinr_loss_db < harsh.mean_sinr_loss_db
+        assert mild.still_satisfied >= harsh.still_satisfied
+
+    def test_low_requirement_survives(self):
+        """The paper's 2 kbps floor survives even harsh interference."""
+        problem = self.make_two_station_problem()
+        dep = optimal_assignment(problem.graph, problem.fleet, {0: 0, 1: 1})
+        audit = audit_interference(problem, dep)
+        assert audit.survival_fraction == 1.0
+
+    def test_high_requirement_can_fail(self):
+        from repro.core.problem import ProblemInstance
+        from repro.network.coverage import CoverageGraph
+        from repro.network.users import users_from_points
+
+        base = self.make_two_station_problem()
+        demanding = users_from_points(
+            [(500.0 + 3 * i, 0.0) for i in range(3)]
+            + [(1000.0 + 3 * i, 0.0) for i in range(3)],
+            min_rate_bps=1.2e6,  # near the interference-limited ceiling
+        )
+        graph = CoverageGraph(users=demanding,
+                              locations=base.graph.locations,
+                              uav_range_m=600.0)
+        problem = ProblemInstance(graph=graph, fleet=base.fleet)
+        dep = optimal_assignment(problem.graph, problem.fleet, {0: 0, 1: 1})
+        assert dep.served_count == 6  # SNR-based plan accepts everyone
+        audit = audit_interference(problem, dep)
+        assert audit.still_satisfied < audit.served
+
+    def test_validation(self):
+        problem = self.make_two_station_problem()
+        dep = Deployment.empty()
+        with pytest.raises(ValueError):
+            audit_interference(problem, dep, activity_factor=0.0)
+        with pytest.raises(ValueError):
+            audit_interference(problem, dep, activity_factor=1.5)
+
+    def test_empty_deployment(self):
+        problem = self.make_two_station_problem()
+        audit = audit_interference(problem, Deployment.empty())
+        assert audit.served == 0
+        assert audit.survival_fraction == 1.0
+
+    def test_real_deployment(self, small_scenario):
+        result = appro_alg(small_scenario, s=2, gain_mode="fast")
+        audit = audit_interference(small_scenario, result.deployment,
+                                   activity_factor=0.5)
+        assert audit.served == result.served
+        assert 0.0 <= audit.survival_fraction <= 1.0

@@ -1,0 +1,95 @@
+"""Tests for SNR / data-rate link budget."""
+
+import pytest
+
+from repro.channel.atg import AirToGroundChannel
+from repro.channel.link import (
+    LinkBudget,
+    noise_power_dbm,
+    shannon_rate_bps,
+    snr_db,
+    snr_linear,
+)
+from repro.channel.presets import URBAN
+from repro.geometry.point import Point3D
+
+
+class TestNoisePower:
+    def test_180khz_resource_block(self):
+        # -174 + 10 log10(180e3) + 7 ~ -114.4 dBm.
+        assert noise_power_dbm(180e3, 7.0) == pytest.approx(-114.45, abs=0.05)
+
+    def test_scales_with_bandwidth(self):
+        assert noise_power_dbm(2 * 180e3) - noise_power_dbm(180e3) == pytest.approx(
+            3.01, abs=0.01
+        )
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            noise_power_dbm(0.0)
+
+
+class TestSnr:
+    def test_snr_db_formula(self):
+        assert snr_db(36.0, 3.0, 100.0, -114.0) == pytest.approx(53.0)
+
+    def test_linear_consistent(self):
+        assert snr_linear(36.0, 3.0, 100.0, -114.0) == pytest.approx(10 ** 5.3)
+
+
+class TestShannonRate:
+    def test_zero_snr_zero_rate(self):
+        assert shannon_rate_bps(0.0, 180e3) == 0.0
+
+    def test_snr_one_gives_bandwidth(self):
+        assert shannon_rate_bps(1.0, 180e3) == pytest.approx(180e3)
+
+    def test_rejects_negative_snr(self):
+        with pytest.raises(ValueError):
+            shannon_rate_bps(-0.1)
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            shannon_rate_bps(1.0, 0.0)
+
+
+class TestLinkBudget:
+    def make(self) -> LinkBudget:
+        return LinkBudget(
+            channel=AirToGroundChannel(URBAN),
+            tx_power_dbm=36.0,
+            antenna_gain_db=3.0,
+        )
+
+    def test_rate_decreases_with_distance(self):
+        lb = self.make()
+        user = Point3D(0, 0, 0)
+        rates = [
+            lb.rate_bps(user, Point3D(r, 0, 300.0))
+            for r in (50, 200, 500, 1500, 4000)
+        ]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_paper_scenario_meets_2kbps_within_500m(self):
+        """Sanity check for Section IV-A: within R_user = 500 m at 300 m
+        altitude the rate is far above the 2 kbps minimum requirement."""
+        lb = self.make()
+        user = Point3D(0, 0, 0)
+        uav = Point3D(400, 0, 300)  # 3-D distance = 500 m
+        assert lb.rate_bps(user, uav) > 2_000.0
+
+    def test_max_horizontal_range_consistent(self):
+        lb = self.make()
+        min_rate = 500e3  # demanding enough to make range finite
+        r = lb.max_horizontal_range_m(300.0, min_rate, precision_m=1.0)
+        user = Point3D(0, 0, 0)
+        assert lb.rate_bps(user, Point3D(r, 0, 300.0)) >= min_rate
+        assert lb.rate_bps(user, Point3D(r + 3.0, 0, 300.0)) < min_rate
+
+    def test_max_range_zero_when_unreachable(self):
+        lb = self.make()
+        assert lb.max_horizontal_range_m(300.0, 1e12) == 0.0
+
+    def test_max_range_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            self.make().max_horizontal_range_m(300.0, 0.0)

@@ -1,0 +1,43 @@
+"""Tests for environment presets."""
+
+import pytest
+
+from repro.channel.presets import (
+    DENSE_URBAN,
+    ENVIRONMENTS,
+    HIGHRISE_URBAN,
+    SUBURBAN,
+    URBAN,
+    get_environment,
+)
+
+
+def test_all_presets_registered():
+    assert set(ENVIRONMENTS) == {
+        "suburban",
+        "urban",
+        "dense-urban",
+        "highrise-urban",
+    }
+
+
+def test_nlos_excess_exceeds_los():
+    for env in ENVIRONMENTS.values():
+        assert env.eta_nlos_db > env.eta_los_db
+
+
+def test_highrise_harshest_and_sigmoid_flattens_with_density():
+    # The published fits are not strictly monotone in eta_nlos between
+    # suburban and urban, but high-rise is the harshest environment and the
+    # LoS sigmoid slope b decreases (flattens) with building density.
+    assert HIGHRISE_URBAN.eta_nlos_db == max(
+        env.eta_nlos_db for env in ENVIRONMENTS.values()
+    )
+    slopes = [env.b for env in (SUBURBAN, URBAN, DENSE_URBAN, HIGHRISE_URBAN)]
+    assert slopes == sorted(slopes, reverse=True)
+
+
+def test_get_environment():
+    assert get_environment("urban") is URBAN
+    with pytest.raises(KeyError, match="known"):
+        get_environment("marsian")

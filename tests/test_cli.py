@@ -1,0 +1,157 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "approAlg" in out
+        assert "UAV" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure8"])
+
+    def test_fig4_smoke(self, capsys, monkeypatch):
+        """Run fig4 on a stub sweep so the CLI path is covered quickly."""
+        import repro.cli as cli
+        from repro.sim.results import RunRecord, SweepResult
+
+        def stub_sweep(**kwargs):
+            sweep = SweepResult(name="fig4", sweep_param="K")
+            sweep.add(2, RunRecord("approAlg", 42, 0.1, 100, 2))
+            return sweep
+
+        monkeypatch.setattr(cli, "fig4_sweep", stub_sweep)
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out and "42" in out
+
+    def test_fig4_chart_flag(self, capsys, monkeypatch):
+        import repro.cli as cli
+        from repro.sim.results import RunRecord, SweepResult
+
+        def stub_sweep(**kwargs):
+            sweep = SweepResult(name="fig4", sweep_param="K")
+            sweep.add(2, RunRecord("approAlg", 10, 0.1, 100, 2))
+            sweep.add(4, RunRecord("approAlg", 30, 0.1, 100, 4))
+            return sweep
+
+        monkeypatch.setattr(cli, "fig4_sweep", stub_sweep)
+        assert main(["fig4", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "[chart]" in out
+        assert "o=approAlg" in out
+
+    def test_fig6b_prints_runtime(self, capsys, monkeypatch):
+        import repro.cli as cli
+        from repro.sim.results import RunRecord, SweepResult
+
+        def stub_sweep(**kwargs):
+            sweep = SweepResult(name="fig6", sweep_param="s")
+            sweep.add(1, RunRecord("approAlg", 10, 0.25, 100, 4))
+            return sweep
+
+        monkeypatch.setattr(cli, "fig6_sweep", stub_sweep)
+        assert main(["fig6b"]) == 0
+        out = capsys.readouterr().out
+        assert "running time" in out and "0.25" in out
+
+    def test_anchor_pool_zero_means_unrestricted(self, monkeypatch):
+        import repro.cli as cli
+
+        captured = {}
+
+        def stub_sweep(**kwargs):
+            captured.update(kwargs)
+            from repro.sim.results import SweepResult
+            return SweepResult(name="fig5", sweep_param="n")
+
+        monkeypatch.setattr(cli, "fig5_sweep", stub_sweep)
+        assert main(["fig5", "--anchor-pool", "0"]) == 0
+        assert captured["max_anchor_candidates"] is None
+
+    def test_ratio_table(self, capsys):
+        assert main(["ratio", "--k", "10", "20", "--s", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "guarantee" in out
+        assert "20" in out
+
+    def test_ratio_skips_s_above_k(self, capsys):
+        assert main(["ratio", "--k", "2", "--s", "3"]) == 0
+        out = capsys.readouterr().out
+        # No data row for s > K.
+        assert len(out.strip().splitlines()) == 3
+
+    def test_map_runs(self, capsys):
+        assert main([
+            "map", "--users", "60", "--uavs", "3",
+            "--scale", "small", "--cols", "20", "--seed", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "legend" in out
+        assert "served" in out
+
+    def test_selfcheck(self, capsys):
+        assert main(["selfcheck"]) == 0
+        out = capsys.readouterr().out
+        assert "all good" in out
+        assert "[ok]" in out and "FAIL" not in out
+
+    def test_run_and_save(self, capsys, tmp_path):
+        out_file = tmp_path / "dep.json"
+        assert main([
+            "run", "--users", "80", "--uavs", "3", "--scale", "small",
+            "--seed", "4", "--save", str(out_file),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "approAlg: served" in out
+        assert out_file.exists()
+        from repro.sim.io import load_deployment
+        dep = load_deployment(out_file)
+        assert dep.num_deployed >= 1
+
+    def test_run_with_report(self, capsys):
+        assert main([
+            "run", "--users", "60", "--uavs", "3", "--scale", "small",
+            "--seed", "2", "--report",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "== coverage ==" in out
+        assert "== spectrum ==" in out
+
+    def test_run_from_scenario_file(self, capsys, tmp_path):
+        from repro.sim.io import save_scenario
+        from repro.workload.scenarios import SCALES
+
+        scenario_file = tmp_path / "scenario.json"
+        config = SCALES["small"].with_overrides(num_users=50, num_uavs=3)
+        save_scenario(scenario_file, config, seed=1)
+        assert main([
+            "run", "--scenario", str(scenario_file),
+            "--algorithm", "MCS",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "MCS: served" in out
+
+    def test_seed_forwarded(self, monkeypatch):
+        import repro.cli as cli
+
+        captured = {}
+
+        def stub_sweep(**kwargs):
+            captured.update(kwargs)
+            from repro.sim.results import SweepResult
+            return SweepResult(name="fig4", sweep_param="K")
+
+        monkeypatch.setattr(cli, "fig4_sweep", stub_sweep)
+        assert main(["fig4", "--seed", "123"]) == 0
+        assert captured["seed"] == 123

@@ -1,0 +1,115 @@
+"""Tests for the exact throughput-optimal assignment (the [37] objective)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assignment import (
+    max_throughput_assignment,
+    optimal_assignment,
+    total_rate_bps,
+)
+from repro.network.validate import validate_deployment
+from tests.conftest import make_line_instance
+
+
+def overlapping_problem(capacities=(2, 2, 2), spacing=300.0):
+    return make_line_instance(
+        num_locations=len(capacities), users_per_location=3,
+        capacities=capacities, spacing=spacing,
+    )
+
+
+class TestMaxThroughputAssignment:
+    def test_empty(self):
+        problem = overlapping_problem()
+        dep = max_throughput_assignment(problem.graph, problem.fleet, {})
+        assert dep.served_count == 0
+
+    def test_feasible(self):
+        problem = overlapping_problem()
+        placements = {0: 0, 1: 1, 2: 2}
+        dep = max_throughput_assignment(
+            problem.graph, problem.fleet, placements
+        )
+        validate_deployment(problem.graph, problem.fleet, dep,
+                            require_connected=False)
+
+    def test_beats_or_ties_coverage_optimal_in_rate(self):
+        problem = overlapping_problem()
+        placements = {0: 0, 1: 1, 2: 2}
+        coverage = optimal_assignment(problem.graph, problem.fleet, placements)
+        throughput = max_throughput_assignment(
+            problem.graph, problem.fleet, placements
+        )
+        assert total_rate_bps(
+            problem.graph, problem.fleet, throughput
+        ) >= total_rate_bps(problem.graph, problem.fleet, coverage) - 1e-6
+
+    def test_coverage_optimal_serves_at_least_as_many(self):
+        problem = overlapping_problem()
+        placements = {0: 0, 1: 1}
+        coverage = optimal_assignment(problem.graph, problem.fleet, placements)
+        throughput = max_throughput_assignment(
+            problem.graph, problem.fleet, placements
+        )
+        assert coverage.served_count >= throughput.served_count
+
+    def test_brute_force_on_tiny(self):
+        """Exact optimality check against enumeration of all feasible
+        assignments on a tiny overlapping instance."""
+        problem = overlapping_problem(capacities=(1, 2), spacing=300.0)
+        placements = {0: 0, 1: 1}
+        graph, fleet = problem.graph, problem.fleet
+        dep = max_throughput_assignment(graph, fleet, placements)
+        got = total_rate_bps(graph, fleet, dep)
+
+        coverable = {
+            k: set(graph.coverable_users(loc, fleet[k]))
+            for k, loc in placements.items()
+        }
+        options = []
+        for u in range(graph.num_users):
+            options.append(
+                [None] + [k for k in placements if u in coverable[k]]
+            )
+        best = 0.0
+        for combo in itertools.product(*options):
+            loads: dict = {}
+            ok = True
+            rate = 0.0
+            for u, k in enumerate(combo):
+                if k is None:
+                    continue
+                loads[k] = loads.get(k, 0) + 1
+                if loads[k] > fleet[k].capacity:
+                    ok = False
+                    break
+                rate += graph.rate_bps(u, placements[k], fleet[k])
+            if ok:
+                best = max(best, rate)
+        assert got == pytest.approx(best)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_random_instances_consistent(self, seed):
+        rng = np.random.default_rng(seed)
+        problem = overlapping_problem(
+            capacities=tuple(int(c) for c in rng.integers(1, 4, size=3)),
+            spacing=float(rng.uniform(250, 450)),
+        )
+        placements = {k: k for k in range(3)}
+        coverage = optimal_assignment(problem.graph, problem.fleet, placements)
+        throughput = max_throughput_assignment(
+            problem.graph, problem.fleet, placements
+        )
+        validate_deployment(problem.graph, problem.fleet, throughput,
+                            require_connected=False)
+        # The two exact optima bound each other's objectives.
+        assert coverage.served_count >= throughput.served_count
+        assert total_rate_bps(
+            problem.graph, problem.fleet, throughput
+        ) >= total_rate_bps(problem.graph, problem.fleet, coverage) - 1e-6

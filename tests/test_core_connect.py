@@ -1,0 +1,83 @@
+"""Tests for the connection step (Algorithm 2 lines 13-18)."""
+
+import pytest
+
+from repro.core.connect import connect_and_deploy
+from repro.core.greedy import anchored_greedy
+from repro.core.segments import optimal_segments
+from repro.graphs.bfs import is_connected
+from tests.conftest import make_line_instance
+
+
+def run_pipeline(problem, anchors, s=2, augment=True, order=None):
+    plan = optimal_segments(problem.num_uavs, s)
+    greedy = anchored_greedy(problem, anchors, plan, order=order)
+    return connect_and_deploy(problem, greedy, order=order,
+                              augment_leftover=augment)
+
+
+class TestConnectAndDeploy:
+    def test_result_connected(self):
+        problem = make_line_instance(num_locations=6, users_per_location=3)
+        solution = run_pipeline(problem, [0, 5])
+        assert solution is not None
+        locs = sorted(solution.placements.values())
+        assert is_connected(problem.graph.location_graph, locs)
+
+    def test_no_more_than_k_uavs(self):
+        problem = make_line_instance(num_locations=8, users_per_location=2,
+                                     capacities=(2,) * 8)
+        solution = run_pipeline(problem, [0, 7])
+        assert solution is not None
+        assert len(solution.placements) <= problem.num_uavs
+
+    def test_each_uav_once_each_location_once(self):
+        problem = make_line_instance(num_locations=6, users_per_location=3)
+        solution = run_pipeline(problem, [1, 4])
+        locs = list(solution.placements.values())
+        assert len(locs) == len(set(locs))
+
+    def test_infeasible_when_anchors_too_far(self):
+        """With K = 3 UAVs and anchors 5 hops apart the connected subgraph
+        needs 6 nodes > K: must return None."""
+        problem = make_line_instance(
+            num_locations=6, users_per_location=2, capacities=(2, 2, 2)
+        )
+        plan = optimal_segments(3, 2)
+        greedy = anchored_greedy(problem, [0, 5], plan)
+        assert connect_and_deploy(problem, greedy) is None
+
+    def test_relays_are_staffed(self):
+        """Anchors three hops apart with only them chosen: the two middle
+        path nodes become relays and receive UAVs."""
+        problem = make_line_instance(
+            num_locations=4, users_per_location=2,
+            capacities=(2, 2, 2, 2),
+        )
+        plan = optimal_segments(4, 2)
+        greedy = anchored_greedy(problem, [0, 3], plan)
+        solution = connect_and_deploy(problem, greedy, augment_leftover=False)
+        assert solution is not None
+        locs = set(solution.placements.values())
+        assert {0, 3} <= locs
+        assert is_connected(problem.graph.location_graph, sorted(locs))
+
+    def test_augment_leftover_only_helps(self):
+        problem = make_line_instance(num_locations=8, users_per_location=2)
+        strict = run_pipeline(problem, [2, 4], augment=False)
+        augmented = run_pipeline(problem, [2, 4], augment=True)
+        assert augmented.served >= strict.served
+        assert len(augmented.placements) >= len(strict.placements)
+
+    def test_leftover_augmentation_preserves_connectivity(self):
+        problem = make_line_instance(num_locations=8, users_per_location=2)
+        solution = run_pipeline(problem, [3, 4], augment=True)
+        locs = sorted(solution.placements.values())
+        assert is_connected(problem.graph.location_graph, locs)
+
+    def test_served_counts_all_deployed(self):
+        problem = make_line_instance(num_locations=5, users_per_location=2)
+        solution = run_pipeline(problem, [0, 4])
+        from repro.core.assignment import max_served
+        exact = max_served(problem.graph, problem.fleet, solution.placements)
+        assert solution.served == exact

@@ -1,0 +1,68 @@
+"""Tests for the brute-force exact solver."""
+
+import pytest
+
+from repro.core.exact import exact_optimum, exact_optimum_value
+from repro.network.validate import validate_deployment
+from tests.conftest import make_line_instance
+
+
+class TestExactOptimum:
+    def test_disjoint_line(self):
+        """On the disjoint line with ample capacities the optimum serves
+        every user under the K best locations (connectivity keeps them
+        contiguous; all locations adjacent on the line)."""
+        problem = make_line_instance(
+            num_locations=4, users_per_location=3, capacities=(3, 3, 3)
+        )
+        dep = exact_optimum(problem)
+        assert dep.served_count == 9  # 3 UAVs x 3 users each
+        validate_deployment(problem.graph, problem.fleet, dep)
+
+    def test_capacity_matters(self):
+        """The optimum must put the big UAV on the big pile: with piles of
+        3 users and capacities (3, 1), the best two-location deployment
+        serves 4."""
+        problem = make_line_instance(
+            num_locations=3, users_per_location=3, capacities=(3, 1)
+        )
+        assert exact_optimum_value(problem) == 4
+
+    def test_connectivity_constraint_binds(self):
+        """Two UAVs that could each serve a far-apart pile must stay
+        adjacent: serving both far piles is infeasible, the optimum is one
+        pile + an adjacent one."""
+        problem = make_line_instance(
+            num_locations=5, users_per_location=2, capacities=(2, 2)
+        )
+        connected = exact_optimum_value(problem, require_connected=True)
+        free = exact_optimum_value(problem, require_connected=False)
+        assert connected == free == 4  # adjacent piles both full
+
+    def test_unconnected_can_beat_connected(self):
+        """Make middle locations empty: connectivity then forces wasted
+        relay positions and the unconstrained optimum is strictly better."""
+        from repro.core.problem import ProblemInstance
+        from repro.network.coverage import CoverageGraph
+        from repro.network.users import users_from_points
+
+        base = make_line_instance(num_locations=5, users_per_location=2,
+                                  capacities=(2, 2))
+        # Users only under locations 0 and 4.
+        points = [(500.0, 0.0), (504.0, 0.0), (2500.0, 0.0), (2504.0, 0.0)]
+        graph = CoverageGraph(
+            users=users_from_points(points),
+            locations=base.graph.locations,
+            uav_range_m=600.0,
+        )
+        problem = ProblemInstance(graph=graph, fleet=base.fleet)
+        connected = exact_optimum_value(problem, require_connected=True)
+        free = exact_optimum_value(problem, require_connected=False)
+        assert free == 4
+        assert connected == 2  # two adjacent UAVs reach only one pile
+
+    def test_guards_against_large_instances(self):
+        problem = make_line_instance(num_locations=16, users_per_location=1,
+                                     capacities=(1,) * 7)
+        with pytest.raises(ValueError, match="too large"):
+            exact_optimum(problem)

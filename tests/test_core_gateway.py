@@ -1,0 +1,115 @@
+"""Tests for the gateway-UAV extension."""
+
+import pytest
+
+from repro.core.gateway import (
+    Gateway,
+    appro_alg_with_gateway,
+    ensure_gateway,
+    gateway_adjacent_locations,
+    has_gateway_link,
+)
+from repro.geometry.point import Point2D
+from repro.network.deployment import Deployment
+from repro.network.validate import validate_deployment
+from tests.conftest import make_line_instance
+
+
+@pytest.fixture
+def problem():
+    # Line of 6 locations at x = 500..3000, altitude 300, R_uav = 600.
+    return make_line_instance(
+        num_locations=6, users_per_location=2,
+        capacities=(2, 2, 2, 2, 2, 2),
+    )
+
+
+def gateway_at(x: float) -> Gateway:
+    return Gateway(position=Point2D(x, 0.0))
+
+
+class TestAdjacency:
+    def test_adjacent_set(self, problem):
+        # Antenna at (500, 0, 5): distance to location 0 (500, 0, 300) is
+        # 295 m <= 600; to location 1 (1000, 0, 300) sqrt(500^2+295^2) ~ 580.
+        gw = gateway_at(500.0)
+        assert gateway_adjacent_locations(problem, gw) == [0, 1]
+
+    def test_no_adjacent_far_gateway(self, problem):
+        gw = gateway_at(50_000.0)
+        assert gateway_adjacent_locations(problem, gw) == []
+
+
+class TestHasLink:
+    def test_detects_link(self, problem):
+        gw = gateway_at(500.0)
+        dep = Deployment(placements={0: 0})
+        assert has_gateway_link(problem, dep, gw)
+        dep_far = Deployment(placements={0: 5})
+        assert not has_gateway_link(problem, dep_far, gw)
+
+
+class TestEnsureGateway:
+    def test_noop_when_linked(self, problem):
+        gw = gateway_at(500.0)
+        dep = Deployment(placements={0: 0}, assignment={})
+        assert ensure_gateway(problem, dep, gw) is dep
+
+    def test_extends_with_relays(self, problem):
+        """Network at locations 4-5, gateway near location 0: relays must
+        staff the path 3-2-1 (or reach location 1, the nearest adjacent)."""
+        gw = gateway_at(500.0)
+        dep = Deployment(placements={0: 4, 1: 5}, assignment={})
+        extended = ensure_gateway(problem, dep, gw)
+        assert extended is not None
+        assert has_gateway_link(problem, extended, gw)
+        validate_deployment(problem.graph, problem.fleet, extended)
+        # Original placements preserved.
+        assert extended.placements[0] == 4
+        assert extended.placements[1] == 5
+
+    def test_relays_serve_users(self, problem):
+        gw = gateway_at(500.0)
+        dep = Deployment(placements={0: 4, 1: 5}, assignment={})
+        extended = ensure_gateway(problem, dep, gw)
+        # New relays over piles 1..3 pick up users via re-assignment.
+        assert extended.served_count > 0
+
+    def test_fails_without_spare_uavs(self):
+        problem = make_line_instance(
+            num_locations=6, users_per_location=1, capacities=(1, 1)
+        )
+        gw = gateway_at(500.0)
+        dep = Deployment(placements={0: 4, 1: 5}, assignment={})
+        assert ensure_gateway(problem, dep, gw) is None
+
+    def test_fails_when_no_adjacent_location(self, problem):
+        gw = gateway_at(50_000.0)
+        dep = Deployment(placements={0: 0}, assignment={})
+        assert ensure_gateway(problem, dep, gw) is None
+
+    def test_empty_deployment(self, problem):
+        gw = gateway_at(500.0)
+        assert ensure_gateway(problem, Deployment.empty(), gw) is None
+
+
+class TestApproWithGateway:
+    def test_end_to_end(self, problem):
+        gw = gateway_at(500.0)
+        dep = appro_alg_with_gateway(problem, gw, s=2)
+        assert dep is not None
+        assert has_gateway_link(problem, dep, gw)
+        validate_deployment(problem.graph, problem.fleet, dep)
+
+    def test_small_scenario(self, small_scenario):
+        gw = Gateway(position=Point2D(0.0, 0.0))
+        dep = appro_alg_with_gateway(
+            small_scenario, gw, s=2, gain_mode="fast"
+        )
+        assert dep is not None
+        assert has_gateway_link(small_scenario, dep, gw)
+        validate_deployment(small_scenario.graph, small_scenario.fleet, dep)
+
+    def test_unreachable_gateway_returns_none(self, problem):
+        gw = gateway_at(50_000.0)
+        assert appro_alg_with_gateway(problem, gw, s=2) is None

@@ -1,0 +1,77 @@
+"""Tests for the local-search post-optimiser."""
+
+import pytest
+
+from repro.core.approx import appro_alg
+from repro.core.local_search import local_search
+from repro.network.deployment import Deployment
+from repro.network.validate import validate_deployment
+from repro.baselines.random_connected import random_connected
+from tests.conftest import make_line_instance
+
+
+class TestLocalSearch:
+    def test_never_worse(self, small_scenario):
+        start = random_connected(small_scenario, seed=1)
+        result = local_search(small_scenario, start)
+        assert result.served >= start.served_count
+        validate_deployment(
+            small_scenario.graph, small_scenario.fleet, result.deployment
+        )
+
+    def test_improves_bad_placement(self):
+        """UAVs parked over empty piles must migrate to the users."""
+        from repro.core.problem import ProblemInstance
+        from repro.network.coverage import CoverageGraph
+        from repro.network.users import users_from_points
+
+        base = make_line_instance(num_locations=6, users_per_location=1,
+                                  capacities=(4, 4))
+        # All users under locations 4 and 5; deployment starts at 0 and 1.
+        points = [(2500.0 + i, 0.0) for i in range(4)]
+        points += [(3000.0 + i, 0.0) for i in range(4)]
+        graph = CoverageGraph(users=users_from_points(points),
+                              locations=base.graph.locations,
+                              uav_range_m=600.0)
+        problem = ProblemInstance(graph=graph, fleet=base.fleet)
+        start = Deployment(placements={0: 0, 1: 1})
+        result = local_search(problem, start, max_rounds=20)
+        assert result.served == 8
+        assert result.moves_applied > 0
+        validate_deployment(problem.graph, problem.fleet, result.deployment)
+
+    def test_local_optimum_stops(self, small_scenario):
+        """Running local search on its own output applies no more moves."""
+        start = random_connected(small_scenario, seed=2)
+        once = local_search(small_scenario, start)
+        twice = local_search(small_scenario, once.deployment)
+        assert twice.moves_applied == 0
+        assert twice.served == once.served
+
+    def test_appro_alg_near_local_optimum(self, small_scenario):
+        """approAlg solutions should leave little for local search —
+        a quality indicator."""
+        result = appro_alg(small_scenario, s=2, gain_mode="fast")
+        polished = local_search(small_scenario, result.deployment)
+        assert polished.served <= result.served * 1.10
+        assert polished.served >= result.served
+
+    def test_empty_deployment_noop(self, small_scenario):
+        result = local_search(small_scenario, Deployment.empty())
+        assert result.served == 0
+        assert result.moves_applied == 0
+
+    def test_validation(self, small_scenario):
+        start = Deployment.empty()
+        with pytest.raises(ValueError):
+            local_search(small_scenario, start, max_rounds=-1)
+        with pytest.raises(ValueError):
+            local_search(small_scenario, start, neighbourhood_hops=0)
+
+    def test_connectivity_preserved_each_config(self):
+        problem = make_line_instance(num_locations=8, users_per_location=2)
+        start = Deployment(placements={0: 3, 1: 4, 2: 5})
+        result = local_search(problem, start, max_rounds=5)
+        locs = result.deployment.locations_used()
+        from repro.graphs.bfs import is_connected
+        assert is_connected(problem.graph.location_graph, locs)

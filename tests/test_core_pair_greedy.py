@@ -1,0 +1,79 @@
+"""Tests for the pair-greedy (textbook FNW) inner loop."""
+
+import pytest
+
+from repro.core.approx import appro_alg
+from repro.core.greedy import anchored_greedy, pair_greedy
+from repro.core.segments import optimal_segments
+from repro.network.validate import validate_deployment
+from tests.conftest import make_line_instance
+
+
+class TestPairGreedy:
+    def make_problem(self):
+        return make_line_instance(
+            num_locations=6, users_per_location=3,
+            capacities=(5, 1, 3, 2, 4, 3),
+        )
+
+    def test_anchors_included(self):
+        problem = self.make_problem()
+        plan = optimal_segments(problem.num_uavs, 2)
+        result = pair_greedy(problem, [1, 4], plan)
+        assert {1, 4} <= {loc for _, loc in result.chosen}
+
+    def test_uavs_and_locations_unique(self):
+        problem = self.make_problem()
+        plan = optimal_segments(problem.num_uavs, 2)
+        result = pair_greedy(problem, [0, 3], plan)
+        uavs = [k for k, _ in result.chosen]
+        locs = [v for _, v in result.chosen]
+        assert len(uavs) == len(set(uavs))
+        assert len(locs) == len(set(locs))
+
+    def test_can_outperform_or_match_sorted_on_tricky_capacities(self):
+        """Pair greedy may place a small UAV on a small pile instead of
+        burning the largest UAV there; it must never be much worse."""
+        problem = self.make_problem()
+        plan = optimal_segments(problem.num_uavs, 2)
+        sorted_result = anchored_greedy(problem, [1, 4], plan)
+        pair_result = pair_greedy(problem, [1, 4], plan)
+        assert pair_result.served >= 0.8 * sorted_result.served
+
+    def test_respects_lmax(self):
+        problem = self.make_problem()
+        plan = optimal_segments(4, 2)
+        result = pair_greedy(problem, [2, 3], plan)
+        assert len(result.chosen) <= plan.lmax
+
+    def test_rejects_bad_anchor_count(self):
+        problem = self.make_problem()
+        plan = optimal_segments(problem.num_uavs, 2)
+        with pytest.raises(ValueError):
+            pair_greedy(problem, [0], plan)
+
+
+class TestApproWithPairsInner:
+    def test_end_to_end_feasible(self):
+        problem = make_line_instance(
+            num_locations=5, users_per_location=2,
+            capacities=(3, 1, 2, 2, 3),
+        )
+        result = appro_alg(problem, s=2, inner="pairs")
+        validate_deployment(problem.graph, problem.fleet, result.deployment)
+        baseline = appro_alg(problem, s=2, inner="sorted")
+        assert result.served >= 0.8 * baseline.served
+
+    def test_rejects_unknown_inner(self):
+        problem = make_line_instance()
+        with pytest.raises(ValueError, match="inner"):
+            appro_alg(problem, s=2, inner="magic")
+
+    def test_small_scenario(self, small_scenario):
+        result = appro_alg(
+            small_scenario, s=2, inner="pairs", max_anchor_candidates=4
+        )
+        validate_deployment(
+            small_scenario.graph, small_scenario.fleet, result.deployment
+        )
+        assert result.served > 0

@@ -1,0 +1,54 @@
+"""Tests for the Theorem 1 approximation-ratio formulas."""
+
+import math
+
+import pytest
+
+from repro.core.ratio import approximation_ratio, l1_of, ratio_order_of_magnitude
+
+
+class TestL1:
+    def test_closed_form(self):
+        # K = 20, s = 3: floor(sqrt(240 + 36 - 25.5)) - 6 + 2
+        expected = math.floor(math.sqrt(4 * 3 * 20 + 4 * 9 - 8.5 * 3)) - 4
+        assert l1_of(20, 3) == expected
+
+    def test_grows_with_k(self):
+        values = [l1_of(k, 3) for k in range(3, 100)]
+        assert values == sorted(values)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            l1_of(20, 0)
+        with pytest.raises(ValueError):
+            l1_of(2, 3)
+
+
+class TestApproximationRatio:
+    def test_at_most_one_third(self):
+        # Delta >= 1 always, so the ratio is at most 1/3.
+        for k in range(2, 60):
+            for s in range(1, min(k, 5) + 1):
+                assert 0 < approximation_ratio(k, s) <= 1 / 3
+
+    def test_improves_with_s(self):
+        for k in (20, 50, 100):
+            ratios = [approximation_ratio(k, s) for s in (1, 2, 3, 4)]
+            assert all(b >= a for a, b in zip(ratios, ratios[1:]))
+
+    def test_degrades_with_k(self):
+        ratios = [approximation_ratio(k, 3) for k in (10, 40, 160, 640)]
+        assert all(b <= a for a, b in zip(ratios, ratios[1:]))
+
+    def test_order_of_magnitude(self):
+        """The closed-form ratio is Theta(sqrt(s/K)): within a constant
+        factor of sqrt(s/K)/3 for large K."""
+        for k in (50, 200, 1000):
+            for s in (1, 2, 3):
+                exact = approximation_ratio(k, s)
+                asymptotic = ratio_order_of_magnitude(k, s)
+                assert asymptotic / 4 <= exact <= asymptotic * 4
+
+    def test_rejects_k1(self):
+        with pytest.raises(ValueError):
+            approximation_ratio(1, 1)

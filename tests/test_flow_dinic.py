@@ -1,0 +1,121 @@
+"""Tests for Dinic's max-flow against networkx and min-cut duality."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flow.dinic import Dinic
+
+
+def random_flow_network(seed: int, n: int, arcs: int):
+    """Random directed network; returns (Dinic, nx.DiGraph, source, sink)."""
+    rng = np.random.default_rng(seed)
+    ours = Dinic(n)
+    theirs = nx.DiGraph()
+    theirs.add_nodes_from(range(n))
+    for _ in range(arcs):
+        u, v = rng.integers(0, n, size=2)
+        if u == v:
+            continue
+        cap = int(rng.integers(1, 12))
+        ours.add_edge(int(u), int(v), cap)
+        if theirs.has_edge(int(u), int(v)):
+            theirs[int(u)][int(v)]["capacity"] += cap
+        else:
+            theirs.add_edge(int(u), int(v), capacity=cap)
+    return ours, theirs, 0, n - 1
+
+
+class TestDinicBasics:
+    def test_single_arc(self):
+        d = Dinic(2)
+        arc = d.add_edge(0, 1, 5)
+        assert d.max_flow(0, 1) == 5
+        assert d.flow_on(arc) == 5
+
+    def test_no_path(self):
+        d = Dinic(3)
+        d.add_edge(0, 1, 5)
+        assert d.max_flow(0, 2) == 0
+
+    def test_bottleneck(self):
+        d = Dinic(4)
+        d.add_edge(0, 1, 10)
+        d.add_edge(1, 2, 3)
+        d.add_edge(2, 3, 10)
+        assert d.max_flow(0, 3) == 3
+
+    def test_parallel_paths(self):
+        d = Dinic(4)
+        d.add_edge(0, 1, 2)
+        d.add_edge(0, 2, 2)
+        d.add_edge(1, 3, 2)
+        d.add_edge(2, 3, 2)
+        assert d.max_flow(0, 3) == 4
+
+    def test_classic_cross_edge(self):
+        # The textbook network where a naive greedy needs the reverse arc.
+        d = Dinic(4)
+        d.add_edge(0, 1, 1)
+        d.add_edge(0, 2, 1)
+        d.add_edge(1, 2, 1)
+        d.add_edge(1, 3, 1)
+        d.add_edge(2, 3, 1)
+        assert d.max_flow(0, 3) == 2
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            Dinic(1)
+        d = Dinic(3)
+        with pytest.raises(IndexError):
+            d.add_edge(0, 3, 1)
+        with pytest.raises(ValueError):
+            d.add_edge(0, 1, -1)
+        with pytest.raises(ValueError):
+            d.max_flow(1, 1)
+
+
+class TestDinicAgainstNetworkx:
+    @given(st.integers(0, 100_000), st.integers(2, 20), st.integers(0, 60))
+    @settings(max_examples=50, deadline=None)
+    def test_value_matches(self, seed, n, arcs):
+        ours, theirs, s, t = random_flow_network(seed, n, arcs)
+        expected = nx.maximum_flow_value(theirs, s, t) if theirs.number_of_edges() else 0
+        assert ours.max_flow(s, t) == expected
+
+    @given(st.integers(0, 100_000), st.integers(3, 15), st.integers(5, 40))
+    @settings(max_examples=30, deadline=None)
+    def test_min_cut_certifies(self, seed, n, arcs):
+        """Max-flow value equals the capacity across the residual-reachable
+        cut (strong duality certificate)."""
+        ours, theirs, s, t = random_flow_network(seed, n, arcs)
+        value = ours.max_flow(s, t)
+        reachable = ours.min_cut_reachable(s)
+        assert s in reachable and t not in reachable
+        cut = 0
+        for u, v, data in theirs.edges(data=True):
+            if u in reachable and v not in reachable:
+                cut += data["capacity"]
+        assert cut == value
+
+
+class TestFlowConservation:
+    def test_flows_are_consistent(self):
+        d = Dinic(5)
+        arcs = [
+            d.add_edge(0, 1, 4),
+            d.add_edge(0, 2, 3),
+            d.add_edge(1, 3, 2),
+            d.add_edge(2, 3, 5),
+            d.add_edge(1, 2, 2),
+            d.add_edge(3, 4, 6),
+        ]
+        value = d.max_flow(0, 4)
+        flows = [d.flow_on(a) for a in arcs]
+        # Conservation at nodes 1, 2, 3.
+        assert flows[0] == flows[2] + flows[4]
+        assert flows[1] + flows[4] == flows[3]
+        assert flows[2] + flows[3] == flows[5]
+        assert flows[5] == value

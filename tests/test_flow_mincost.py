@@ -1,0 +1,125 @@
+"""Tests for the Hungarian min-cost assignment, with scipy as oracle."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.flow.mincost import min_cost_assignment, min_max_assignment
+
+
+class TestMinCostAssignment:
+    def test_empty(self):
+        assert min_cost_assignment([]) == ([], 0.0)
+
+    def test_singleton(self):
+        assignment, total = min_cost_assignment([[7.0]])
+        assert assignment == [0] and total == 7.0
+
+    def test_classic_3x3(self):
+        costs = [
+            [4.0, 1.0, 3.0],
+            [2.0, 0.0, 5.0],
+            [3.0, 2.0, 2.0],
+        ]
+        assignment, total = min_cost_assignment(costs)
+        assert total == 5.0  # 1 + 2 + 2
+        assert sorted(assignment) == [0, 1, 2]
+
+    def test_rectangular(self):
+        costs = [
+            [10.0, 1.0, 10.0, 10.0],
+            [10.0, 10.0, 2.0, 10.0],
+        ]
+        assignment, total = min_cost_assignment(costs)
+        assert assignment == [1, 2]
+        assert total == 3.0
+
+    def test_forbidden_pairings(self):
+        inf = math.inf
+        costs = [[inf, 1.0], [1.0, inf]]
+        assignment, total = min_cost_assignment(costs)
+        assert assignment == [1, 0] and total == 2.0
+
+    def test_infeasible_raises(self):
+        inf = math.inf
+        with pytest.raises(ValueError, match="forbidden"):
+            min_cost_assignment([[inf, inf], [1.0, 1.0]])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="ragged"):
+            min_cost_assignment([[1.0, 2.0], [3.0]])
+        with pytest.raises(ValueError, match="rows"):
+            min_cost_assignment([[1.0], [2.0]])
+
+    @given(st.integers(0, 100_000), st.integers(1, 9), st.integers(0, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_scipy(self, seed, n, extra_cols):
+        rng = np.random.default_rng(seed)
+        m = n + extra_cols
+        costs = rng.integers(0, 50, size=(n, m)).astype(float)
+        assignment, total = min_cost_assignment(costs.tolist())
+        rows, cols = linear_sum_assignment(costs)
+        expected = costs[rows, cols].sum()
+        assert total == pytest.approx(expected)
+        # Valid permutation of distinct columns:
+        assert len(set(assignment)) == n
+        assert total == pytest.approx(
+            sum(costs[i][j] for i, j in enumerate(assignment))
+        )
+
+    @given(st.integers(0, 100_000), st.integers(1, 7))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_scipy_with_float_costs(self, seed, n):
+        rng = np.random.default_rng(seed)
+        costs = rng.uniform(0, 100, size=(n, n))
+        _, total = min_cost_assignment(costs.tolist())
+        rows, cols = linear_sum_assignment(costs)
+        assert total == pytest.approx(costs[rows, cols].sum())
+
+
+class TestMinMaxAssignment:
+    def test_bottleneck_differs_from_sum(self):
+        # Sum-optimal pairs (0->0: 1, 1->1: 10) = max 10; bottleneck picks
+        # (0->1: 6, 1->0: 6) = max 6.
+        costs = [
+            [1.0, 6.0],
+            [6.0, 10.0],
+        ]
+        _, total = min_cost_assignment(costs)
+        assert total == 11.0  # sum-optimal diagonal 1 + 10, with max 10
+        assignment, bottleneck = min_max_assignment(costs)
+        assert bottleneck == 6.0
+        assert sorted(assignment) == [0, 1]
+
+    def test_min_max_at_most_min_sum_max(self):
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            n = int(rng.integers(1, 7))
+            costs = rng.uniform(0, 100, size=(n, n)).tolist()
+            sum_assignment, _ = min_cost_assignment(costs)
+            sum_max = max(costs[i][j] for i, j in enumerate(sum_assignment))
+            _, bottleneck = min_max_assignment(costs)
+            assert bottleneck <= sum_max + 1e-9
+
+    def test_brute_force_small(self):
+        from itertools import permutations
+
+        rng = np.random.default_rng(11)
+        for _ in range(15):
+            n = int(rng.integers(1, 6))
+            costs = rng.integers(0, 30, size=(n, n)).astype(float).tolist()
+            _, bottleneck = min_max_assignment(costs)
+            best = min(
+                max(costs[i][perm[i]] for i in range(n))
+                for perm in permutations(range(n))
+            )
+            assert bottleneck == best
+
+    def test_infeasible(self):
+        inf = math.inf
+        with pytest.raises(ValueError):
+            min_max_assignment([[inf]])

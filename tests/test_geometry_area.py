@@ -1,0 +1,84 @@
+"""Tests for repro.geometry.area."""
+
+import pytest
+
+from repro.geometry.area import DisasterArea
+from repro.geometry.point import Point2D
+
+
+class TestDisasterArea:
+    def test_ground_area(self):
+        assert DisasterArea(3000, 2000).ground_area == 6_000_000
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="positive"):
+            DisasterArea(0, 100)
+        with pytest.raises(ValueError, match="positive"):
+            DisasterArea(100, -5)
+        with pytest.raises(ValueError, match="positive"):
+            DisasterArea(100, 100, height=0)
+
+    def test_contains_ground(self):
+        area = DisasterArea(100, 50)
+        assert area.contains_ground(Point2D(0, 0))
+        assert area.contains_ground(Point2D(100, 50))
+        assert not area.contains_ground(Point2D(100.1, 10))
+        assert not area.contains_ground(Point2D(-0.1, 10))
+
+
+class TestHoveringGrid:
+    def test_paper_dimensions(self):
+        # 3 km x 3 km with 50 m cells: m = 60 * 60 = 3600 (Section II-A).
+        grid = DisasterArea(3000, 3000).hovering_grid(50, 300)
+        assert grid.size == 3600
+        assert grid.cols == 60 and grid.rows == 60
+
+    def test_centers_are_cell_centers(self):
+        grid = DisasterArea(1000, 500).hovering_grid(500, 300)
+        assert grid.size == 2
+        c0, c1 = grid.centers
+        assert (c0.x, c0.y, c0.z) == (250.0, 250.0, 300.0)
+        assert (c1.x, c1.y, c1.z) == (750.0, 250.0, 300.0)
+
+    def test_row_major_indexing(self):
+        grid = DisasterArea(1500, 1000).hovering_grid(500, 300)
+        assert grid.cols == 3 and grid.rows == 2
+        assert grid.index_of(2, 1) == 5
+        assert grid.cell_of(5) == (2, 1)
+        assert grid.cell_of(0) == (0, 0)
+
+    def test_index_roundtrip(self):
+        grid = DisasterArea(2000, 1500).hovering_grid(500, 250)
+        for j in range(grid.size):
+            col, row = grid.cell_of(j)
+            assert grid.index_of(col, row) == j
+
+    def test_containing_cell(self):
+        grid = DisasterArea(1000, 1000).hovering_grid(500, 300)
+        assert grid.containing_cell(Point2D(10, 10)) == 0
+        assert grid.containing_cell(Point2D(990, 990)) == 3
+        # Boundary points clamp into the last cell.
+        assert grid.containing_cell(Point2D(1000, 1000)) == 3
+
+    def test_containing_cell_outside_raises(self):
+        grid = DisasterArea(1000, 1000).hovering_grid(500, 300)
+        with pytest.raises(ValueError, match="outside"):
+            grid.containing_cell(Point2D(1001, 10))
+
+    def test_indivisible_side_rejected(self):
+        with pytest.raises(ValueError, match="divisible"):
+            DisasterArea(1000, 1000).hovering_grid(300, 300)
+
+    def test_altitude_outside_airspace_rejected(self):
+        area = DisasterArea(1000, 1000, height=500)
+        with pytest.raises(ValueError, match="airspace"):
+            area.hovering_grid(500, 501)
+        with pytest.raises(ValueError, match="airspace"):
+            area.hovering_grid(500, 0)
+
+    def test_cell_of_out_of_range(self):
+        grid = DisasterArea(1000, 1000).hovering_grid(500, 300)
+        with pytest.raises(IndexError):
+            grid.cell_of(4)
+        with pytest.raises(IndexError):
+            grid.index_of(2, 0)

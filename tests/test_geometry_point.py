@@ -1,0 +1,94 @@
+"""Tests for repro.geometry.point."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point2D, Point3D, elevation_angle_deg
+
+finite = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestPoint2D:
+    def test_distance_simple(self):
+        assert Point2D(0, 0).distance_to(Point2D(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_self_is_zero(self):
+        p = Point2D(7.5, -2.0)
+        assert p.distance_to(p) == 0.0
+
+    def test_at_altitude(self):
+        p3 = Point2D(1.0, 2.0).at_altitude(300.0)
+        assert p3 == Point3D(1.0, 2.0, 300.0)
+
+    def test_iter_unpacks(self):
+        x, y = Point2D(1.5, 2.5)
+        assert (x, y) == (1.5, 2.5)
+
+    @given(finite, finite, finite, finite)
+    def test_distance_symmetry(self, x1, y1, x2, y2):
+        a, b = Point2D(x1, y1), Point2D(x2, y2)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Point2D(0, 0).x = 1.0
+
+
+class TestPoint3D:
+    def test_distance_3d(self):
+        assert Point3D(0, 0, 0).distance_to(Point3D(1, 2, 2)) == pytest.approx(3.0)
+
+    def test_horizontal_distance_ignores_z(self):
+        a = Point3D(0, 0, 0)
+        b = Point3D(3, 4, 300)
+        assert a.horizontal_distance_to(b) == pytest.approx(5.0)
+
+    def test_ground_projection(self):
+        assert Point3D(1, 2, 300).ground() == Point2D(1, 2)
+
+    def test_default_altitude_zero(self):
+        assert Point3D(1, 2).z == 0.0
+
+    @given(finite, finite, finite, finite,
+           st.floats(0, 1e4, allow_nan=False), st.floats(0, 1e4, allow_nan=False))
+    def test_triangle_inequality(self, x1, y1, x2, y2, z1, z2):
+        a = Point3D(x1, y1, z1)
+        b = Point3D(x2, y2, z2)
+        origin = Point3D(0, 0, 0)
+        assert a.distance_to(b) <= (
+            a.distance_to(origin) + origin.distance_to(b) + 1e-6
+        )
+
+
+class TestElevationAngle:
+    def test_overhead_is_90(self):
+        assert elevation_angle_deg(
+            Point3D(5, 5, 0), Point3D(5, 5, 300)
+        ) == pytest.approx(90.0)
+
+    def test_45_degrees(self):
+        assert elevation_angle_deg(
+            Point3D(0, 0, 0), Point3D(300, 0, 300)
+        ) == pytest.approx(45.0)
+
+    def test_rejects_below(self):
+        with pytest.raises(ValueError, match="above"):
+            elevation_angle_deg(Point3D(0, 0, 100), Point3D(0, 0, 0))
+
+    @given(st.floats(1.0, 1e5), st.floats(1.0, 1e5))
+    def test_angle_in_range(self, horizontal, altitude):
+        angle = elevation_angle_deg(
+            Point3D(0, 0, 0), Point3D(horizontal, 0, altitude)
+        )
+        assert 0.0 < angle < 90.0
+
+    def test_monotone_in_altitude(self):
+        ground = Point3D(0, 0, 0)
+        angles = [
+            elevation_angle_deg(ground, Point3D(500, 0, h))
+            for h in (50, 150, 300, 450)
+        ]
+        assert angles == sorted(angles)

@@ -1,0 +1,91 @@
+"""Tests for the adjacency-list Graph."""
+
+import pytest
+
+from repro.graphs.adjacency import Graph
+
+
+class TestGraphBasics:
+    def test_empty(self):
+        g = Graph(0)
+        assert g.num_nodes == 0 and g.num_edges == 0
+        assert g.edges() == []
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            Graph(-1)
+
+    def test_add_edge_both_directions(self):
+        g = Graph(3)
+        g.add_edge(0, 2)
+        assert g.has_edge(0, 2) and g.has_edge(2, 0)
+        assert g.neighbours(0) == [2]
+        assert g.neighbours(2) == [0]
+        assert g.num_edges == 1
+
+    def test_rejects_self_loop(self):
+        g = Graph(2)
+        with pytest.raises(ValueError, match="self-loop"):
+            g.add_edge(1, 1)
+
+    def test_rejects_parallel_edge(self):
+        g = Graph(2)
+        g.add_edge(0, 1)
+        with pytest.raises(ValueError, match="already"):
+            g.add_edge(1, 0)
+
+    def test_rejects_out_of_range(self):
+        g = Graph(2)
+        with pytest.raises(IndexError):
+            g.add_edge(0, 2)
+        with pytest.raises(IndexError):
+            g.neighbours(5)
+
+    def test_weights(self):
+        g = Graph(3)
+        g.add_edge(0, 1, 2.5)
+        assert g.weight(0, 1) == 2.5
+        assert g.weight(1, 0) == 2.5
+        with pytest.raises(KeyError):
+            g.weight(0, 2)
+
+    def test_degree(self):
+        g = Graph(4)
+        g.add_edge(0, 1)
+        g.add_edge(0, 2)
+        g.add_edge(0, 3)
+        assert g.degree(0) == 3
+        assert g.degree(3) == 1
+
+    def test_from_edges(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        assert g.num_edges == 2
+        gw = Graph.from_edges(3, [(0, 1, 5.0)], weighted=True)
+        assert gw.weight(0, 1) == 5.0
+
+    def test_edges_listing(self):
+        g = Graph(3)
+        g.add_edge(2, 0, 1.5)
+        g.add_edge(1, 2)
+        assert sorted(g.edges()) == [(0, 2, 1.5), (1, 2, 1.0)]
+
+
+class TestSubgraph:
+    def test_induced_subgraph(self):
+        g = Graph(5)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        g.add_edge(3, 4)
+        sub, mapping = g.subgraph([1, 2, 3])
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 2
+        assert sub.has_edge(mapping[1], mapping[2])
+        assert sub.has_edge(mapping[2], mapping[3])
+        assert not sub.has_edge(mapping[1], mapping[3])
+
+    def test_subgraph_keeps_weights(self):
+        g = Graph(3)
+        g.add_edge(0, 2, 7.0)
+        sub, mapping = g.subgraph([0, 2])
+        assert sub.weight(mapping[0], mapping[2]) == 7.0

@@ -1,0 +1,107 @@
+"""Tests for shortest-path Steiner expansion (the connection step)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.adjacency import Graph
+from repro.graphs.bfs import is_connected
+from repro.graphs.steiner import connection_cost_lower_bound, steiner_connect
+
+
+def grid_graph(cols: int, rows: int) -> Graph:
+    g = Graph(cols * rows)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                g.add_edge(v, v + 1)
+            if r + 1 < rows:
+                g.add_edge(v, v + cols)
+    return g
+
+
+class TestSteinerConnect:
+    def test_empty_and_single(self):
+        g = grid_graph(3, 3)
+        assert steiner_connect(g, []) == (set(), [])
+        nodes, edges = steiner_connect(g, [4])
+        assert nodes == {4} and edges == []
+
+    def test_adjacent_terminals_no_relays(self):
+        g = grid_graph(3, 3)
+        nodes, _ = steiner_connect(g, [0, 1, 2])
+        assert nodes == {0, 1, 2}
+
+    def test_far_terminals_add_relays(self):
+        g = grid_graph(5, 1)  # a path 0-1-2-3-4
+        nodes, edges = steiner_connect(g, [0, 4])
+        assert nodes == {0, 1, 2, 3, 4}
+        assert len(edges) == 1
+        assert edges[0][2][0] == 0 and edges[0][2][-1] == 4
+
+    def test_disconnected_terminals_raise(self):
+        g = Graph(4)
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        with pytest.raises(ValueError, match="disconnected"):
+            steiner_connect(g, [0, 3])
+
+    def test_result_connected_and_contains_terminals(self):
+        g = grid_graph(6, 6)
+        terminals = [0, 35, 5, 30]
+        nodes, _ = steiner_connect(g, terminals)
+        assert set(terminals) <= nodes
+        assert is_connected(g, nodes)
+
+    @given(st.integers(0, 10_000), st.integers(2, 6), st.integers(2, 6),
+           st.integers(2, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_random_terminals_connected(self, seed, cols, rows, num_terms):
+        g = grid_graph(cols, rows)
+        rng = np.random.default_rng(seed)
+        terminals = list(
+            rng.choice(cols * rows, size=min(num_terms, cols * rows),
+                       replace=False)
+        )
+        nodes, _ = steiner_connect(g, [int(t) for t in terminals])
+        assert {int(t) for t in terminals} <= nodes
+        assert is_connected(g, nodes)
+
+    def test_within_2x_steiner_optimum_on_grid(self):
+        """MST-of-shortest-paths is a 2-approximation of the Steiner tree;
+        check against networkx's Steiner approximation on a grid."""
+        g = grid_graph(5, 5)
+        nxg = nx.Graph((u, v) for u, v, _ in g.edges())
+        terminals = [0, 4, 20, 24]
+        nodes, _ = steiner_connect(g, terminals)
+        reference = nx.algorithms.approximation.steiner_tree(
+            nxg, terminals
+        ).number_of_nodes()
+        assert len(nodes) <= 2 * reference
+
+
+class TestConnectionLowerBound:
+    def test_trivial_cases(self):
+        g = grid_graph(3, 3)
+        assert connection_cost_lower_bound(g, []) == 0
+        assert connection_cost_lower_bound(g, [4]) == 1
+
+    def test_bound_is_valid(self):
+        g = grid_graph(6, 6)
+        rng = np.random.default_rng(2)
+        for _ in range(25):
+            terminals = [
+                int(t) for t in rng.choice(36, size=4, replace=False)
+            ]
+            bound = connection_cost_lower_bound(g, terminals)
+            nodes, _ = steiner_connect(g, terminals)
+            assert bound <= len(nodes)
+
+    def test_disconnected_exceeds_graph(self):
+        g = Graph(4)
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        assert connection_cost_lower_bound(g, [0, 2]) > g.num_nodes

@@ -1,0 +1,85 @@
+"""Property tests of the connection step against networkx's Steiner-tree
+approximation on random connected graphs (beyond the fixed-grid unit
+tests)."""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.adjacency import Graph
+from repro.graphs.bfs import is_connected
+from repro.graphs.steiner import connection_cost_lower_bound, steiner_connect
+
+
+def random_connected_graph(seed: int, n: int, extra_edges: int) -> Graph:
+    rng = np.random.default_rng(seed)
+    g = Graph(n)
+    order = rng.permutation(n)
+    for a, b in zip(order, order[1:]):
+        g.add_edge(int(a), int(b))
+    for _ in range(extra_edges):
+        a, b = rng.integers(0, n, size=2)
+        if a != b and not g.has_edge(int(a), int(b)):
+            g.add_edge(int(a), int(b))
+    return g
+
+
+@given(
+    st.integers(0, 100_000),
+    st.integers(3, 25),
+    st.integers(0, 30),
+    st.integers(2, 6),
+)
+@settings(max_examples=50, deadline=None)
+def test_steiner_connect_quality_and_validity(seed, n, extra, num_terms):
+    g = random_connected_graph(seed, n, extra)
+    rng = np.random.default_rng(seed + 1)
+    terminals = [int(t) for t in rng.choice(n, size=min(num_terms, n),
+                                            replace=False)]
+
+    nodes, edges = steiner_connect(g, terminals)
+
+    # Validity: contains terminals, induces a connected subgraph, and the
+    # expanded paths use real edges.
+    assert set(terminals) <= nodes
+    assert is_connected(g, nodes)
+    for _u, _v, path in edges:
+        for a, b in zip(path, path[1:]):
+            assert g.has_edge(a, b)
+
+    # Lower bound validity.
+    assert connection_cost_lower_bound(g, terminals) <= len(nodes)
+
+    # Quality: MST-of-shortest-paths is a 2-approximation of the Steiner
+    # tree in edge weight; in node count a generous 2x + s cushion vs
+    # networkx's own approximation must always hold.
+    nxg = nx.Graph((u, v) for u, v, _ in g.edges())
+    reference = nx.algorithms.approximation.steiner_tree(
+        nxg, set(terminals)
+    ).number_of_nodes()
+    reference = max(reference, len(set(terminals)))
+    assert len(nodes) <= 2 * reference + len(set(terminals))
+
+
+@given(st.integers(0, 100_000), st.integers(2, 20))
+@settings(max_examples=30, deadline=None)
+def test_adjacent_terminal_set_needs_no_relays(seed, n):
+    """If the terminals already induce a connected subgraph, no relays are
+    added."""
+    g = random_connected_graph(seed, n, n)
+    # Grow a connected terminal set by BFS.
+    rng = np.random.default_rng(seed)
+    start = int(rng.integers(0, n))
+    terminals = {start}
+    frontier = list(g.neighbours(start))
+    while frontier and len(terminals) < min(5, n):
+        terminals.add(frontier.pop(0))
+        frontier = [
+            w
+            for t in terminals
+            for w in g.neighbours(t)
+            if w not in terminals
+        ]
+    nodes, _ = steiner_connect(g, sorted(terminals))
+    assert nodes == terminals

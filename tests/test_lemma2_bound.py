@@ -1,0 +1,130 @@
+"""Direct property test of Lemma 2 (Section III-F).
+
+Lemma 2 claims: for anchors ``v*_1..v*_s`` whose consecutive shortest
+paths have at most ``p_i`` intermediate nodes, and any ``V'`` independent
+in the hop matroid ``M2`` (bounds from Eq. 1) containing the anchors, the
+connected subgraph built by the algorithm has at most
+
+    g(L, p) = s + sum(middle p_i) + end/middle relay sums   (Eq. 2)
+
+nodes.  The paper proves it by charging each ``V'`` node its hop distance;
+we test it on adversarial "spider" graphs — anchors joined by paths of
+exactly ``p_i`` intermediates, with many disjoint dangling paths per
+anchor so that chosen nodes genuinely cost their full hop distance in
+relays (the worst case of the proof).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.segments import hmax_of, q_bounds, relay_bound
+from repro.graphs.adjacency import Graph
+from repro.graphs.bfs import is_connected, multi_source_hops
+from repro.graphs.steiner import steiner_connect
+from repro.matroid.hop import HopCountingMatroid, IncrementalHopFilter
+
+
+def build_spider(p: list, arms_per_anchor: int, arm_length: int):
+    """Anchors chained with exactly ``p_i`` intermediates (i = 2..s) plus
+    dangling end-paths of p_1 / p_{s+1}, and ``arms_per_anchor`` extra
+    disjoint arms of ``arm_length`` per anchor.
+
+    Returns (graph, anchors)."""
+    s = len(p) - 1
+    edges: list = []
+    next_id = 0
+
+    def new_node() -> int:
+        nonlocal next_id
+        node = next_id
+        next_id += 1
+        return node
+
+    anchors = [new_node()]
+    for pi in p[1:-1]:
+        prev = anchors[-1]
+        for _ in range(pi):
+            mid = new_node()
+            edges.append((prev, mid))
+            prev = mid
+        nxt = new_node()
+        edges.append((prev, nxt))
+        anchors.append(nxt)
+    # End segments dangle off the first and last anchors.
+    for anchor, length in ((anchors[0], p[0]), (anchors[-1], p[-1])):
+        prev = anchor
+        for _ in range(length):
+            node = new_node()
+            edges.append((prev, node))
+            prev = node
+    # Extra arms so the matroid has room to pick expensive nodes.
+    for anchor in anchors:
+        for _ in range(arms_per_anchor):
+            prev = anchor
+            for _ in range(arm_length):
+                node = new_node()
+                edges.append((prev, node))
+                prev = node
+
+    graph = Graph(next_id)
+    for u, v in edges:
+        graph.add_edge(u, v)
+    assert len(anchors) == s
+    return graph, anchors
+
+
+@given(
+    st.lists(st.integers(0, 3), min_size=2, max_size=5),
+    st.integers(1, 3),
+    st.integers(0, 10_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_lemma2_relay_bound(p, arms, seed):
+    """Any M2-independent superset of the anchors connects within g(L,p)
+    nodes."""
+    s = len(p) - 1
+    length = sum(p) + s  # L: anchors + interior nodes
+    graph, anchors = build_spider(p, arms_per_anchor=arms,
+                                  arm_length=max(hmax_of(p), 1))
+    hops = multi_source_hops(graph, anchors)
+    matroid = HopCountingMatroid(hops, q_bounds(length, p))
+    hop_filter = IncrementalHopFilter(matroid)
+    for a in anchors:
+        hop_filter.add(a)
+
+    # Greedily add random feasible nodes until saturation.
+    rng = np.random.default_rng(seed)
+    universe = list(matroid.ground_set())
+    rng.shuffle(universe)
+    for v in universe:
+        if hop_filter.can_add(v):
+            hop_filter.add(v)
+    chosen = sorted(hop_filter.selected)
+    assert matroid.is_independent(chosen)
+
+    nodes, _ = steiner_connect(graph, chosen)
+    bound = relay_bound(p)
+    assert len(nodes) <= bound, (
+        f"Lemma 2 violated: |G_j| = {len(nodes)} > g = {bound} for "
+        f"p = {p}, chosen = {chosen}"
+    )
+    assert is_connected(graph, nodes)
+    assert set(chosen) <= nodes
+
+
+def test_lemma2_paper_example_shape():
+    """The Fig. 2 configuration: s = 3, p = (1, 2, 2, 2), L = 10,
+    g = 15 — the full sub-path (10 nodes) plus relays stays within 15."""
+    p = [1, 2, 2, 2]
+    graph, anchors = build_spider(p, arms_per_anchor=2, arm_length=2)
+    hops = multi_source_hops(graph, anchors)
+    matroid = HopCountingMatroid(hops, q_bounds(10, p))
+    hop_filter = IncrementalHopFilter(matroid)
+    for a in anchors:
+        hop_filter.add(a)
+    for v in sorted(matroid.ground_set()):
+        if hop_filter.can_add(v):
+            hop_filter.add(v)
+    nodes, _ = steiner_connect(graph, sorted(hop_filter.selected))
+    assert len(nodes) <= relay_bound(p) == 15

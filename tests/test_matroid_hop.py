@@ -1,0 +1,107 @@
+"""Tests for the hop-counting matroid M2 (Section III-C)."""
+
+import pytest
+
+from repro.core.segments import q_bounds
+from repro.graphs.bfs import UNREACHABLE
+from repro.matroid.hop import HopCountingMatroid, IncrementalHopFilter
+
+
+def paper_matroid() -> HopCountingMatroid:
+    """The Fig. 2(d) example: L = 10, p = (1, 2, 2, 2), Q = (10, 7, 1).
+
+    Hops are laid out to have exactly the paper's counts: 3 anchors at
+    hop 0, six nodes at hop 1, one node at hop 2.
+    """
+    hops = [0, 0, 0, 1, 1, 1, 1, 1, 1, 2]
+    q = q_bounds(10, [1, 2, 2, 2])
+    assert q == [10, 7, 1]
+    return HopCountingMatroid(hops, q)
+
+
+class TestConstruction:
+    def test_rejects_empty_bounds(self):
+        with pytest.raises(ValueError):
+            HopCountingMatroid([0], [])
+
+    def test_rejects_increasing_bounds(self):
+        with pytest.raises(ValueError, match="non-increasing"):
+            HopCountingMatroid([0, 1], [1, 2])
+
+    def test_rejects_negative_bounds(self):
+        with pytest.raises(ValueError):
+            HopCountingMatroid([0], [-1])
+
+    def test_ground_excludes_far_and_unreachable(self):
+        m = HopCountingMatroid([0, 1, 2, 5, UNREACHABLE], [3, 2, 1])
+        assert m.ground_set() == {0, 1, 2}
+
+
+class TestIndependence:
+    def test_paper_example(self):
+        m = paper_matroid()
+        # All three anchors plus up to Q1 = 7 hop>=1 nodes, at most Q2 = 1
+        # node at hop 2; the full sub-path of Fig. 2(d) is independent.
+        assert m.is_independent({0, 1, 2})
+        assert m.is_independent({0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+        assert m.is_independent({9, 3, 4})  # 1 node at h>=2, 3 at h>=1
+
+    def test_q2_binds(self):
+        hops = [0, 2, 2]
+        m = HopCountingMatroid(hops, [3, 2, 1])
+        assert m.is_independent({0, 1})
+        assert not m.is_independent({1, 2})  # two nodes at hop >= 2 > Q2 = 1
+
+    def test_q0_bounds_total(self):
+        m = HopCountingMatroid([0, 0, 0], [2])
+        assert m.is_independent({0, 1})
+        assert not m.is_independent({0, 1, 2})
+
+    def test_out_of_ground_dependent(self):
+        # A node at hop 5 is outside hmax = 2, so any set containing it is
+        # dependent (it is not even in the ground set).
+        m = HopCountingMatroid([0, 5], [2, 1, 1])
+        assert not m.is_independent({1})
+        assert m.is_independent({0})
+
+    def test_can_extend(self):
+        m = HopCountingMatroid([0, 2, 2], [3, 2, 1])
+        assert m.can_extend({0}, 1)
+        assert not m.can_extend({1}, 2)
+        assert not m.can_extend({0, 1}, 1)
+
+    def test_rank_bound(self):
+        m = paper_matroid()
+        assert m.rank_upper_bound() == 10
+
+
+class TestIncrementalFilter:
+    def test_matches_oracle(self):
+        m = paper_matroid()
+        filt = IncrementalHopFilter(m)
+        selected: set = set()
+        for v in [0, 9, 3, 4, 1]:
+            assert filt.can_add(v) == m.is_independent(selected | {v})
+            filt.add(v)
+            selected.add(v)
+        # Second hop-2 node would violate Q2 = 1 if one existed; test the
+        # bound by exhausting Q1 instead.
+        for v in [5, 6, 7, 8]:
+            assert filt.can_add(v) == m.is_independent(selected | {v})
+            if filt.can_add(v):
+                filt.add(v)
+                selected.add(v)
+
+    def test_add_infeasible_raises(self):
+        m = HopCountingMatroid([0, 2, 2], [3, 2, 1])
+        filt = IncrementalHopFilter(m)
+        filt.add(1)
+        with pytest.raises(ValueError, match="violates"):
+            filt.add(2)
+
+    def test_feasible_candidates(self):
+        m = HopCountingMatroid([0, 1, 2, 2], [3, 2, 1])
+        filt = IncrementalHopFilter(m)
+        assert filt.feasible_candidates(range(4)) == [0, 1, 2, 3]
+        filt.add(2)
+        assert filt.feasible_candidates(range(4)) == [0, 1]

@@ -1,0 +1,43 @@
+"""Tests for the Deployment value object."""
+
+import pytest
+
+from repro.network.deployment import Deployment
+
+
+class TestDeployment:
+    def test_empty(self):
+        d = Deployment.empty()
+        assert d.served_count == 0
+        assert d.num_deployed == 0
+        assert d.locations_used() == []
+        assert d.loads() == {}
+
+    def test_counts(self):
+        d = Deployment(placements={0: 5, 1: 7}, assignment={3: 0, 4: 0, 9: 1})
+        assert d.served_count == 3
+        assert d.num_deployed == 2
+        assert d.locations_used() == [5, 7]
+        assert d.load_of(0) == 2
+        assert d.load_of(1) == 1
+        assert d.loads() == {0: 2, 1: 1}
+        assert d.users_of(0) == [3, 4]
+
+    def test_zero_load_included(self):
+        d = Deployment(placements={0: 1, 1: 2}, assignment={5: 0})
+        assert d.loads() == {0: 1, 1: 0}
+
+    def test_rejects_shared_location(self):
+        with pytest.raises(ValueError, match="share"):
+            Deployment(placements={0: 3, 1: 3})
+
+    def test_rejects_assignment_to_undeployed(self):
+        with pytest.raises(ValueError, match="undeployed"):
+            Deployment(placements={0: 1}, assignment={4: 7})
+
+    def test_load_of_unknown_uav(self):
+        d = Deployment(placements={0: 1})
+        with pytest.raises(KeyError):
+            d.load_of(9)
+        with pytest.raises(KeyError):
+            d.users_of(9)

@@ -1,0 +1,90 @@
+"""Tests for the energy/endurance extension."""
+
+import math
+
+import pytest
+
+from repro.network.deployment import Deployment
+from repro.network.energy import (
+    EnergyModel,
+    dbm_to_watts,
+    fleet_endurance_s,
+    mission_endurance_s,
+)
+from repro.network.uav import UAV
+
+
+class TestDbmToWatts:
+    def test_reference_points(self):
+        assert dbm_to_watts(30.0) == pytest.approx(1.0)
+        assert dbm_to_watts(0.0) == pytest.approx(1e-3)
+        assert dbm_to_watts(40.0) == pytest.approx(10.0)
+
+
+class TestEnergyModel:
+    def test_hover_power_plausible(self):
+        """A ~9 kg quadrotor hovers at several hundred watts up to ~2 kW —
+        sanity band, not a precise value."""
+        p = EnergyModel().hover_power_w()
+        assert 300.0 < p < 3000.0
+
+    def test_heavier_needs_more_power(self):
+        light = EnergyModel(payload_mass_kg=0.5)
+        heavy = EnergyModel(payload_mass_kg=5.5)
+        assert heavy.hover_power_w() > light.hover_power_w()
+
+    def test_radio_power_scales_with_tx(self):
+        model = EnergyModel()
+        weak = UAV(capacity=10, tx_power_dbm=30.0)
+        strong = UAV(capacity=10, tx_power_dbm=40.0)
+        assert model.radio_power_w(strong) > model.radio_power_w(weak)
+
+    def test_endurance_realistic(self):
+        """A Matrice-300-class battery (274 Wh x 2 in reality; we model the
+        usable pack) should hover a UAV for tens of minutes, not hours."""
+        model = EnergyModel()
+        uav = UAV(capacity=100, battery_wh=548.0)
+        endurance_min = model.endurance_s(uav) / 60.0
+        assert 10.0 < endurance_min < 90.0
+
+    def test_bigger_battery_lasts_longer(self):
+        model = EnergyModel()
+        a = UAV(capacity=10, battery_wh=200.0)
+        b = UAV(capacity=10, battery_wh=600.0)
+        assert model.endurance_s(b) == pytest.approx(3 * model.endurance_s(a))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyModel(airframe_mass_kg=0.0)
+        with pytest.raises(ValueError):
+            EnergyModel(rotor_disk_area_m2=-1.0)
+        with pytest.raises(ValueError):
+            EnergyModel(propulsive_efficiency=1.5)
+        with pytest.raises(ValueError):
+            EnergyModel(pa_efficiency=0.0)
+        with pytest.raises(ValueError):
+            EnergyModel(avionics_power_w=-1.0)
+
+
+class TestMissionEndurance:
+    def make_fleet(self):
+        return [
+            UAV(capacity=10, battery_wh=300.0),
+            UAV(capacity=10, battery_wh=600.0),
+        ]
+
+    def test_minimum_rules(self):
+        fleet = self.make_fleet()
+        dep = Deployment(placements={0: 0, 1: 1})
+        per_uav = fleet_endurance_s(fleet, dep)
+        assert mission_endurance_s(fleet, dep) == min(per_uav.values())
+        assert per_uav[0] < per_uav[1]
+
+    def test_only_deployed_counted(self):
+        fleet = self.make_fleet()
+        dep = Deployment(placements={1: 0})  # only the big-battery UAV
+        per_uav = fleet_endurance_s(fleet, dep)
+        assert set(per_uav) == {1}
+
+    def test_empty_deployment_infinite(self):
+        assert mission_endurance_s(self.make_fleet(), Deployment.empty()) == math.inf

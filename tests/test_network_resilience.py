@@ -1,0 +1,206 @@
+"""Tests for the resilience / failure-impact extension."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.approx import appro_alg
+from repro.graphs.adjacency import Graph
+from repro.network.deployment import Deployment
+from repro.network.resilience import (
+    articulation_points,
+    single_failure_impacts,
+    worst_single_failure,
+)
+from tests.conftest import make_line_instance
+
+
+class TestArticulationPoints:
+    def test_chain(self):
+        g = Graph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        assert articulation_points(g, [0, 1, 2, 3, 4]) == {1, 2, 3}
+
+    def test_cycle_has_none(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert articulation_points(g, [0, 1, 2, 3]) == set()
+
+    def test_star_center(self):
+        g = Graph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        assert articulation_points(g, [0, 1, 2, 3]) == {0}
+
+    def test_induced_subgraph_only(self):
+        # Full graph is a cycle, but the induced path 0-1-2 has cut 1.
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert articulation_points(g, [0, 1, 2]) == {1}
+
+    def test_empty_and_single(self):
+        g = Graph(3)
+        assert articulation_points(g, []) == set()
+        assert articulation_points(g, [1]) == set()
+
+    @given(st.integers(0, 10_000), st.integers(2, 18), st.floats(0.05, 0.6))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_networkx(self, seed, n, p):
+        rng = np.random.default_rng(seed)
+        ours = Graph(n)
+        theirs = nx.Graph()
+        theirs.add_nodes_from(range(n))
+        for i in range(n):
+            for j in range(i + 1, n):
+                if rng.random() < p:
+                    ours.add_edge(i, j)
+                    theirs.add_edge(i, j)
+        expected = set(nx.articulation_points(theirs))
+        assert articulation_points(ours, list(range(n))) == expected
+
+
+class TestFailureImpacts:
+    def make_problem(self):
+        return make_line_instance(
+            num_locations=5, users_per_location=2,
+            capacities=(2, 2, 2, 2, 2),
+        )
+
+    def test_chain_deployment_middle_is_critical(self):
+        problem = self.make_problem()
+        dep = Deployment(placements={k: k for k in range(5)})
+        impacts = {fi.uav_index: fi for fi in
+                   single_failure_impacts(problem, dep)}
+        # Middle UAVs split the chain; ends do not.
+        assert impacts[2].splits_network
+        assert not impacts[0].splits_network
+        assert not impacts[4].splits_network
+        # Losing the middle strands one side: 2 (failed pile) + 2 piles
+        # stranded = 6 users lost; losing an end costs only its pile.
+        assert impacts[2].served_lost == 6
+        assert impacts[0].served_lost == 2
+
+    def test_losses_accounting(self):
+        problem = self.make_problem()
+        dep = Deployment(placements={k: k for k in range(5)})
+        for fi in single_failure_impacts(problem, dep):
+            assert fi.served_after + fi.served_lost == 10
+            assert 0 <= fi.surviving_uavs < 5
+
+    def test_sorted_worst_first(self):
+        problem = self.make_problem()
+        dep = Deployment(placements={k: k for k in range(5)})
+        impacts = single_failure_impacts(problem, dep)
+        losses = [fi.served_lost for fi in impacts]
+        assert losses == sorted(losses, reverse=True)
+        worst = worst_single_failure(problem, dep)
+        assert worst.served_lost == losses[0]
+
+    def test_empty_deployment(self):
+        problem = self.make_problem()
+        assert worst_single_failure(problem, Deployment.empty()) is None
+
+    def test_real_deployment_impacts(self, small_scenario):
+        result = appro_alg(small_scenario, s=2, gain_mode="fast")
+        impacts = single_failure_impacts(small_scenario, result.deployment)
+        assert len(impacts) == result.deployment.num_deployed
+        for fi in impacts:
+            assert fi.served_lost >= 0
+
+
+class TestHarden:
+    def test_bypasses_chain_cut(self):
+        """A 3-UAV chain on the bottom row of a 3x2 lattice: the middle
+        UAV is a cut vertex; the bypass runs over the full top row
+        (0-3-4-5-2), consuming three spares."""
+        from repro.core.problem import ProblemInstance
+        from repro.geometry.area import DisasterArea
+        from repro.network.coverage import CoverageGraph
+        from repro.network.resilience import harden
+        from repro.network.uav import UAV
+        from repro.network.users import users_from_points
+
+        area = DisasterArea(1500.0, 1000.0)
+        grid = area.hovering_grid(500.0, 300.0)  # 3 x 2 grid
+        users = users_from_points([(250.0, 250.0), (1250.0, 250.0)])
+        graph = CoverageGraph(users=users, locations=list(grid.centers),
+                              uav_range_m=600.0)
+        fleet = [UAV(capacity=2)] * 6
+        problem = ProblemInstance(graph=graph, fleet=list(fleet))
+        # Bottom row: locations 0, 1, 2.  UAVs 3-5 are spare.
+        dep = Deployment(placements={0: 0, 1: 1, 2: 2})
+        result = harden(problem, dep)
+        assert result.cut_vertices_before == 1
+        assert result.cut_vertices_after == 0
+        assert sorted(loc for _, loc in result.added) == [3, 4, 5]
+        from repro.network.validate import validate_deployment
+        validate_deployment(problem.graph, problem.fleet, result.deployment)
+
+    def test_insufficient_spares_stops_gracefully(self):
+        """Same lattice, but only one spare: the 3-node bypass cannot be
+        staffed; harden adds nothing."""
+        from repro.core.problem import ProblemInstance
+        from repro.geometry.area import DisasterArea
+        from repro.network.coverage import CoverageGraph
+        from repro.network.resilience import harden
+        from repro.network.uav import UAV
+        from repro.network.users import users_from_points
+
+        area = DisasterArea(1500.0, 1000.0)
+        grid = area.hovering_grid(500.0, 300.0)
+        users = users_from_points([(250.0, 250.0)])
+        graph = CoverageGraph(users=users, locations=list(grid.centers),
+                              uav_range_m=600.0)
+        problem = ProblemInstance(
+            graph=graph, fleet=[UAV(capacity=2)] * 4
+        )
+        dep = Deployment(placements={0: 0, 1: 1, 2: 2})
+        result = harden(problem, dep)
+        assert result.added == []
+        assert result.cut_vertices_after == 1
+
+    def test_no_spares_no_change(self):
+        problem = make_line_instance(num_locations=4, users_per_location=2,
+                                     capacities=(2, 2, 2))
+        from repro.network.resilience import harden
+
+        dep = Deployment(placements={0: 0, 1: 1, 2: 2})
+        result = harden(problem, dep)
+        assert result.added == []
+        assert result.deployment.placements == dep.placements
+
+    def test_line_graph_cannot_be_hardened(self):
+        """On a pure line there is no bypass location; harden stops
+        gracefully with cut vertices remaining."""
+        problem = make_line_instance(num_locations=6, users_per_location=1,
+                                     capacities=(1, 1, 1, 1))
+        from repro.network.resilience import harden
+
+        dep = Deployment(placements={0: 0, 1: 1, 2: 2})
+        result = harden(problem, dep)
+        assert result.cut_vertices_after == result.cut_vertices_before
+        assert result.added == []
+
+    def test_max_extra_respected(self, small_scenario):
+        from repro.network.resilience import harden
+        from repro.baselines.random_connected import random_connected
+
+        dep = random_connected(small_scenario, seed=6)
+        result = harden(small_scenario, dep, max_extra=1)
+        assert len(result.added) <= 1
+        from repro.network.validate import validate_deployment
+        validate_deployment(
+            small_scenario.graph, small_scenario.fleet, result.deployment
+        )
+
+    def test_hardening_never_loses_coverage(self, small_scenario):
+        from repro.network.resilience import harden
+        from repro.baselines.random_connected import random_connected
+
+        dep = random_connected(small_scenario, seed=8)
+        result = harden(small_scenario, dep)
+        assert result.deployment.served_count >= dep.served_count
+        assert result.cut_vertices_after <= result.cut_vertices_before
+
+    def test_rejects_negative_max_extra(self, small_scenario):
+        from repro.network.resilience import harden
+
+        with pytest.raises(ValueError):
+            harden(small_scenario, Deployment.empty(), max_extra=-1)

@@ -1,0 +1,111 @@
+"""Tests for channel allocation and its effect on the interference audit."""
+
+import pytest
+
+from repro.channel.interference import audit_interference
+from repro.core.approx import appro_alg
+from repro.core.assignment import optimal_assignment
+from repro.network.deployment import Deployment
+from repro.network.spectrum import (
+    ChannelPlan,
+    allocate_channels,
+    interference_graph,
+)
+from tests.conftest import make_line_instance
+
+
+@pytest.fixture
+def chain_problem():
+    return make_line_instance(
+        num_locations=5, users_per_location=2,
+        capacities=(2, 2, 2, 2, 2),
+    )
+
+
+class TestInterferenceGraph:
+    def test_chain_coupling(self, chain_problem):
+        dep = Deployment(placements={k: k for k in range(5)})
+        # Default coupling range = 2 x 500 m: locations within 1000 m
+        # couple -> neighbours and next-neighbours on the 500 m chain.
+        adj = interference_graph(chain_problem, dep)
+        assert adj[0] == {1, 2}
+        assert adj[2] == {0, 1, 3, 4}
+
+    def test_custom_range(self, chain_problem):
+        dep = Deployment(placements={k: k for k in range(5)})
+        adj = interference_graph(chain_problem, dep, coupling_range_m=600.0)
+        assert adj[0] == {1}
+
+    def test_negative_range_rejected(self, chain_problem):
+        dep = Deployment(placements={0: 0})
+        with pytest.raises(ValueError):
+            interference_graph(chain_problem, dep, coupling_range_m=-1.0)
+
+
+class TestAllocateChannels:
+    def test_proper_colouring(self, chain_problem):
+        dep = Deployment(placements={k: k for k in range(5)})
+        plan = allocate_channels(chain_problem, dep)
+        adj = interference_graph(chain_problem, dep)
+        for k, neighbours in adj.items():
+            for n in neighbours:
+                assert plan.channels[k] != plan.channels[n]
+
+    def test_channel_count_bounded_by_degree(self, chain_problem):
+        dep = Deployment(placements={k: k for k in range(5)})
+        plan = allocate_channels(chain_problem, dep)
+        adj = interference_graph(chain_problem, dep)
+        max_degree = max(len(n) for n in adj.values())
+        assert plan.num_channels <= max_degree + 1
+
+    def test_isolated_uavs_one_channel(self, chain_problem):
+        dep = Deployment(placements={0: 0, 1: 4})  # 2 km apart
+        plan = allocate_channels(chain_problem, dep,
+                                 coupling_range_m=600.0)
+        assert plan.num_channels == 1
+
+    def test_max_channels_enforced(self, chain_problem):
+        dep = Deployment(placements={k: k for k in range(5)})
+        with pytest.raises(ValueError, match="channels"):
+            allocate_channels(chain_problem, dep, max_channels=1)
+
+    def test_empty_deployment(self, chain_problem):
+        plan = allocate_channels(chain_problem, Deployment.empty())
+        assert plan.num_channels == 0
+
+
+class TestAuditWithChannels:
+    def test_channels_recover_link_quality(self, chain_problem):
+        """Orthogonalising coupled neighbours must strictly reduce the
+        mean SINR loss vs reuse-1."""
+        placements = {k: k for k in range(5)}
+        dep = optimal_assignment(
+            chain_problem.graph, chain_problem.fleet, placements
+        )
+        reuse1 = audit_interference(chain_problem, dep)
+        plan = allocate_channels(chain_problem, dep)
+        orthogonal = audit_interference(chain_problem, dep,
+                                        channel_plan=plan)
+        assert orthogonal.mean_sinr_loss_db < reuse1.mean_sinr_loss_db
+        assert orthogonal.still_satisfied >= reuse1.still_satisfied
+
+    def test_single_channel_plan_equals_reuse1(self, chain_problem):
+        placements = {k: k for k in range(3)}
+        dep = optimal_assignment(
+            chain_problem.graph, chain_problem.fleet, placements
+        )
+        all_same = ChannelPlan(channels={k: 0 for k in placements},
+                               num_channels=1)
+        reuse1 = audit_interference(chain_problem, dep)
+        same = audit_interference(chain_problem, dep, channel_plan=all_same)
+        assert same.mean_sinr_loss_db == pytest.approx(
+            reuse1.mean_sinr_loss_db
+        )
+
+    def test_real_deployment(self, small_scenario):
+        result = appro_alg(small_scenario, s=2, gain_mode="fast")
+        plan = allocate_channels(small_scenario, result.deployment)
+        audit = audit_interference(small_scenario, result.deployment,
+                                   channel_plan=plan)
+        assert audit.served == result.served
+        assert plan.num_channels >= 1

@@ -1,0 +1,133 @@
+"""Tests for UAV and fleet builders."""
+
+import numpy as np
+import pytest
+
+from repro.network.fleet import (
+    fleet_from_models,
+    heterogeneous_fleet,
+    homogeneous_fleet,
+)
+from repro.network.uav import MATRICE_300, MATRICE_600, UAV
+
+
+class TestUav:
+    def test_defaults(self):
+        u = UAV(capacity=100)
+        assert u.capacity == 100
+        assert u.user_range_m == 500.0
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            UAV(capacity=-1)
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            UAV(capacity=1, user_range_m=0.0)
+
+    def test_rejects_bad_battery(self):
+        with pytest.raises(ValueError):
+            UAV(capacity=1, battery_wh=-5.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            UAV(capacity=1).capacity = 2
+
+
+class TestHeterogeneousFleet:
+    def test_capacities_in_range(self):
+        fleet = heterogeneous_fleet(50, capacity_min=50, capacity_max=300,
+                                    seed=0)
+        assert len(fleet) == 50
+        assert all(50 <= u.capacity <= 300 for u in fleet)
+
+    def test_deterministic_with_seed(self):
+        a = heterogeneous_fleet(10, seed=42)
+        b = heterogeneous_fleet(10, seed=42)
+        assert [u.capacity for u in a] == [u.capacity for u in b]
+
+    def test_different_seeds_differ(self):
+        a = heterogeneous_fleet(20, seed=1)
+        b = heterogeneous_fleet(20, seed=2)
+        assert [u.capacity for u in a] != [u.capacity for u in b]
+
+    def test_power_scales_with_capacity(self):
+        fleet = heterogeneous_fleet(30, seed=3)
+        by_cap = sorted(fleet, key=lambda u: u.capacity)
+        assert by_cap[0].tx_power_dbm <= by_cap[-1].tx_power_dbm
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            heterogeneous_fleet(-1)
+        with pytest.raises(ValueError):
+            heterogeneous_fleet(3, capacity_min=10, capacity_max=5)
+
+    def test_accepts_generator(self):
+        rng = np.random.default_rng(0)
+        fleet = heterogeneous_fleet(5, seed=rng)
+        assert len(fleet) == 5
+
+    def test_uniform_ranges_by_default(self):
+        fleet = heterogeneous_fleet(10, seed=4)
+        assert {u.user_range_m for u in fleet} == {500.0}
+
+    def test_heterogeneous_ranges(self):
+        fleet = heterogeneous_fleet(30, heterogeneous_ranges=True, seed=4)
+        radii = [u.user_range_m for u in fleet]
+        assert min(radii) >= 0.8 * 500.0
+        assert max(radii) <= 500.0
+        assert len(set(radii)) > 1
+        # Radius tracks capacity.
+        by_cap = sorted(fleet, key=lambda u: u.capacity)
+        assert by_cap[0].user_range_m <= by_cap[-1].user_range_m
+
+    def test_heterogeneous_range_deployment_feasible(self):
+        """End-to-end: appro_alg handles per-UAV radii (coverage sets are
+        radio-specific) and the validator confirms ranges."""
+        from repro.core.approx import appro_alg
+        from repro.core.problem import ProblemInstance
+        from repro.network.validate import validate_deployment
+        from repro.workload.scenarios import paper_scenario
+
+        base = paper_scenario(num_users=200, num_uavs=5, scale="small",
+                              seed=2)
+        fleet = heterogeneous_fleet(5, heterogeneous_ranges=True, seed=2)
+        problem = ProblemInstance(graph=base.graph, fleet=fleet)
+        result = appro_alg(problem, s=2, gain_mode="fast")
+        validate_deployment(problem.graph, problem.fleet, result.deployment)
+        assert result.served > 0
+
+
+class TestHomogeneousFleet:
+    def test_identical(self):
+        fleet = homogeneous_fleet(5, capacity=80)
+        assert len({u.capacity for u in fleet}) == 1
+        assert fleet[0].capacity == 80
+
+
+class TestModelFleet:
+    def test_default_fig1_mix(self):
+        fleet = fleet_from_models(seed=0)
+        assert len(fleet) == 4
+        names = [u.name.split("-")[0] for u in fleet]
+        assert names.count("m600") == 1
+        assert names.count("m300") == 3
+
+    def test_capacity_ranges_respected(self):
+        fleet = fleet_from_models({"M600": 5, "M300": 5}, seed=1)
+        for u in fleet:
+            model = MATRICE_600 if u.name.startswith("m600") else MATRICE_300
+            lo, hi = model.capacity_range
+            assert lo <= u.capacity <= hi
+
+    def test_m600_stronger_than_m300(self):
+        assert MATRICE_600.max_payload_kg > MATRICE_300.max_payload_kg
+        assert MATRICE_600.tx_power_dbm > MATRICE_300.tx_power_dbm
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError, match="known"):
+            fleet_from_models({"M9000": 1})
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            fleet_from_models({"M300": -1})

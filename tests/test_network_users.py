@@ -1,0 +1,39 @@
+"""Tests for ground users."""
+
+import pytest
+
+from repro.geometry.point import Point2D, Point3D
+from repro.network.users import DEFAULT_MIN_RATE_BPS, User, users_from_points
+
+
+class TestUser:
+    def test_defaults(self):
+        u = User(Point3D(10.0, 20.0, 0.0))
+        assert u.min_rate_bps == DEFAULT_MIN_RATE_BPS == 2_000.0
+        assert u.ground == Point2D(10.0, 20.0)
+
+    def test_rejects_airborne_users(self):
+        with pytest.raises(ValueError, match="ground"):
+            User(Point3D(0, 0, 10.0))
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            User(Point3D(0, 0, 0), min_rate_bps=-1.0)
+
+
+class TestUsersFromPoints:
+    def test_from_tuples(self):
+        users = users_from_points([(1, 2), (3, 4)])
+        assert len(users) == 2
+        assert users[0].position == Point3D(1.0, 2.0, 0.0)
+
+    def test_from_point2d(self):
+        users = users_from_points([Point2D(5, 6)])
+        assert users[0].position == Point3D(5.0, 6.0, 0.0)
+
+    def test_custom_rate(self):
+        users = users_from_points([(0, 0)], min_rate_bps=64_000.0)
+        assert users[0].min_rate_bps == 64_000.0
+
+    def test_empty(self):
+        assert users_from_points([]) == []

@@ -1,0 +1,97 @@
+"""Failure-injection tests for the independent deployment validator: every
+constraint of Section II-C must be caught when violated."""
+
+import pytest
+
+from repro.network.deployment import Deployment
+from repro.network.validate import ValidationError, is_feasible, validate_deployment
+from tests.conftest import make_line_instance
+
+
+@pytest.fixture
+def problem():
+    return make_line_instance(
+        num_locations=5, users_per_location=3, capacities=(3, 3, 3, 3, 3)
+    )
+
+
+class TestValidDeployments:
+    def test_valid_passes(self, problem):
+        dep = Deployment(
+            placements={0: 0, 1: 1},
+            assignment={0: 0, 1: 0, 2: 0, 3: 1, 4: 1, 5: 1},
+        )
+        validate_deployment(problem.graph, problem.fleet, dep)
+        assert is_feasible(problem.graph, problem.fleet, dep)
+
+    def test_empty_passes(self, problem):
+        validate_deployment(problem.graph, problem.fleet, Deployment.empty())
+
+    def test_single_uav_connected_trivially(self, problem):
+        dep = Deployment(placements={2: 4}, assignment={})
+        validate_deployment(problem.graph, problem.fleet, dep)
+
+
+class TestViolations:
+    def test_capacity_violation(self, problem):
+        # Capacity 3 but 4 users assigned (location 0 covers only its own
+        # 3 users, so use users 0-2 plus an in-range neighbour? location
+        # coverage is disjoint: give UAV 0 capacity 2 instead).
+        problem2 = make_line_instance(
+            num_locations=5, users_per_location=3,
+            capacities=(2, 3, 3, 3, 3),
+        )
+        dep = Deployment(placements={0: 0}, assignment={0: 0, 1: 0, 2: 0})
+        with pytest.raises(ValidationError, match="capacity"):
+            validate_deployment(problem2.graph, problem2.fleet, dep)
+
+    def test_out_of_range_user(self, problem):
+        # User 12 sits under location 4; assigning it to a UAV at
+        # location 0 exceeds the 500 m radius.
+        dep = Deployment(placements={0: 0}, assignment={12: 0})
+        with pytest.raises(ValidationError, match="beyond"):
+            validate_deployment(problem.graph, problem.fleet, dep)
+
+    def test_disconnected_network(self, problem):
+        # Locations 0 and 4 are 2 km apart (range 600 m) -> disconnected.
+        dep = Deployment(placements={0: 0, 1: 4}, assignment={})
+        with pytest.raises(ValidationError, match="connected"):
+            validate_deployment(problem.graph, problem.fleet, dep)
+        # And passes once connectivity is not required.
+        validate_deployment(problem.graph, problem.fleet, dep,
+                            require_connected=False)
+
+    def test_bad_uav_index(self, problem):
+        dep = Deployment(placements={42: 0}, assignment={})
+        with pytest.raises(ValidationError, match="fleet"):
+            validate_deployment(problem.graph, problem.fleet, dep)
+
+    def test_bad_location_index(self, problem):
+        dep = Deployment(placements={0: 42}, assignment={})
+        with pytest.raises(ValidationError, match="location"):
+            validate_deployment(problem.graph, problem.fleet, dep)
+
+    def test_bad_user_index(self, problem):
+        dep = Deployment(placements={0: 0}, assignment={999: 0})
+        with pytest.raises(ValidationError, match="user index"):
+            validate_deployment(problem.graph, problem.fleet, dep)
+
+    def test_rate_violation(self):
+        """A user with an enormous min-rate requirement cannot be served
+        even in range."""
+        from repro.core.problem import ProblemInstance
+        from repro.network.coverage import CoverageGraph
+        from repro.network.users import users_from_points
+
+        base = make_line_instance(num_locations=2, users_per_location=1,
+                                  capacities=(2, 2))
+        users = users_from_points([(500.0, 0.0)], min_rate_bps=1e15)
+        graph = CoverageGraph(users=users, locations=base.graph.locations,
+                              uav_range_m=600.0)
+        dep = Deployment(placements={0: 0}, assignment={0: 0})
+        with pytest.raises(ValidationError, match="below"):
+            validate_deployment(graph, base.fleet, dep)
+
+    def test_is_feasible_false_on_violation(self, problem):
+        dep = Deployment(placements={0: 0, 1: 4}, assignment={})
+        assert not is_feasible(problem.graph, problem.fleet, dep)

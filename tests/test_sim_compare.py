@@ -1,0 +1,86 @@
+"""Tests for the paired statistical comparison."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.sim.compare import (
+    _binomial_two_sided_p,
+    _sign_flip_permutation_p,
+    compare_algorithms,
+)
+
+
+class TestSignTest:
+    def test_matches_scipy_binomtest(self):
+        for wins, trials in ((8, 10), (5, 10), (10, 10), (0, 7), (3, 4)):
+            ours = _binomial_two_sided_p(wins, trials)
+            theirs = stats.binomtest(wins, trials, 0.5,
+                                     alternative="two-sided").pvalue
+            assert ours == pytest.approx(theirs, rel=1e-9), (wins, trials)
+
+    def test_no_trials(self):
+        assert _binomial_two_sided_p(0, 0) == 1.0
+
+    def test_even_split_is_one(self):
+        assert _binomial_two_sided_p(5, 10) == pytest.approx(1.0)
+
+
+class TestPermutationTest:
+    def test_all_zero_diffs(self):
+        rng = np.random.default_rng(0)
+        assert _sign_flip_permutation_p([0, 0, 0], 100, rng) == 1.0
+
+    def test_strong_effect_small_p(self):
+        rng = np.random.default_rng(0)
+        diffs = [10.0] * 12  # every pair favours A by the same margin
+        p = _sign_flip_permutation_p(diffs, 5000, rng)
+        assert p < 0.01
+
+    def test_null_effect_large_p(self):
+        rng = np.random.default_rng(0)
+        diffs = [3.0, -3.0, 2.0, -2.0, 1.0, -1.0]
+        p = _sign_flip_permutation_p(diffs, 5000, rng)
+        assert p > 0.4
+
+
+class TestCompareAlgorithms:
+    def test_appro_vs_random(self):
+        """approAlg vs the random baseline: the win must be decisive."""
+        result = compare_algorithms(
+            "approAlg",
+            "RandomConnected",
+            repetitions=6,
+            num_users=200,
+            num_uavs=5,
+            scale="small",
+            seed=3,
+            params_a={"s": 2, "gain_mode": "fast",
+                      "max_anchor_candidates": 6},
+        )
+        assert result.n == 6
+        assert result.wins_a == 6
+        assert result.mean_diff > 0
+        assert result.sign_test_p < 0.05
+        assert result.permutation_p < 0.05
+
+    def test_self_comparison_is_null(self):
+        result = compare_algorithms(
+            "MCS",
+            "MCS",
+            repetitions=5,
+            num_users=150,
+            num_uavs=4,
+            scale="small",
+            seed=9,
+        )
+        assert result.ties == 5
+        assert result.mean_diff == 0.0
+        assert result.sign_test_p == 1.0
+        assert result.permutation_p == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compare_algorithms("MCS", "MCS", repetitions=0)

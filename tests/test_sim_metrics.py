@@ -1,0 +1,81 @@
+"""Tests for deployment metrics."""
+
+import pytest
+
+from repro.core.approx import appro_alg
+from repro.core.assignment import optimal_assignment
+from repro.sim.metrics import (
+    deployment_throughput_bps,
+    jain_fairness,
+    summarize,
+)
+from repro.network.deployment import Deployment
+from tests.conftest import make_line_instance
+
+
+class TestJainFairness:
+    def test_even_is_one(self):
+        assert jain_fairness([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_all_on_one(self):
+        assert jain_fairness([6.0, 0.0, 0.0]) == pytest.approx(1 / 3)
+
+    def test_empty_and_zero(self):
+        assert jain_fairness([]) == 1.0
+        assert jain_fairness([0.0, 0.0]) == 1.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            jain_fairness([-1.0])
+
+    def test_bounds(self):
+        values = [1.0, 5.0, 2.0, 9.0]
+        f = jain_fairness(values)
+        assert 1 / len(values) <= f <= 1.0
+
+
+class TestThroughput:
+    def test_empty_deployment_zero(self):
+        problem = make_line_instance()
+        assert deployment_throughput_bps(problem, Deployment.empty()) == 0.0
+
+    def test_sums_served_rates(self):
+        problem = make_line_instance(num_locations=3, users_per_location=2,
+                                     capacities=(2, 2, 2))
+        dep = optimal_assignment(problem.graph, problem.fleet, {0: 0})
+        expected = sum(
+            problem.graph.rate_bps(u, 0, problem.fleet[0])
+            for u in dep.users_of(0)
+        )
+        assert deployment_throughput_bps(problem, dep) == pytest.approx(expected)
+
+    def test_more_users_more_throughput(self):
+        problem = make_line_instance(num_locations=3, users_per_location=3,
+                                     capacities=(3, 3, 3))
+        one = optimal_assignment(problem.graph, problem.fleet, {0: 0})
+        two = optimal_assignment(problem.graph, problem.fleet, {0: 0, 1: 1})
+        assert deployment_throughput_bps(problem, two) > (
+            deployment_throughput_bps(problem, one)
+        )
+
+
+class TestSummarize:
+    def test_real_deployment(self, small_scenario):
+        result = appro_alg(small_scenario, s=2, gain_mode="fast")
+        metrics = summarize(small_scenario, result.deployment)
+        assert metrics.served == result.served
+        assert 0.0 < metrics.served_fraction <= 1.0
+        assert metrics.throughput_bps > 0
+        assert metrics.mean_rate_bps > 0
+        assert 0.0 < metrics.capacity_utilisation <= 1.0
+        assert 0.0 < metrics.load_fairness <= 1.0
+        assert metrics.num_deployed == result.deployment.num_deployed
+
+    def test_empty(self):
+        problem = make_line_instance()
+        metrics = summarize(problem, Deployment.empty())
+        assert metrics.served == 0
+        assert metrics.throughput_bps == 0.0
+        assert metrics.mean_rate_bps == 0.0
+        assert metrics.capacity_utilisation == 0.0
+        assert metrics.num_deployed == 0

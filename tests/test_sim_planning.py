@@ -1,0 +1,68 @@
+"""Tests for fleet-sizing helpers."""
+
+import pytest
+
+from repro.core.approx import appro_alg
+from repro.sim.planning import coverage_curve, uavs_needed_for_target
+from tests.conftest import make_line_instance
+
+
+def planner(problem):
+    return appro_alg(problem, s=min(2, problem.num_uavs),
+                     gain_mode="fast").deployment
+
+
+@pytest.fixture
+def problem():
+    # 5 piles of 2 users; capacities of 2 -> each UAV adds one pile.
+    return make_line_instance(
+        num_locations=5, users_per_location=2,
+        capacities=(2, 2, 2, 2, 2),
+    )
+
+
+class TestCoverageCurve:
+    def test_monotone_prefix_curve(self, problem):
+        points = coverage_curve(problem, planner)
+        served = [p.served for p in points]
+        assert len(points) == 5
+        assert served == sorted(served)
+        assert points[-1].fraction == 1.0
+
+    def test_custom_ks(self, problem):
+        points = coverage_curve(problem, planner, ks=[1, 3, 5])
+        assert [p.num_uavs for p in points] == [1, 3, 5]
+
+    def test_bad_k_rejected(self, problem):
+        with pytest.raises(ValueError):
+            coverage_curve(problem, planner, ks=[0])
+        with pytest.raises(ValueError):
+            coverage_curve(problem, planner, ks=[6])
+
+
+class TestUavsNeededForTarget:
+    def test_exact_fleet_size(self, problem):
+        # Connected prefixes: k UAVs serve 2k of 10 users.
+        sizing = uavs_needed_for_target(problem, planner, 0.6)
+        assert sizing.achieved
+        assert sizing.required_uavs == 3
+        assert sizing.curve[-1].fraction >= 0.6
+
+    def test_full_coverage(self, problem):
+        sizing = uavs_needed_for_target(problem, planner, 1.0)
+        assert sizing.required_uavs == 5
+
+    def test_unreachable_target(self):
+        problem = make_line_instance(
+            num_locations=5, users_per_location=2, capacities=(2, 2)
+        )
+        sizing = uavs_needed_for_target(problem, planner, 0.9)
+        assert not sizing.achieved
+        assert sizing.required_uavs is None
+        assert len(sizing.curve) == 2  # walked the whole (tiny) fleet
+
+    def test_validation(self, problem):
+        with pytest.raises(ValueError):
+            uavs_needed_for_target(problem, planner, 0.0)
+        with pytest.raises(ValueError):
+            uavs_needed_for_target(problem, planner, 1.5)

@@ -1,0 +1,107 @@
+"""Tests for the relocation planner."""
+
+import math
+
+import pytest
+
+from repro.network.deployment import Deployment
+from repro.sim.relocation import naive_relocation, plan_relocation
+from tests.conftest import make_line_instance
+
+
+@pytest.fixture
+def problem():
+    # 6 locations on a line at x = 500..3000; capacities vary.
+    return make_line_instance(
+        num_locations=6, users_per_location=2,
+        capacities=(4, 4, 2, 2, 4, 2),
+    )
+
+
+class TestPlanRelocation:
+    def test_empty_new_deployment(self, problem):
+        old = Deployment(placements={0: 0})
+        plan = plan_relocation(problem, old, Deployment.empty())
+        assert plan.moves == {} and plan.total_distance_m == 0.0
+
+    def test_identity_when_unchanged(self, problem):
+        dep = Deployment(placements={0: 0, 1: 1})
+        plan = plan_relocation(problem, dep, dep)
+        assert plan.num_moves == 0
+        assert plan.total_distance_m == 0.0
+
+    def test_swap_saves_crossing(self, problem):
+        """UAVs 0 and 1 (equal capacity) planned to swap ends of the line:
+        keeping roles would fly both across; the planner must swap them
+        back into staying put."""
+        old = Deployment(placements={0: 0, 1: 5})
+        new = Deployment(placements={0: 5, 1: 0})  # same capacities
+        naive = naive_relocation(problem, old, new)
+        plan = plan_relocation(problem, old, new, policy="total")
+        assert naive.total_distance_m == pytest.approx(2 * 2500.0)
+        assert plan.total_distance_m == 0.0
+        assert plan.num_moves == 0
+
+    def test_capacity_constraint_respected(self, problem):
+        """A small UAV may not take a position whose planned load exceeds
+        its capacity."""
+        old = Deployment(placements={2: 0, 0: 5})   # cap-2 at 0, cap-4 at 5
+        # Position 0 planned for UAV 0 serving 4 users (its full capacity).
+        new = Deployment(placements={0: 0},
+                         assignment={0: 0, 1: 0, 12: 0, 13: 0})
+        plan = plan_relocation(problem, old, new, policy="total")
+        (k, (src, dst)), = plan.moves.items()
+        assert problem.fleet[k].capacity >= 4
+        assert dst == 0
+
+    def test_unloaded_position_open_to_small_uav(self, problem):
+        """With no planned load, the nearest UAV takes the position even if
+        its capacity is smaller than the planned UAV's."""
+        old = Deployment(placements={2: 1, 0: 5})   # cap-2 at loc 1
+        new = Deployment(placements={0: 0}, assignment={})
+        plan = plan_relocation(problem, old, new, policy="total")
+        (k, (src, dst)), = plan.moves.items()
+        assert k == 2  # the closer, smaller UAV
+        assert dst == 0
+
+    def test_makespan_beats_total_on_max(self, problem):
+        old = Deployment(placements={0: 0, 1: 1, 4: 2})
+        new = Deployment(placements={0: 3, 1: 4, 4: 5})
+        total_plan = plan_relocation(problem, old, new, policy="total")
+        makespan_plan = plan_relocation(problem, old, new, policy="makespan")
+        assert makespan_plan.max_distance_m <= total_plan.max_distance_m + 1e-9
+        assert total_plan.total_distance_m <= (
+            makespan_plan.total_distance_m + 1e-9
+        )
+
+    def test_launch_from_staging(self, problem):
+        """A UAV not previously deployed launches from the origin corner;
+        its distance is positive."""
+        old = Deployment.empty()
+        new = Deployment(placements={0: 0})
+        plan = plan_relocation(problem, old, new)
+        (src, dst), = plan.moves.values()
+        assert src is None and dst == 0
+        assert plan.total_distance_m > 0
+
+    def test_rejects_bad_policy(self, problem):
+        with pytest.raises(ValueError, match="policy"):
+            plan_relocation(problem, Deployment.empty(), Deployment.empty(),
+                            policy="warp")
+
+    def test_planned_positions_all_filled(self, problem):
+        old = Deployment(placements={0: 0, 1: 1, 2: 2})
+        new = Deployment(placements={0: 3, 2: 4})
+        plan = plan_relocation(problem, old, new)
+        destinations = sorted(dst for _, dst in plan.moves.values())
+        assert destinations == [3, 4]
+
+
+class TestNaiveRelocation:
+    def test_keeps_roles(self, problem):
+        old = Deployment(placements={0: 0, 1: 1})
+        new = Deployment(placements={0: 1, 1: 0})
+        plan = naive_relocation(problem, old, new)
+        assert plan.moves[0] == (0, 1)
+        assert plan.moves[1] == (1, 0)
+        assert plan.num_moves == 2

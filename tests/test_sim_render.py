@@ -1,0 +1,42 @@
+"""Tests for the ASCII renderer."""
+
+import pytest
+
+from repro.core.approx import appro_alg
+from repro.sim.render import ascii_map
+from tests.conftest import make_line_instance
+
+
+class TestAsciiMap:
+    def test_dimensions(self):
+        problem = make_line_instance()
+        out = ascii_map(problem, cols=20, rows=5)
+        lines = out.splitlines()
+        assert len(lines) == 6  # 5 rows + legend
+        assert all(len(line) == 20 for line in lines[:5])
+
+    def test_marks_locations_and_users(self):
+        problem = make_line_instance()
+        out = ascii_map(problem, cols=30, rows=3)
+        assert "+" in out       # free hovering locations
+        assert any(ch.isdigit() for ch in out)  # user density
+
+    def test_marks_deployment(self):
+        problem = make_line_instance()
+        result = appro_alg(problem, s=2)
+        out = ascii_map(problem, result.deployment, cols=30, rows=3)
+        assert out.count("U") == len(
+            set(result.deployment.locations_used())
+        ) or "U" in out  # overlapping cells may merge markers
+
+    def test_rejects_bad_size(self):
+        problem = make_line_instance()
+        with pytest.raises(ValueError):
+            ascii_map(problem, cols=0, rows=5)
+
+    def test_density_scale_capped_at_9(self):
+        problem = make_line_instance(num_locations=2, users_per_location=25,
+                                     capacities=(5, 5))
+        out = ascii_map(problem, cols=10, rows=2)
+        for ch in out.splitlines()[0]:
+            assert ch in ".U+0123456789"

@@ -1,0 +1,42 @@
+"""Tests for the composed deployment report."""
+
+import pytest
+
+from repro.core.approx import appro_alg
+from repro.network.deployment import Deployment
+from repro.sim.report import deployment_report
+
+
+class TestDeploymentReport:
+    def test_sections_present(self, small_scenario):
+        result = appro_alg(small_scenario, s=2, gain_mode="fast")
+        report = deployment_report(small_scenario, result.deployment)
+        for heading in ("== coverage ==", "== fleet ==",
+                        "== worst single failures ==", "== spectrum ==",
+                        "== map =="):
+            assert heading in report
+        assert f"{result.served}/{small_scenario.num_users}" in report
+
+    def test_map_optional(self, small_scenario):
+        result = appro_alg(small_scenario, s=2, gain_mode="fast")
+        report = deployment_report(small_scenario, result.deployment,
+                                   include_map=False)
+        assert "== map ==" not in report
+
+    def test_empty_deployment(self, small_scenario):
+        report = deployment_report(small_scenario, Deployment.empty())
+        assert "served 0" in report
+        assert "== fleet ==" not in report
+
+    def test_every_deployed_uav_listed(self, small_scenario):
+        result = appro_alg(small_scenario, s=2, gain_mode="fast")
+        report = deployment_report(small_scenario, result.deployment,
+                                   include_map=False)
+        fleet_section = report.split("== fleet ==")[1]
+        first_column = [
+            line.split("|")[0].strip()
+            for line in fleet_section.splitlines()
+            if "|" in line
+        ][2:]  # skip header/separator
+        listed = {int(x) for x in first_column if x.isdigit()}
+        assert listed == set(result.deployment.placements)

@@ -1,0 +1,206 @@
+"""Tests for the battery-rotation scheduler."""
+
+import pytest
+
+from repro.network.deployment import Deployment
+from repro.network.energy import EnergyModel
+from repro.sim.rotation import (
+    RotationSchedule,
+    max_sustainable_mission_s,
+    plan_rotation,
+)
+from tests.conftest import make_line_instance
+
+
+def make_problem(capacities):
+    return make_line_instance(
+        num_locations=len(capacities), users_per_location=1,
+        capacities=capacities,
+    )
+
+
+MODEL = EnergyModel()
+
+
+def endurance_of(problem, k):
+    return MODEL.endurance_s(problem.fleet[k])
+
+
+class TestPlanRotation:
+    def test_empty_deployment(self):
+        problem = make_problem((2, 2))
+        schedule = plan_rotation(problem, Deployment.empty(), 3600.0, MODEL)
+        assert schedule.feasible and schedule.sorties == []
+
+    def test_short_mission_single_sortie(self):
+        problem = make_problem((2, 2))
+        dep = Deployment(placements={0: 0})
+        short = endurance_of(problem, 0) / 2
+        schedule = plan_rotation(problem, dep, short, MODEL)
+        assert schedule.feasible
+        assert len(schedule.sorties) == 1
+        assert schedule.sorties[0].end_s == short
+        assert schedule.swaps() == 0
+
+    def test_spare_extends_mission(self):
+        """One deployed + one spare: the mission can run ~2x endurance
+        (the spare takes over when the first battery empties)."""
+        problem = make_problem((2, 2))
+        dep = Deployment(placements={0: 0})  # UAV 1 is spare
+        e = endurance_of(problem, 0)
+        schedule = plan_rotation(problem, dep, 1.9 * e, MODEL,
+                                 recharge_s=10 * e)
+        assert schedule.feasible
+        sorties = schedule.sorties_at(0)
+        assert len(sorties) == 2
+        assert sorties[0].uav_index == 0
+        assert sorties[1].uav_index == 1
+        assert sorties[1].start_s == pytest.approx(sorties[0].end_s)
+        assert schedule.swaps() == 1
+
+    def test_no_spare_mission_fails_past_endurance(self):
+        problem = make_problem((2,))
+        dep = Deployment(placements={0: 0})
+        e = endurance_of(problem, 0)
+        schedule = plan_rotation(problem, dep, 3 * e, MODEL,
+                                 recharge_s=100 * e)
+        assert not schedule.feasible
+        assert schedule.first_gap_s == pytest.approx(e)
+
+    def test_fast_recharge_sustains_indefinitely(self):
+        """With instant recharge, two UAVs per position sustain any
+        mission (ping-pong rotation)."""
+        problem = make_problem((2, 2))
+        dep = Deployment(placements={0: 0})
+        e = endurance_of(problem, 0)
+        schedule = plan_rotation(problem, dep, 10 * e, MODEL, recharge_s=0.0)
+        assert schedule.feasible
+        assert schedule.swaps() >= 9
+
+    def test_capacity_compatibility(self):
+        """A spare smaller than a position's assigned load cannot relieve
+        it."""
+        problem = make_problem((4, 1, 4))
+        # Position 0 carries 1 user... make load = 4 via explicit users?
+        # users_per_location = 1 so load can be at most 1; instead use
+        # assignment with the single user and require capacity >= 1: the
+        # cap-1 spare IS compatible.  Then test the reverse with load 0 vs
+        # a position needing capacity 4 via a 4-user pile.
+        problem = make_line_instance(
+            num_locations=3, users_per_location=4, capacities=(4, 1, 4)
+        )
+        dep = Deployment(
+            placements={0: 0}, assignment={0: 0, 1: 0, 2: 0, 3: 0}
+        )
+        e = endurance_of(problem, 0)
+        schedule = plan_rotation(problem, dep, 1.5 * e, MODEL,
+                                 recharge_s=100 * e)
+        assert schedule.feasible
+        relief = schedule.sorties_at(0)[1]
+        assert relief.uav_index == 2  # cap-4 spare, not the cap-1 one
+
+    def test_validation(self):
+        problem = make_problem((2,))
+        dep = Deployment(placements={0: 0})
+        with pytest.raises(ValueError):
+            plan_rotation(problem, dep, 0.0, MODEL)
+        with pytest.raises(ValueError):
+            plan_rotation(problem, dep, 10.0, MODEL, recharge_s=-1.0)
+
+    def test_continuous_coverage_invariant(self):
+        """Feasible schedules have gap-free, non-overlapping sorties per
+        position covering [0, mission]."""
+        problem = make_problem((2, 2, 2, 2))
+        dep = Deployment(placements={0: 0, 1: 1})
+        e = endurance_of(problem, 0)
+        schedule = plan_rotation(problem, dep, 2.5 * e, MODEL,
+                                 recharge_s=0.5 * e)
+        assert schedule.feasible
+        for loc in (0, 1):
+            sorties = schedule.sorties_at(loc)
+            assert sorties[0].start_s == 0.0
+            for a, b in zip(sorties, sorties[1:]):
+                assert b.start_s == pytest.approx(a.end_s)
+            assert sorties[-1].end_s == pytest.approx(2.5 * e)
+
+
+class TestRotationProperties:
+    """Random-instance invariants of the scheduler."""
+
+    def test_random_schedules_consistent(self):
+        import numpy as np
+
+        for seed in range(25):
+            rng = np.random.default_rng(seed)
+            num_positions = int(rng.integers(1, 4))
+            num_uavs = int(rng.integers(num_positions, num_positions + 4))
+            capacities = tuple(int(c) for c in rng.integers(1, 5,
+                                                            size=num_uavs))
+            problem = make_problem(capacities)
+            dep = Deployment(
+                placements={k: k for k in range(num_positions)}
+            )
+            e0 = endurance_of(problem, 0)
+            mission = float(rng.uniform(0.3, 4.0)) * e0
+            recharge = float(rng.uniform(0.0, 3.0)) * e0
+            schedule = plan_rotation(problem, dep, mission, MODEL,
+                                     recharge_s=recharge)
+            # Per-position sorties never overlap; feasible schedules are
+            # gap-free from 0 to mission end.
+            for loc in range(num_positions):
+                sorties = schedule.sorties_at(loc)
+                assert sorties, f"position {loc} never staffed"
+                assert sorties[0].start_s == 0.0
+                for a, b in zip(sorties, sorties[1:]):
+                    assert b.start_s >= a.end_s - 1e-9
+                if schedule.feasible:
+                    for a, b in zip(sorties, sorties[1:]):
+                        assert b.start_s == pytest.approx(a.end_s)
+                    assert sorties[-1].end_s == pytest.approx(mission)
+            # No UAV flies two sorties at once or beyond its endurance.
+            by_uav: dict = {}
+            for s in schedule.sorties:
+                by_uav.setdefault(s.uav_index, []).append(s)
+                assert s.duration_s <= endurance_of(problem, s.uav_index) + 1e-6
+            for sorties in by_uav.values():
+                sorties.sort(key=lambda s: s.start_s)
+                for a, b in zip(sorties, sorties[1:]):
+                    assert b.start_s >= a.end_s - 1e-9
+            if not schedule.feasible:
+                assert schedule.first_gap_s is not None
+                assert 0 < schedule.first_gap_s <= mission
+
+
+class TestMaxSustainableMission:
+    def test_matches_endurance_without_spares(self):
+        problem = make_problem((2,))
+        dep = Deployment(placements={0: 0})
+        e = endurance_of(problem, 0)
+        sustained = max_sustainable_mission_s(
+            problem, dep, MODEL, recharge_s=1e9
+        )
+        assert sustained == pytest.approx(e, rel=0.01)
+
+    def test_spares_extend(self):
+        problem = make_problem((2, 2))
+        dep = Deployment(placements={0: 0})
+        e = endurance_of(problem, 0)
+        sustained = max_sustainable_mission_s(
+            problem, dep, MODEL, recharge_s=1e9
+        )
+        assert sustained == pytest.approx(
+            e + endurance_of(problem, 1), rel=0.01
+        )
+
+    def test_fast_recharge_hits_horizon(self):
+        problem = make_problem((2, 2))
+        dep = Deployment(placements={0: 0})
+        assert max_sustainable_mission_s(
+            problem, dep, MODEL, recharge_s=0.0, horizon_s=72 * 3600.0
+        ) == 72 * 3600.0
+
+    def test_empty_deployment(self):
+        problem = make_problem((2,))
+        assert max_sustainable_mission_s(
+            problem, Deployment.empty(), MODEL
+        ) == 72 * 3600.0

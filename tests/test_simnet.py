@@ -1,0 +1,196 @@
+"""Tests for the discrete-event network simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.approx import appro_alg
+from repro.network.deployment import Deployment
+from repro.simnet.events import EventQueue
+from repro.simnet.sim import overload_assignment, simulate_network
+from repro.simnet.station import StationModel
+from tests.conftest import make_line_instance
+
+
+class TestEventQueue:
+    def test_time_order(self):
+        q = EventQueue()
+        q.schedule(5.0, "b")
+        q.schedule(1.0, "a")
+        q.schedule(9.0, "c")
+        assert [q.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+        assert q.now == 9.0
+
+    def test_fifo_ties(self):
+        q = EventQueue()
+        q.schedule(1.0, "first")
+        q.schedule(1.0, "second")
+        assert q.pop()[1] == "first"
+        assert q.pop()[1] == "second"
+
+    def test_schedule_in(self):
+        q = EventQueue()
+        q.schedule(2.0, "x")
+        q.pop()
+        q.schedule_in(3.0, "y")
+        assert q.peek_time() == 5.0
+
+    def test_no_past_scheduling(self):
+        q = EventQueue()
+        q.schedule(2.0, "x")
+        q.pop()
+        with pytest.raises(ValueError):
+            q.schedule(1.0, "y")
+        with pytest.raises(ValueError):
+            q.schedule_in(-1.0, "y")
+
+    def test_pop_empty(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+
+class TestStationModel:
+    def test_load_factor(self):
+        model = StationModel(request_rate_per_user_hz=2.0, headroom=1.25)
+        # C = 100, 100 users: rho = 1/1.25 = 0.8.
+        assert model.load_factor(100, 100) == pytest.approx(0.8)
+        # Over-assignment: 150 users -> rho = 1.2.
+        assert model.load_factor(100, 150) == pytest.approx(1.2)
+
+    def test_mm1_sojourn(self):
+        model = StationModel(request_rate_per_user_hz=1.0, headroom=2.0)
+        # mu = 20, lambda = 10 -> sojourn 0.1 s.
+        assert model.mm1_mean_sojourn_s(10, 10) == pytest.approx(0.1)
+        assert model.mm1_mean_sojourn_s(10, 20) == math.inf
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StationModel(request_rate_per_user_hz=0)
+        with pytest.raises(ValueError):
+            StationModel(headroom=0)
+        with pytest.raises(ValueError):
+            StationModel().service_rate_hz(0)
+
+
+class TestSimulateNetwork:
+    def make_single_station(self, capacity: int, users: int):
+        problem = make_line_instance(
+            num_locations=1, users_per_location=users,
+            capacities=(capacity,),
+        )
+        assignment = {u: 0 for u in range(min(users, capacity))}
+        dep = Deployment(placements={0: 0}, assignment=assignment)
+        return problem, dep
+
+    def test_matches_mm1_theory(self):
+        """DES mean sojourn must match the analytic M/M/1 value within
+        sampling tolerance for a moderately loaded station."""
+        model = StationModel(request_rate_per_user_hz=5.0, headroom=1.25)
+        problem, dep = self.make_single_station(capacity=8, users=8)
+        stats = simulate_network(
+            problem, dep, duration_s=400.0, model=model, seed=0
+        )
+        theory = model.mm1_mean_sojourn_s(8, 8)
+        st = stats.station(0)
+        assert st.load_factor == pytest.approx(0.8)
+        assert st.completed > 1000
+        assert st.mean_sojourn_s == pytest.approx(theory, rel=0.15)
+
+    def test_overload_explodes_latency(self):
+        """The paper's premise: beyond the capacity rating, delay blows up
+        (rho > 1: unbounded queue growth over the horizon)."""
+        model = StationModel(request_rate_per_user_hz=5.0, headroom=1.25)
+        ok_problem, ok_dep = self.make_single_station(capacity=10, users=10)
+        over_problem = make_line_instance(
+            num_locations=1, users_per_location=20, capacities=(10,)
+        )
+        over_dep = Deployment(
+            placements={0: 0}, assignment={u: 0 for u in range(20)}
+        )
+        ok = simulate_network(ok_problem, ok_dep, duration_s=120.0,
+                              model=model, seed=1)
+        over = simulate_network(over_problem, over_dep, duration_s=120.0,
+                                model=model, seed=1)
+        assert over.station(0).load_factor > 1.0
+        assert over.mean_sojourn_s > 5 * ok.mean_sojourn_s
+        assert over.station(0).max_queue > ok.station(0).max_queue
+
+    def test_empty_deployment(self):
+        problem = make_line_instance()
+        stats = simulate_network(problem, Deployment.empty(), duration_s=5.0,
+                                 warmup_s=1.0)
+        assert stats.completed == 0
+        assert stats.mean_sojourn_s == 0.0
+
+    def test_validation(self):
+        problem, dep = self.make_single_station(2, 2)
+        with pytest.raises(ValueError):
+            simulate_network(problem, dep, duration_s=0.0)
+        with pytest.raises(ValueError):
+            simulate_network(problem, dep, duration_s=5.0, warmup_s=5.0)
+
+    def test_deterministic_by_seed(self):
+        problem, dep = self.make_single_station(4, 4)
+        a = simulate_network(problem, dep, duration_s=20.0, seed=7)
+        b = simulate_network(problem, dep, duration_s=20.0, seed=7)
+        assert a.completed == b.completed
+        assert a.mean_sojourn_s == b.mean_sojourn_s
+
+    def test_littles_law(self):
+        """Little's law L = lambda * W must hold on the measured data:
+        completions/duration approximates the arrival rate, and the mean
+        number in system equals that rate times the mean sojourn.  We
+        check the throughput-sojourn consistency against the offered
+        rate within sampling tolerance."""
+        model = StationModel(request_rate_per_user_hz=4.0, headroom=1.6)
+        problem, dep = self.make_single_station(capacity=10, users=10)
+        stats = simulate_network(problem, dep, duration_s=300.0,
+                                 model=model, warmup_s=10.0, seed=5)
+        st = stats.station(0)
+        offered = 10 * model.request_rate_per_user_hz
+        measured_rate = st.completed / (300.0 - 10.0)
+        # Stable queue: completion rate ~ arrival rate.
+        assert measured_rate == pytest.approx(offered, rel=0.1)
+        # And W matches the M/M/1 prediction (Little-consistent).
+        assert st.mean_sojourn_s == pytest.approx(
+            model.mm1_mean_sojourn_s(10, 10), rel=0.15
+        )
+
+
+class TestOverloadAssignment:
+    def test_assigns_all_coverable(self):
+        problem = make_line_instance(
+            num_locations=3, users_per_location=4, capacities=(2, 2, 2)
+        )
+        base = Deployment(placements={0: 0, 1: 1, 2: 2})
+        over = overload_assignment(problem, base)
+        # All 12 users are coverable; capacity (2 each) is ignored.
+        assert over.served_count == 12
+        assert max(over.loads().values()) > 2
+
+    def test_respects_coverage(self):
+        problem = make_line_instance(
+            num_locations=3, users_per_location=2, capacities=(2, 2)
+        )
+        base = Deployment(placements={0: 0})
+        over = overload_assignment(problem, base)
+        # Only users under location 0 are coverable from location 0.
+        assert over.served_count == 2
+
+    def test_real_deployment_latency_gap(self, small_scenario):
+        """End-to-end: the approAlg deployment (capacity-respecting) must
+        show materially lower p95 latency than the capacity-ignoring
+        counterfactual on the same placements."""
+        result = appro_alg(small_scenario, s=2, gain_mode="fast")
+        model = StationModel(request_rate_per_user_hz=1.0, headroom=1.25)
+        ok = simulate_network(
+            small_scenario, result.deployment, duration_s=40.0,
+            model=model, seed=3,
+        )
+        over_dep = overload_assignment(small_scenario, result.deployment)
+        over = simulate_network(
+            small_scenario, over_dep, duration_s=40.0, model=model, seed=3
+        )
+        if over_dep.served_count > result.deployment.served_count:
+            assert over.p95_sojourn_s >= ok.p95_sojourn_s

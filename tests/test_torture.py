@@ -1,0 +1,112 @@
+"""Randomised end-to-end torture tests: every optional feature composed.
+
+Each example draws a scenario exercising a random combination of the
+library's knobs — altitude layers, mixed QoS classes, heterogeneous
+radii, capacity spreads — runs the full pipeline (plan, validate, report,
+audit, endurance, failure analysis), and checks the cross-cutting
+invariants hold together, not just per-module.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel.interference import audit_interference
+from repro.core.approx import appro_alg
+from repro.core.assignment import max_served
+from repro.core.problem import ProblemInstance
+from repro.network.energy import mission_endurance_s
+from repro.network.fleet import heterogeneous_fleet
+from repro.network.resilience import single_failure_impacts
+from repro.network.spectrum import allocate_channels
+from repro.network.validate import validate_deployment
+from repro.sim.metrics import summarize
+from repro.sim.report import deployment_report
+from repro.workload.fat_tailed import FatTailedWorkload
+from repro.workload.scenarios import SCALES, build_scenario
+
+
+def random_problem(seed: int) -> ProblemInstance:
+    rng = np.random.default_rng(seed)
+    layers = (
+        (250.0, 300.0) if rng.random() < 0.3 else ()
+    )
+    rate_classes = (
+        ((0.7, 2_000.0), (0.3, 1.0e6)) if rng.random() < 0.4 else None
+    )
+    config = SCALES["small"].with_overrides(
+        num_users=int(rng.integers(30, 150)),
+        num_uavs=int(rng.integers(2, 7)),
+        capacity_min=int(rng.integers(1, 20)),
+        capacity_max=int(rng.integers(20, 80)),
+        altitude_layers_m=layers,
+        environment=str(
+            rng.choice(["suburban", "urban", "dense-urban"])
+        ),
+        workload=FatTailedWorkload(
+            num_hotspots=int(rng.integers(1, 6)),
+            rate_classes=rate_classes,
+        ),
+    )
+    problem = build_scenario(config, seed=int(rng.integers(0, 2**31)))
+    if rng.random() < 0.3:
+        fleet = heterogeneous_fleet(
+            problem.num_uavs,
+            capacity_min=config.capacity_min,
+            capacity_max=config.capacity_max,
+            heterogeneous_ranges=True,
+            seed=int(rng.integers(0, 2**31)),
+        )
+        problem = ProblemInstance(graph=problem.graph, fleet=fleet)
+    return problem
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=12, deadline=None)
+def test_full_pipeline_invariants(seed):
+    problem = random_problem(seed)
+    result = appro_alg(
+        problem, s=2, gain_mode="fast",
+        max_anchor_candidates=min(8, problem.num_locations),
+    )
+    deployment = result.deployment
+
+    # 1. Feasibility (independent validator).
+    validate_deployment(problem.graph, problem.fleet, deployment)
+
+    # 2. Declared objective equals an independent exact recount.
+    assert result.served == max_served(
+        problem.graph, problem.fleet, deployment.placements
+    )
+
+    # 3. Metrics are internally consistent.
+    metrics = summarize(problem, deployment)
+    assert metrics.served == result.served
+    assert 0.0 <= metrics.served_fraction <= 1.0
+    if metrics.served:
+        assert metrics.throughput_bps > 0
+        assert metrics.mean_rate_bps * metrics.served == pytest.approx(
+            metrics.throughput_bps
+        )
+
+    # 4. Failure analysis accounts exactly.
+    for fi in single_failure_impacts(problem, deployment):
+        assert fi.served_after + fi.served_lost == result.served
+
+    # 5. Spectrum plan is a proper colouring and never hurts the audit.
+    if deployment.placements:
+        plan = allocate_channels(problem, deployment)
+        reuse1 = audit_interference(problem, deployment)
+        clean = audit_interference(problem, deployment, channel_plan=plan)
+        assert clean.mean_sinr_loss_db <= reuse1.mean_sinr_loss_db + 1e-9
+        assert clean.still_satisfied >= reuse1.still_satisfied
+
+    # 6. Endurance is positive and finite for non-empty deployments.
+    if deployment.placements:
+        endurance = mission_endurance_s(problem.fleet, deployment)
+        assert 0 < endurance < float("inf")
+
+    # 7. The composed report renders without error and is self-consistent.
+    report = deployment_report(problem, deployment, include_map=False)
+    assert f"served {result.served}/{problem.num_users}" in report

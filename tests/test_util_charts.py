@@ -1,0 +1,53 @@
+"""Tests for ASCII charts."""
+
+import pytest
+
+from repro.util.charts import MARKERS, ascii_chart
+
+
+class TestAsciiChart:
+    def test_empty(self):
+        assert ascii_chart({}) == "(no data)"
+        assert ascii_chart({"a": {}}) == "(no data)"
+
+    def test_dimensions(self):
+        chart = ascii_chart({"a": {1: 10, 2: 20}}, width=30, height=8)
+        lines = chart.splitlines()
+        # 8 grid rows + axis + x labels + legend.
+        assert len(lines) == 11
+        grid_lines = lines[:8]
+        assert all(len(line) == len(grid_lines[0]) for line in grid_lines)
+
+    def test_markers_present(self):
+        chart = ascii_chart(
+            {"alpha": {1: 10, 2: 20}, "beta": {1: 15, 2: 5}},
+            width=30, height=8,
+        )
+        assert MARKERS[0] in chart
+        assert MARKERS[1] in chart
+        assert "o=alpha" in chart and "x=beta" in chart
+
+    def test_extremes_on_boundary_rows(self):
+        chart = ascii_chart({"a": {1: 0, 2: 100}}, width=20, height=6)
+        lines = chart.splitlines()
+        assert "o" in lines[0]       # max on top row
+        assert "o" in lines[5]       # min on bottom row
+        assert lines[0].strip().startswith("100")
+
+    def test_flat_series(self):
+        chart = ascii_chart({"a": {1: 5, 2: 5, 3: 5}})
+        assert "o" in chart  # no division-by-zero on zero span
+
+    def test_categorical_x(self):
+        chart = ascii_chart({"a": {"low": 1, "high": 3}})
+        assert "low" in chart and "high" in chart
+
+    def test_title(self):
+        chart = ascii_chart({"a": {1: 1}}, title="hello")
+        assert chart.splitlines()[0] == "hello"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"a": {1: 1}}, width=5)
+        with pytest.raises(ValueError):
+            ascii_chart({"a": {1: 1}}, height=2)
