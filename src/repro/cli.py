@@ -241,6 +241,51 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_mission(args: argparse.Namespace) -> int:
+    """Run a fault-injected mission: plan, inject failures, self-heal."""
+    from repro.ops import FaultSchedule, MissionConfig, RecoveryPolicy, run_mission
+    from repro.sim.report import mission_report
+    from repro.sim.runner import WatchdogConfig
+
+    if args.duration <= 0:
+        print(f"error: --duration must be positive, got {args.duration}")
+        return 2
+    seed = args.seed if args.seed is not None else 7
+    problem = paper_scenario(
+        num_users=args.users, num_uavs=args.uavs, scale=args.scale, seed=seed
+    )
+    try:
+        schedule = FaultSchedule.random(
+            num_uavs=args.uavs,
+            num_crashes=args.crashes,
+            num_battery=args.battery,
+            num_links=args.links,
+            window_s=(args.duration * 0.1, args.duration * 0.7),
+            seed=seed,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    watchdog = WatchdogConfig(
+        budget_s=args.budget,
+        params={"approAlg": {
+            "s": 2, "gain_mode": "fast",
+            "max_anchor_candidates": min(10, problem.num_locations),
+        }},
+    )
+    config = MissionConfig(
+        duration_s=args.duration,
+        policy=RecoveryPolicy(
+            max_retries=args.retries,
+            backoff_initial_s=args.backoff,
+            watchdog=watchdog,
+        ),
+    )
+    result = run_mission(problem, schedule, config)
+    print(mission_report(problem, result, include_map=not args.no_map))
+    return 0 if result.final_valid else 1
+
+
 def _cmd_ratio(args: argparse.Namespace) -> int:
     from repro.core.ratio import l1_of
     from repro.core.segments import optimal_segments
@@ -319,6 +364,30 @@ def main(argv: "list | None" = None) -> int:
         help="print the full operational report (fleet, failures, spectrum)",
     )
 
+    mission_cmd = sub.add_parser(
+        "mission", help="fault-injected mission with self-healing recovery"
+    )
+    mission_cmd.add_argument("--users", type=int, default=400)
+    mission_cmd.add_argument("--uavs", type=int, default=6)
+    mission_cmd.add_argument("--scale", choices=sorted(SCALES), default="small")
+    mission_cmd.add_argument("--seed", type=int, default=None)
+    mission_cmd.add_argument("--duration", type=float, default=120.0,
+                             help="mission length in seconds")
+    mission_cmd.add_argument("--crashes", type=int, default=2,
+                             help="UAV crashes to inject")
+    mission_cmd.add_argument("--battery", type=int, default=0,
+                             help="battery depletions to inject")
+    mission_cmd.add_argument("--links", type=int, default=0,
+                             help="link degradations to inject")
+    mission_cmd.add_argument("--budget", type=float, default=None,
+                             help="solver wall-clock budget (s) per re-plan")
+    mission_cmd.add_argument("--retries", type=int, default=3,
+                             help="repair attempts before giving up")
+    mission_cmd.add_argument("--backoff", type=float, default=5.0,
+                             help="initial retry backoff (s)")
+    mission_cmd.add_argument("--no-map", action="store_true",
+                             help="skip the final ASCII map")
+
     sub.add_parser("selfcheck", help="quick end-to-end installation check")
 
     args = parser.parse_args(argv)
@@ -340,6 +409,8 @@ def main(argv: "list | None" = None) -> int:
         return _cmd_map(args)
     if args.command == "ratio":
         return _cmd_ratio(args)
+    if args.command == "mission":
+        return _cmd_mission(args)
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "selfcheck":

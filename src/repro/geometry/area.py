@@ -33,7 +33,7 @@ class DisasterArea:
     def __post_init__(self) -> None:
         if self.length <= 0 or self.width <= 0 or self.height <= 0:
             raise ValueError(
-                f"area dimensions must be positive, got "
+                "area dimensions must be positive, got "
                 f"{self.length} x {self.width} x {self.height}"
             )
 

@@ -31,7 +31,7 @@ class HopCountingMatroid(Matroid):
         for h in range(1, len(q_bounds)):
             if q_bounds[h] > q_bounds[h - 1]:
                 raise ValueError(
-                    f"Q must be non-increasing (nested thresholds); got "
+                    "Q must be non-increasing (nested thresholds); got "
                     f"Q_{h - 1} = {q_bounds[h - 1]} < Q_{h} = {q_bounds[h]}"
                 )
         self._hops = list(hops_to_anchors)

@@ -37,7 +37,7 @@ def heterogeneous_fleet(
         raise ValueError(f"count must be non-negative, got {count}")
     if not (0 <= capacity_min <= capacity_max):
         raise ValueError(
-            f"need 0 <= capacity_min <= capacity_max, got "
+            "need 0 <= capacity_min <= capacity_max, got "
             f"[{capacity_min}, {capacity_max}]"
         )
     rng = ensure_rng(seed)

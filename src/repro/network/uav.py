@@ -8,7 +8,7 @@ and user communication radii ``R_user^k``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True, slots=True)

@@ -39,6 +39,22 @@ def validate_deployment(
                 f"location index {loc} outside [0, {graph.num_locations})"
             )
 
+    # Deployment.__post_init__ rejects assignments to undeployed UAVs, but
+    # placements/assignment are plain (mutable) dicts; a corrupted
+    # deployment must fail validation, not raise a bare KeyError below
+    # (loads() and the per-user checks both index placements/fleet).
+    for user, k in deployment.assignment.items():
+        if k not in deployment.placements:
+            raise ValidationError(
+                f"user {user} is assigned to UAV {k}, which has no "
+                "placement in this deployment"
+            )
+        if not (0 <= k < len(fleet)):
+            raise ValidationError(
+                f"user {user} is assigned to UAV {k} outside fleet of "
+                f"{len(fleet)}"
+            )
+
     loads = deployment.loads()
     for k, load in loads.items():
         capacity = fleet[k].capacity

@@ -1,0 +1,52 @@
+"""Fault-tolerant mission operations (extension).
+
+The paper plans one deployment for a disaster area; this package keeps it
+alive once UAVs start failing.  Three pieces compose into a self-healing
+runtime:
+
+* :mod:`repro.ops.faults` — deterministic failure injection
+  (:class:`FaultSchedule`): UAV crashes, battery depletions and inter-UAV
+  link degradations on a mission timeline;
+* :mod:`repro.ops.recovery` — graceful degradation to the largest
+  connected remnant plus watchdog-guarded re-planning with bounded,
+  exponentially backed-off retries (:class:`RecoveryPolicy`);
+* :mod:`repro.ops.mission` — the event loop (:func:`run_mission`) tying
+  both to the :mod:`repro.simnet` event queue, producing a structured
+  :class:`~repro.ops.log.MissionLog`.
+
+The solver watchdog itself lives with the algorithm registry in
+:mod:`repro.sim.runner` (``solve_with_fallback``).
+"""
+
+from repro.ops.faults import BATTERY, CRASH, LINK, Fault, FaultSchedule
+from repro.ops.log import MissionEvent, MissionLog
+from repro.ops.mission import MissionConfig, MissionResult, run_mission
+from repro.ops.recovery import (
+    DegradeResult,
+    RecoveryPolicy,
+    RepairOutcome,
+    degrade_to_remnant,
+    plan_repair,
+    residual_connected,
+    uav_components,
+)
+
+__all__ = [
+    "BATTERY",
+    "CRASH",
+    "LINK",
+    "Fault",
+    "FaultSchedule",
+    "MissionEvent",
+    "MissionLog",
+    "MissionConfig",
+    "MissionResult",
+    "run_mission",
+    "DegradeResult",
+    "RecoveryPolicy",
+    "RepairOutcome",
+    "degrade_to_remnant",
+    "plan_repair",
+    "residual_connected",
+    "uav_components",
+]

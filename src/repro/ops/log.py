@@ -1,0 +1,98 @@
+"""Structured mission logging.
+
+Every noteworthy moment of a fault-injected mission — fault hits,
+degradation to a connected remnant, re-plan attempts, backoff waits,
+repairs, validation failures — becomes one :class:`MissionEvent`.  The log
+is the mission's audit trail: :mod:`repro.sim.report` renders it for
+operators and tests assert on it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.tables import format_table
+
+#: Canonical event kinds, in the order a typical recovery unfolds.
+FAULT = "fault"                    # a scheduled fault hit the network
+DEGRADE = "degrade"                # shrunk to the largest connected remnant
+REPLAN_ATTEMPT = "replan_attempt"  # a repair re-plan started
+BACKOFF = "backoff"                # attempt failed; waiting before retrying
+REPAIR = "repair"                  # a validated repair was adopted
+REPAIR_FAILED = "repair_failed"    # retries exhausted; staying degraded
+VALIDATION_FAILURE = "validation_failure"  # a re-plan produced an invalid plan
+LINK_RESTORED = "link_restored"    # a degraded link healed
+UAV_RESTORED = "uav_restored"      # a battery-swapped UAV rejoined the pool
+MISSION_END = "mission_end"
+
+KINDS = (
+    FAULT,
+    DEGRADE,
+    REPLAN_ATTEMPT,
+    BACKOFF,
+    REPAIR,
+    REPAIR_FAILED,
+    VALIDATION_FAILURE,
+    LINK_RESTORED,
+    UAV_RESTORED,
+    MISSION_END,
+)
+
+
+@dataclass(frozen=True)
+class MissionEvent:
+    """One timestamped structured event."""
+
+    time_s: float
+    kind: str
+    detail: str
+    data: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown event kind {self.kind!r}; known: {', '.join(KINDS)}"
+            )
+
+
+@dataclass
+class MissionLog:
+    """Append-only, time-ordered record of a mission's fault/recovery story."""
+
+    events: list = field(default_factory=list)
+
+    def record(
+        self, time_s: float, kind: str, detail: str, **data: object
+    ) -> MissionEvent:
+        event = MissionEvent(
+            time_s=time_s, kind=kind, detail=detail, data=dict(data)
+        )
+        self.events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def of_kind(self, kind: str) -> list:
+        """Events of one kind, in occurrence order."""
+        if kind not in KINDS:
+            raise ValueError(
+                f"unknown event kind {kind!r}; known: {', '.join(KINDS)}"
+            )
+        return [e for e in self.events if e.kind == kind]
+
+    def counts(self) -> dict:
+        """kind -> occurrence count (zero-count kinds omitted)."""
+        out: dict = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def to_text(self, title: str = "mission log") -> str:
+        rows = [
+            [f"{e.time_s:.1f}", e.kind, e.detail] for e in self.events
+        ]
+        return format_table(["t (s)", "event", "detail"], rows, title=title)

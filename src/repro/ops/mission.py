@@ -1,0 +1,348 @@
+"""The fault-tolerant mission runtime.
+
+:func:`run_mission` turns the one-shot planner into a timeline: plan an
+initial deployment through the solver watchdog, inject a
+:class:`~repro.ops.faults.FaultSchedule` into the discrete-event queue
+(:mod:`repro.simnet.events`), and on every fault degrade gracefully, then
+self-heal — re-plan with the flyable fleet, retry with exponential backoff
+while conditions are unfavourable, and adopt only re-validated, connected
+deployments.  Battery-depleted UAVs with a swap turnaround rejoin the
+reserve pool mid-mission; degraded links may heal; both restart the
+recovery loop.
+
+Everything is deterministic given the schedule and the scenario seed, and
+every decision lands in the :class:`~repro.ops.log.MissionLog`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.problem import ProblemInstance
+from repro.network.deployment import Deployment
+from repro.network.validate import is_feasible
+from repro.ops import log as evt
+from repro.ops.faults import BATTERY, CRASH, Fault, FaultSchedule
+from repro.ops.log import MissionLog
+from repro.ops.recovery import (
+    RecoveryPolicy,
+    degrade_to_remnant,
+    plan_repair,
+    residual_connected,
+)
+from repro.sim.results import RunRecord
+from repro.sim.runner import solve_with_fallback
+from repro.simnet.events import EventQueue
+
+_REPAIR = "repair"            # internal event: run one repair attempt
+_UAV_RESTORED = "uav_restored"
+
+
+@dataclass(frozen=True)
+class MissionConfig:
+    """Knobs of one mission run."""
+
+    duration_s: float = 120.0
+    policy: RecoveryPolicy = field(default_factory=RecoveryPolicy)
+    uav_speed_mps: float = 10.0   # used to report repair restore times
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError(
+                f"duration must be positive, got {self.duration_s}"
+            )
+        if self.uav_speed_mps <= 0:
+            raise ValueError(
+                f"uav_speed_mps must be positive, got {self.uav_speed_mps}"
+            )
+
+
+@dataclass
+class MissionResult:
+    """Everything a mission produced."""
+
+    initial_record: RunRecord
+    initial_deployment: Deployment
+    final_deployment: Deployment
+    log: MissionLog
+    timeline: list                 # [(time_s, served)] at every state change
+    faults_injected: int
+    repairs: int
+    final_valid: bool
+    final_connected: bool
+
+    @property
+    def served_initial(self) -> int:
+        return self.initial_deployment.served_count
+
+    @property
+    def served_final(self) -> int:
+        return self.final_deployment.served_count
+
+    @property
+    def served_min(self) -> int:
+        return min((s for _, s in self.timeline), default=0)
+
+
+class _MissionState:
+    """Mutable runtime state threaded through event handling."""
+
+    def __init__(self, problem: ProblemInstance, deployment: Deployment):
+        self.problem = problem
+        self.current = deployment
+        self.crashed: set = set()
+        self.down: set = set()             # battery-swapping UAVs
+        self.degraded_links: set = set()
+        self.attempt = 0
+        self.pending_retry: "int | None" = None
+        self.repairs = 0
+
+    def available(self) -> list:
+        return sorted(
+            set(range(self.problem.num_uavs)) - self.crashed - self.down
+        )
+
+
+def run_mission(
+    problem: ProblemInstance,
+    schedule: FaultSchedule,
+    config: "MissionConfig | None" = None,
+) -> MissionResult:
+    """Run one fault-injected mission end to end.  Never raises on solver
+    or recovery failure — the log carries the story either way."""
+    config = config if config is not None else MissionConfig()
+    policy = config.policy
+    log = MissionLog()
+    timeline: list = []
+
+    initial = solve_with_fallback(problem, policy.watchdog)
+    if not initial.ok:
+        log.record(
+            0.0, evt.MISSION_END,
+            f"initial planning failed: {initial.record.error}",
+            status="failed",
+        )
+        empty = Deployment.empty()
+        return MissionResult(
+            initial_record=initial.record,
+            initial_deployment=empty,
+            final_deployment=empty,
+            log=log,
+            timeline=[(0.0, 0)],
+            faults_injected=0,
+            repairs=0,
+            final_valid=False,
+            final_connected=False,
+        )
+
+    state = _MissionState(problem, initial.deployment)
+    timeline.append((0.0, state.current.served_count))
+
+    queue = EventQueue()
+    schedule.inject(queue)
+    faults_injected = 0
+
+    while True:
+        next_time = queue.peek_time()
+        if next_time is None or next_time > config.duration_s:
+            break
+        now, payload = queue.pop()
+        kind, arg = payload
+        if kind == "fault":
+            faults_injected += 1
+            _handle_fault(state, arg, now, queue, policy, log)
+        elif kind == "link_restored":
+            _handle_link_restored(state, arg, now, queue, log)
+        elif kind == _UAV_RESTORED:
+            _handle_uav_restored(state, arg, now, queue, log)
+        elif kind == _REPAIR:
+            _handle_repair(state, arg, now, queue, policy, config, log)
+        else:
+            raise AssertionError(f"unhandled mission event {kind!r}")
+        timeline.append((now, state.current.served_count))
+
+    final_valid = is_feasible(problem.graph, problem.fleet, state.current)
+    final_connected = residual_connected(
+        problem, state.current.placements, state.degraded_links
+    )
+    log.record(
+        config.duration_s,
+        evt.MISSION_END,
+        f"served {state.current.served_count}/{problem.num_users} with "
+        f"{state.current.num_deployed} UAVs "
+        f"({'valid' if final_valid else 'INVALID'}, "
+        f"{'connected' if final_connected else 'PARTITIONED'})",
+        served=state.current.served_count,
+        valid=final_valid,
+        connected=final_connected,
+    )
+    return MissionResult(
+        initial_record=initial.record,
+        initial_deployment=initial.deployment,
+        final_deployment=state.current,
+        log=log,
+        timeline=timeline,
+        faults_injected=faults_injected,
+        repairs=state.repairs,
+        final_valid=final_valid,
+        final_connected=final_connected,
+    )
+
+
+def _start_repair_cycle(
+    state: _MissionState, queue: EventQueue, delay_s: float = 0.0
+) -> None:
+    """(Re)start the recovery loop at attempt 1, superseding any pending
+    backoff retry."""
+    if state.pending_retry is not None:
+        queue.cancel(state.pending_retry)
+    state.attempt = 1
+    state.pending_retry = queue.schedule_in(delay_s, (_REPAIR, 1))
+
+
+def _handle_fault(
+    state: _MissionState,
+    fault: Fault,
+    now: float,
+    queue: EventQueue,
+    policy: RecoveryPolicy,
+    log: MissionLog,
+) -> None:
+    log.record(now, evt.FAULT, fault.describe(), fault_kind=fault.kind)
+    failed_location = None
+    if fault.kind in (CRASH, BATTERY):
+        k = fault.uav_index
+        if fault.kind == CRASH:
+            state.crashed.add(k)
+        else:
+            state.down.add(k)
+            if fault.duration_s is not None:
+                queue.schedule(now + fault.duration_s, (_UAV_RESTORED, k))
+        failed_location = state.current.placements.get(k)
+        if failed_location is None:
+            # A reserve failed on the ground: coverage is untouched, but
+            # the repair pool shrank — no degradation, no re-plan needed.
+            return
+    else:
+        state.degraded_links.add(
+            (min(fault.link), max(fault.link))
+        )
+
+    survivors = {
+        k: loc
+        for k, loc in state.current.placements.items()
+        if k not in state.crashed and k not in state.down
+    }
+    before = state.current.served_count
+    result = degrade_to_remnant(
+        state.problem,
+        survivors,
+        state.degraded_links,
+        failed_location=failed_location,
+    )
+    state.current = result.deployment
+    detail = (
+        f"serving {result.deployment.served_count}/{before} users with "
+        f"{result.deployment.num_deployed} UAVs"
+    )
+    if result.hit_articulation_point:
+        detail += " (lost an articulation point: network split)"
+    if result.dropped_uavs:
+        detail += f"; stranded UAVs {list(result.dropped_uavs)} grounded"
+    log.record(
+        now, evt.DEGRADE, detail,
+        served=result.deployment.served_count,
+        components=result.num_components,
+        dropped=list(result.dropped_uavs),
+    )
+    if result.deployment.served_count < before or result.dropped_uavs:
+        _start_repair_cycle(state, queue)
+
+
+def _handle_link_restored(
+    state: _MissionState, pair: tuple, now: float, queue: EventQueue,
+    log: MissionLog,
+) -> None:
+    key = (min(pair), max(pair))
+    state.degraded_links.discard(key)
+    log.record(now, evt.LINK_RESTORED, f"link {key[0]}<->{key[1]} healed")
+    _start_repair_cycle(state, queue)
+
+
+def _handle_uav_restored(
+    state: _MissionState, k: int, now: float, queue: EventQueue,
+    log: MissionLog,
+) -> None:
+    state.down.discard(k)
+    log.record(
+        now, evt.UAV_RESTORED, f"UAV {k} battery swapped, back in reserve"
+    )
+    _start_repair_cycle(state, queue)
+
+
+def _handle_repair(
+    state: _MissionState,
+    attempt: int,
+    now: float,
+    queue: EventQueue,
+    policy: RecoveryPolicy,
+    config: MissionConfig,
+    log: MissionLog,
+) -> None:
+    state.pending_retry = None
+    if attempt != state.attempt:
+        return  # superseded by a newer cycle that was not cancellable
+    available = state.available()
+    log.record(
+        now, evt.REPLAN_ATTEMPT,
+        f"attempt {attempt}/{policy.max_retries} with "
+        f"{len(available)} flyable UAVs",
+        attempt=attempt,
+        available=available,
+    )
+    outcome = plan_repair(
+        state.problem, state.current, available, state.degraded_links, policy
+    )
+    if outcome.ok:
+        state.current = outcome.deployment
+        state.repairs += 1
+        state.attempt = 0
+        restore_s = outcome.relocation.max_distance_m / config.uav_speed_mps
+        log.record(
+            now, evt.REPAIR,
+            f"{outcome.detail}; slowest relocation "
+            f"{outcome.relocation.max_distance_m:.0f} m "
+            f"(~{restore_s:.0f}s at {config.uav_speed_mps:.0f} m/s)",
+            served=outcome.deployment.served_count,
+            answered_by=outcome.solver.answered_by,
+            solver_attempts=[
+                (a.algorithm, a.status) for a in outcome.solver.record.attempts
+            ],
+        )
+        return
+    if outcome.status == "invalid":
+        log.record(
+            now, evt.VALIDATION_FAILURE, outcome.detail, status=outcome.status
+        )
+    if attempt < policy.max_retries:
+        wait = policy.backoff_s(attempt)
+        log.record(
+            now, evt.BACKOFF,
+            f"{outcome.status}: {outcome.detail or 'no progress'}; "
+            f"retrying in {wait:.0f}s",
+            attempt=attempt,
+            wait_s=wait,
+        )
+        state.attempt = attempt + 1
+        state.pending_retry = queue.schedule_in(
+            wait, (_REPAIR, attempt + 1)
+        )
+    else:
+        log.record(
+            now, evt.REPAIR_FAILED,
+            f"gave up after {attempt} attempts ({outcome.status}); "
+            "staying degraded until conditions change",
+            attempts=attempt,
+            status=outcome.status,
+        )
+        state.attempt = 0

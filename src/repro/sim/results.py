@@ -9,7 +9,16 @@ from repro.util.tables import format_markdown_table, format_table
 
 @dataclass(frozen=True)
 class RunRecord:
-    """One algorithm run on one scenario."""
+    """One algorithm run on one scenario.
+
+    ``status`` is ``"ok"`` for a successful validated run; non-strict runs
+    and the watchdog executor (:mod:`repro.sim.runner`) also produce
+    ``"error"`` (the solver raised), ``"invalid"`` (the output failed
+    :func:`repro.network.validate.validate_deployment`) and ``"failed"``
+    (every fallback tier was exhausted).  ``attempts`` holds one
+    :class:`AttemptRecord` per solver tried, in order, so experiments keep
+    a full audit trail instead of crashing.
+    """
 
     algorithm: str
     served: int
@@ -17,10 +26,27 @@ class RunRecord:
     num_users: int
     num_uavs: int
     params: dict = field(default_factory=dict)
+    status: str = "ok"
+    error: "str | None" = None
+    attempts: tuple = ()
 
     @property
     def served_fraction(self) -> float:
         return self.served / self.num_users if self.num_users else 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One solver attempt inside a watchdog/fallback run."""
+
+    algorithm: str
+    elapsed_s: float
+    status: str            # "ok" | "timeout" | "error" | "invalid"
+    error: "str | None" = None
 
 
 @dataclass

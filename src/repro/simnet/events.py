@@ -1,7 +1,10 @@
 """A minimal discrete-event engine: a time-ordered event queue.
 
 Events are ``(time, payload)``; ties break by insertion order (FIFO), so
-simultaneous events are deterministic.
+simultaneous events are deterministic.  :meth:`EventQueue.schedule` returns
+a token that can later be passed to :meth:`EventQueue.cancel` — the mission
+runtime uses this to withdraw a pending recovery retry when a newer fault
+supersedes it.
 """
 
 from __future__ import annotations
@@ -16,33 +19,59 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: list = []
         self._counter = 0
+        self._cancelled: set = set()
         self.now = 0.0
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return len(self._heap) - len(self._cancelled)
 
-    def schedule(self, time: float, payload: Hashable) -> None:
-        """Schedule ``payload`` at absolute ``time`` (>= now)."""
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def schedule(self, time: float, payload: Hashable) -> int:
+        """Schedule ``payload`` at absolute ``time`` (>= now).
+
+        Returns a token identifying the event for :meth:`cancel`.
+        """
         if time < self.now - 1e-12:
             raise ValueError(
                 f"cannot schedule into the past: {time} < now {self.now}"
             )
-        heapq.heappush(self._heap, (time, self._counter, payload))
+        token = self._counter
+        heapq.heappush(self._heap, (time, token, payload))
         self._counter += 1
+        return token
 
-    def schedule_in(self, delay: float, payload: Hashable) -> None:
+    def schedule_in(self, delay: float, payload: Hashable) -> int:
         """Schedule ``payload`` ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"delay must be non-negative, got {delay}")
-        self.schedule(self.now + delay, payload)
+        return self.schedule(self.now + delay, payload)
+
+    def cancel(self, token: int) -> bool:
+        """Withdraw a scheduled event.  Returns whether it was still pending
+        (cancelling an already-popped or already-cancelled token is a no-op)."""
+        if any(tok == token for _, tok, _ in self._heap) and (
+            token not in self._cancelled
+        ):
+            self._cancelled.add(token)
+            return True
+        return False
 
     def pop(self) -> "tuple[float, object]":
-        """Advance the clock to the next event and return (time, payload)."""
-        if not self._heap:
-            raise IndexError("event queue is empty")
-        time, _, payload = heapq.heappop(self._heap)
-        self.now = time
-        return time, payload
+        """Advance the clock to the next live event and return
+        (time, payload).  Cancelled events are skipped silently."""
+        while self._heap:
+            time, token, payload = heapq.heappop(self._heap)
+            if token in self._cancelled:
+                self._cancelled.discard(token)
+                continue
+            self.now = time
+            return time, payload
+        raise IndexError("event queue is empty")
 
     def peek_time(self) -> "float | None":
+        while self._heap and self._heap[0][1] in self._cancelled:
+            _, token, _ = heapq.heappop(self._heap)
+            self._cancelled.discard(token)
         return self._heap[0][0] if self._heap else None

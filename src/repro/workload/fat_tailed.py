@@ -63,7 +63,7 @@ class FatTailedWorkload:
             )
         if not (0.0 <= self.background_fraction <= 1.0):
             raise ValueError(
-                f"background_fraction must be in [0, 1], got "
+                "background_fraction must be in [0, 1], got "
                 f"{self.background_fraction}"
             )
         if self.rate_classes is not None:

@@ -1,6 +1,5 @@
 """Tests for the air-to-ground channel model (Al-Hourani)."""
 
-import math
 
 import numpy as np
 import pytest

@@ -142,6 +142,18 @@ class TestCli:
         out = capsys.readouterr().out
         assert "MCS: served" in out
 
+    def test_mission_smoke(self, capsys):
+        assert main([
+            "mission", "--users", "80", "--uavs", "4", "--scale", "small",
+            "--seed", "3", "--duration", "60", "--crashes", "1",
+            "--no-map",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "== mission ==" in out
+        assert "== mission log ==" in out
+        assert "fault" in out
+        assert "mission_end" in out
+
     def test_seed_forwarded(self, monkeypatch):
         import repro.cli as cli
 

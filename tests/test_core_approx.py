@@ -13,7 +13,6 @@ from repro.network.coverage import CoverageGraph
 from repro.network.fleet import heterogeneous_fleet
 from repro.network.users import users_from_points
 from repro.network.validate import validate_deployment
-from repro.workload.scenarios import paper_scenario
 from tests.conftest import make_line_instance
 
 

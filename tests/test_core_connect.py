@@ -1,6 +1,5 @@
 """Tests for the connection step (Algorithm 2 lines 13-18)."""
 
-import pytest
 
 from repro.core.connect import connect_and_deploy
 from repro.core.greedy import anchored_greedy

@@ -7,7 +7,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.segments import (
-    SegmentPlan,
     brute_force_segments,
     hmax_of,
     optimal_segments,

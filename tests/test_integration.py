@@ -1,7 +1,6 @@
 """End-to-end integration tests across modules: scenario building, all
 algorithms, validation, and the paper's qualitative claims at small scale."""
 
-import pytest
 
 from repro.core.approx import appro_alg
 from repro.core.assignment import max_served

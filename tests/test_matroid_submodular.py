@@ -3,7 +3,6 @@ property Section III-B borrows from Megiddo [24]) and the generic FNW
 greedy."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -204,3 +204,85 @@ class TestHarden:
 
         with pytest.raises(ValueError):
             harden(small_scenario, Deployment.empty(), max_extra=-1)
+
+
+def _brute_force_cuts(graph: Graph, nodes: list) -> set:
+    """Articulation points by definition: delete each node and recount
+    connected components among the survivors."""
+
+    def components(members: set) -> int:
+        count = 0
+        seen: set = set()
+        for start in members:
+            if start in seen:
+                continue
+            count += 1
+            stack = [start]
+            seen.add(start)
+            while stack:
+                v = stack.pop()
+                for w in graph.neighbours(v):
+                    if w in members and w not in seen:
+                        seen.add(w)
+                        stack.append(w)
+        return count
+
+    node_set = set(nodes)
+    base = components(node_set)
+    cuts = set()
+    for v in node_set:
+        if components(node_set - {v}) > base:
+            cuts.add(v)
+    return cuts
+
+
+class TestArticulationPointsVsBruteForce:
+    """Property tests: the iterative Tarjan implementation must agree with
+    brute-force per-node removal on arbitrary small graphs."""
+
+    @given(st.integers(0, 10_000), st.integers(1, 14), st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_random_graphs(self, seed, n, p):
+        rng = np.random.default_rng(seed)
+        g = Graph(n)
+        for i in range(n):
+            for j in range(i + 1, n):
+                if rng.random() < p:
+                    g.add_edge(i, j)
+        nodes = list(range(n))
+        assert articulation_points(g, nodes) == _brute_force_cuts(g, nodes)
+
+    @given(st.integers(0, 10_000), st.integers(3, 14))
+    @settings(max_examples=25, deadline=None)
+    def test_random_induced_subsets(self, seed, n):
+        """The induced-subgraph contract: cuts of a node subset, not of the
+        whole graph."""
+        rng = np.random.default_rng(seed)
+        g = Graph(n)
+        for i in range(n):
+            for j in range(i + 1, n):
+                if rng.random() < 0.35:
+                    g.add_edge(i, j)
+        nodes = sorted(
+            int(v) for v in rng.permutation(n)[: max(1, n // 2)]
+        )
+        assert articulation_points(g, nodes) == _brute_force_cuts(g, nodes)
+
+    @given(st.integers(2, 16))
+    @settings(max_examples=15, deadline=None)
+    def test_chains(self, n):
+        g = Graph.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+        nodes = list(range(n))
+        expected = set(range(1, n - 1))
+        assert articulation_points(g, nodes) == expected
+        assert _brute_force_cuts(g, nodes) == expected
+
+    @given(st.integers(2, 10))
+    @settings(max_examples=9, deadline=None)
+    def test_cliques_have_no_cuts(self, n):
+        g = Graph.from_edges(
+            n, [(i, j) for i in range(n) for j in range(i + 1, n)]
+        )
+        nodes = list(range(n))
+        assert articulation_points(g, nodes) == set()
+        assert _brute_force_cuts(g, nodes) == set()

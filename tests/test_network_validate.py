@@ -79,7 +79,6 @@ class TestViolations:
     def test_rate_violation(self):
         """A user with an enormous min-rate requirement cannot be served
         even in range."""
-        from repro.core.problem import ProblemInstance
         from repro.network.coverage import CoverageGraph
         from repro.network.users import users_from_points
 
@@ -95,3 +94,22 @@ class TestViolations:
     def test_is_feasible_false_on_violation(self, problem):
         dep = Deployment(placements={0: 0, 1: 4}, assignment={})
         assert not is_feasible(problem.graph, problem.fleet, dep)
+
+    def test_assignment_to_unplaced_uav(self, problem):
+        """A corrupted deployment whose assignment references a UAV with no
+        placement must fail validation, not leak a bare KeyError.
+        Deployment's constructor rejects this, so corrupt one in place."""
+        dep = Deployment(
+            placements={0: 0, 1: 1}, assignment={0: 0, 3: 1}
+        )
+        del dep.placements[1]
+        with pytest.raises(ValidationError, match="no.*placement"):
+            validate_deployment(problem.graph, problem.fleet, dep)
+        assert not is_feasible(problem.graph, problem.fleet, dep)
+
+    def test_assignment_to_uav_outside_fleet(self, problem):
+        """Same corruption, but the phantom UAV index is also outside the
+        fleet: still a ValidationError (never IndexError)."""
+        dep = Deployment(placements={0: 0, 99: 1}, assignment={0: 0, 3: 99})
+        with pytest.raises(ValidationError):
+            validate_deployment(problem.graph, problem.fleet, dep)

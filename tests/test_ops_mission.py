@@ -1,0 +1,208 @@
+"""End-to-end tests of the fault-tolerant mission runtime."""
+
+import pytest
+
+from repro.ops import (
+    BATTERY,
+    CRASH,
+    LINK,
+    Fault,
+    FaultSchedule,
+    MissionConfig,
+    RecoveryPolicy,
+    run_mission,
+)
+from repro.ops import log as evt
+from repro.sim.report import mission_report
+from repro.sim.runner import ALGORITHMS, WatchdogConfig
+from tests.conftest import make_line_instance
+
+
+@pytest.fixture
+def line():
+    return make_line_instance(
+        num_locations=5, users_per_location=4,
+        capacities=(4, 4, 4, 4, 4),
+    )
+
+
+def config(**kw) -> MissionConfig:
+    policy = RecoveryPolicy(
+        watchdog=WatchdogConfig(params={"approAlg": {"s": 2}}),
+        **kw.pop("policy_kw", {}),
+    )
+    return MissionConfig(policy=policy, **kw)
+
+
+class TestMissionBasics:
+    def test_no_faults_is_a_quiet_mission(self, line):
+        result = run_mission(line, FaultSchedule(), config())
+        assert result.faults_injected == 0
+        assert result.repairs == 0
+        assert result.served_initial == 20
+        assert result.served_final == 20
+        assert result.final_valid and result.final_connected
+        kinds = [e.kind for e in result.log]
+        assert kinds == [evt.MISSION_END]
+
+    def test_crash_recovery_restores_validated_network(self, line):
+        schedule = FaultSchedule(faults=(
+            Fault(time_s=10.0, kind=CRASH, uav_index=2),
+        ))
+        result = run_mission(line, schedule, config())
+        assert result.faults_injected == 1
+        assert result.repairs == 1
+        assert result.served_min < 20
+        assert result.served_final == 16
+        assert result.final_valid and result.final_connected
+        assert 2 not in result.final_deployment.placements
+        counts = result.log.counts()
+        assert counts[evt.FAULT] == 1
+        assert counts[evt.DEGRADE] == 1
+        assert counts[evt.REPAIR] == 1
+
+    def test_two_crashes(self, line):
+        schedule = FaultSchedule(faults=(
+            Fault(time_s=10.0, kind=CRASH, uav_index=1),
+            Fault(time_s=40.0, kind=CRASH, uav_index=3),
+        ))
+        result = run_mission(line, schedule, config())
+        assert result.faults_injected == 2
+        assert result.final_valid and result.final_connected
+        assert result.final_deployment.num_deployed == 3
+        assert result.served_final == 12
+        assert not {1, 3} & set(result.final_deployment.placements)
+
+    def test_faults_after_duration_ignored(self, line):
+        schedule = FaultSchedule(faults=(
+            Fault(time_s=500.0, kind=CRASH, uav_index=2),
+        ))
+        result = run_mission(line, schedule, config(duration_s=100.0))
+        assert result.faults_injected == 0
+        assert result.served_final == 20
+
+    def test_timeline_is_monotone_in_time(self, line):
+        schedule = FaultSchedule(faults=(
+            Fault(time_s=10.0, kind=CRASH, uav_index=2),
+            Fault(time_s=20.0, kind=CRASH, uav_index=0),
+        ))
+        result = run_mission(line, schedule, config())
+        times = [t for t, _ in result.timeline]
+        assert times == sorted(times)
+        assert result.timeline[0] == (0.0, 20)
+
+
+class TestBackoffAndRestore:
+    def test_backoff_retries_then_swap_repairs(self, line):
+        """The acceptance scenario: an end-of-chain battery fault cannot be
+        repaired until the swap completes, so the loop backs off, gives up,
+        and heals when the UAV returns."""
+        schedule = FaultSchedule(faults=(
+            Fault(time_s=10.0, kind=BATTERY, uav_index=4, duration_s=50.0),
+        ))
+        result = run_mission(
+            line, schedule,
+            config(duration_s=120.0,
+                   policy_kw=dict(max_retries=3, backoff_initial_s=5.0,
+                                  backoff_factor=2.0)),
+        )
+        counts = result.log.counts()
+        assert counts[evt.BACKOFF] == 2          # attempts 1 and 2 backed off
+        assert counts[evt.REPLAN_ATTEMPT] == 4   # 3 in cycle 1 + 1 on return
+        assert counts[evt.REPAIR_FAILED] == 1
+        assert counts[evt.UAV_RESTORED] == 1
+        assert counts[evt.REPAIR] == 1
+        # Exponential spacing: attempts at 10, 15, 25; restore at 60.
+        attempt_times = [
+            e.time_s for e in result.log.of_kind(evt.REPLAN_ATTEMPT)
+        ]
+        assert attempt_times == [10.0, 15.0, 25.0, 60.0]
+        assert result.served_min == 16
+        assert result.served_final == 20
+        assert result.final_valid and result.final_connected
+
+    def test_permanent_battery_fault_stays_degraded(self, line):
+        schedule = FaultSchedule(faults=(
+            Fault(time_s=10.0, kind=BATTERY, uav_index=4),  # no swap
+        ))
+        result = run_mission(line, schedule, config())
+        assert result.repairs == 0
+        assert result.served_final == 16
+        assert result.final_valid and result.final_connected
+        assert result.log.counts()[evt.REPAIR_FAILED] == 1
+
+    def test_link_fault_heals_and_triggers_replan(self, line):
+        schedule = FaultSchedule(faults=(
+            Fault(time_s=10.0, kind=LINK, link=(2, 3), duration_s=30.0),
+        ))
+        result = run_mission(line, schedule, config())
+        counts = result.log.counts()
+        assert counts[evt.FAULT] == 1
+        assert counts[evt.LINK_RESTORED] == 1
+        assert result.final_valid and result.final_connected
+        assert result.served_final == 20
+
+    def test_new_fault_supersedes_pending_retry(self, line):
+        """A crash arriving during a backoff wait restarts the cycle; the
+        stale retry must not fire as well."""
+        schedule = FaultSchedule(faults=(
+            Fault(time_s=10.0, kind=BATTERY, uav_index=4, duration_s=100.0),
+            Fault(time_s=12.0, kind=CRASH, uav_index=2),
+        ))
+        result = run_mission(
+            line, schedule,
+            config(duration_s=60.0,
+                   policy_kw=dict(max_retries=2, backoff_initial_s=20.0)),
+        )
+        # Cycle 1 (battery): attempt at 10, backoff 20s -> retry pending at
+        # 30 which the crash at 12 must cancel.  Cycle 2 (crash): attempt
+        # at 12 repairs with the 3 survivors.
+        attempt_times = [
+            e.time_s for e in result.log.of_kind(evt.REPLAN_ATTEMPT)
+        ]
+        assert 30.0 not in attempt_times
+        assert result.final_valid and result.final_connected
+
+
+class TestMissionFailureModes:
+    def test_initial_planning_failure_is_reported_not_raised(
+        self, line, monkeypatch
+    ):
+        def boom(problem, **kw):
+            raise RuntimeError("no plan for you")
+
+        for name in ("approAlg", "MCS", "GreedyAssign"):
+            monkeypatch.setitem(ALGORITHMS, name, boom)
+        result = run_mission(line, FaultSchedule(), config())
+        assert not result.final_valid
+        assert result.initial_record.status == "failed"
+        assert result.served_final == 0
+        assert result.log.events[0].kind == evt.MISSION_END
+
+    def test_grounded_uav_fault_does_not_degrade_again(self, line):
+        """A second fault on a UAV that is already on the ground must not
+        touch the serving network a second time."""
+        schedule = FaultSchedule(faults=(
+            Fault(time_s=10.0, kind=CRASH, uav_index=4),
+            Fault(time_s=50.0, kind=BATTERY, uav_index=4),
+        ))
+        result = run_mission(line, schedule, config())
+        counts = result.log.counts()
+        assert result.faults_injected == 2
+        assert counts[evt.FAULT] == 2
+        assert counts[evt.DEGRADE] == 1  # only the first fault degrades
+        assert result.served_final == 16
+        assert result.final_valid and result.final_connected
+
+
+class TestMissionReport:
+    def test_report_renders_all_sections(self, line):
+        schedule = FaultSchedule(faults=(
+            Fault(time_s=10.0, kind=CRASH, uav_index=2),
+        ))
+        result = run_mission(line, schedule, config())
+        text = mission_report(line, result)
+        assert "== mission ==" in text
+        assert "== mission log ==" in text
+        assert "== final map ==" in text
+        assert "repair" in text

@@ -1,0 +1,187 @@
+"""Tests for the recovery controller: component analysis, graceful
+degradation, and watchdog-guarded repair planning."""
+
+import pytest
+
+from repro.network.deployment import Deployment
+from repro.network.validate import validate_deployment
+from repro.ops.recovery import (
+    RecoveryPolicy,
+    degrade_to_remnant,
+    plan_repair,
+    residual_connected,
+    uav_components,
+)
+from repro.sim.runner import WatchdogConfig
+from tests.conftest import make_line_instance
+
+
+@pytest.fixture
+def line():
+    """5 locations in a chain, 4 users each, one UAV per cluster."""
+    return make_line_instance(
+        num_locations=5, users_per_location=4,
+        capacities=(4, 4, 4, 4, 4),
+    )
+
+
+def full_chain() -> Deployment:
+    return Deployment(placements={k: k for k in range(5)})
+
+
+class TestComponents:
+    def test_connected_chain_is_one_component(self, line):
+        assert uav_components(line, full_chain().placements) == [
+            [0, 1, 2, 3, 4]
+        ]
+        assert residual_connected(line, full_chain().placements)
+
+    def test_hole_splits_chain(self, line):
+        placements = {0: 0, 1: 1, 3: 3, 4: 4}  # location 2 vacant
+        assert uav_components(line, placements) == [[0, 1], [3, 4]]
+        assert not residual_connected(line, placements)
+
+    def test_degraded_link_splits(self, line):
+        placements = full_chain().placements
+        degraded = {(1, 2)}  # the UAVs at locations 1 and 2
+        assert uav_components(line, placements, degraded) == [
+            [0, 1], [2, 3, 4]
+        ]
+        assert not residual_connected(line, placements, degraded)
+
+    def test_empty_is_connected(self, line):
+        assert uav_components(line, {}) == []
+        assert residual_connected(line, {})
+
+
+class TestDegrade:
+    def test_keeps_largest_remnant(self, line):
+        # UAV at location 1 failed: {0} vs {2, 3, 4} remain.
+        placements = {0: 0, 2: 2, 3: 3, 4: 4}
+        result = degrade_to_remnant(line, placements, failed_location=1)
+        assert sorted(result.deployment.placements) == [2, 3, 4]
+        assert result.dropped_uavs == (0,)
+        assert result.num_components == 2
+        assert result.hit_articulation_point
+        assert result.deployment.served_count == 12
+        validate_deployment(line.graph, line.fleet, result.deployment)
+
+    def test_end_failure_no_split(self, line):
+        placements = {0: 0, 1: 1, 2: 2, 3: 3}  # end UAV (loc 4) failed
+        result = degrade_to_remnant(line, placements, failed_location=4)
+        assert sorted(result.deployment.placements) == [0, 1, 2, 3]
+        assert result.dropped_uavs == ()
+        assert result.num_components == 1
+        assert not result.hit_articulation_point
+        assert result.deployment.served_count == 16
+
+    def test_capacity_breaks_size_ties(self):
+        line = make_line_instance(
+            num_locations=5, users_per_location=2,
+            capacities=(1, 1, 1, 4, 4),
+        )
+        # Middle vacant: components {0, 1} and {3, 4} have equal size;
+        # the higher-capacity side must win.
+        placements = {0: 0, 1: 1, 3: 3, 4: 4}
+        result = degrade_to_remnant(line, placements)
+        assert sorted(result.deployment.placements) == [3, 4]
+
+    def test_everything_lost(self, line):
+        result = degrade_to_remnant(line, {}, failed_location=2)
+        assert result.deployment.served_count == 0
+        assert result.num_components == 0
+
+
+class TestRecoveryPolicy:
+    def test_backoff_is_exponential(self):
+        policy = RecoveryPolicy(backoff_initial_s=2.0, backoff_factor=3.0)
+        assert policy.backoff_s(1) == 2.0
+        assert policy.backoff_s(2) == 6.0
+        assert policy.backoff_s(3) == 18.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            RecoveryPolicy(max_retries=0)
+        with pytest.raises(ValueError, match="backoff_factor"):
+            RecoveryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError, match="attempt"):
+            RecoveryPolicy().backoff_s(0)
+
+
+class TestPlanRepair:
+    def policy(self) -> RecoveryPolicy:
+        return RecoveryPolicy(
+            watchdog=WatchdogConfig(params={"approAlg": {"s": 2}})
+        )
+
+    def test_reconnects_after_partition(self, line):
+        # Post-crash remnant: only locations 3 and 4 online, UAV 2 lost.
+        current = degrade_to_remnant(
+            line, {0: 0, 1: 1, 3: 3, 4: 4}, failed_location=2
+        ).deployment
+        assert current.served_count <= 12
+        outcome = plan_repair(
+            line, current, available=[0, 1, 3, 4], policy=self.policy()
+        )
+        assert outcome.ok, outcome.detail
+        assert outcome.deployment.served_count == 16
+        assert outcome.deployment.num_deployed == 4
+        validate_deployment(line.graph, line.fleet, outcome.deployment)
+        assert residual_connected(line, outcome.deployment.placements)
+        # Crashed UAV 2 must not be re-dispatched.
+        assert 2 not in outcome.deployment.placements
+
+    def test_no_better_when_remnant_already_optimal(self, line):
+        # End UAV lost: the contiguous remnant of 4 serves 16, which is the
+        # best any 4-UAV connected deployment can do here.
+        current = degrade_to_remnant(
+            line, {0: 0, 1: 1, 2: 2, 3: 3}, failed_location=4
+        ).deployment
+        outcome = plan_repair(
+            line, current, available=[0, 1, 2, 3], policy=self.policy()
+        )
+        assert outcome.status == "no_better"
+        assert not outcome.ok
+
+    def test_no_uavs(self, line):
+        outcome = plan_repair(
+            line, Deployment.empty(), available=[], policy=self.policy()
+        )
+        assert outcome.status == "no_uavs"
+
+    def test_relocation_plan_maps_fleet_indices(self, line):
+        current = degrade_to_remnant(
+            line, {0: 0, 1: 1, 3: 3, 4: 4}, failed_location=2
+        ).deployment
+        outcome = plan_repair(
+            line, current, available=[0, 1, 3, 4], policy=self.policy()
+        )
+        assert outcome.ok
+        assert set(outcome.relocation.moves) == set(
+            outcome.deployment.placements
+        )
+        for k, (_, dst) in outcome.relocation.moves.items():
+            assert outcome.deployment.placements[k] == dst
+
+    def test_degraded_link_blocks_plan_relying_on_it(self, line):
+        # All five UAVs flyable but the 2<->3 hop (locations 2 and 3) is
+        # degraded for the pair of UAVs that would occupy it; a full-chain
+        # plan must be rejected as disconnected under residual links.
+        current = degrade_to_remnant(
+            line, {k: k for k in range(5)}, degraded_links={(2, 3)}
+        ).deployment
+        outcome = plan_repair(
+            line,
+            current,
+            available=[0, 1, 2, 3, 4],
+            degraded_links={(2, 3)},
+            policy=self.policy(),
+        )
+        # Either the planner avoided the degraded link (fine) or the plan
+        # was rejected; it must never adopt a residually-split network.
+        if outcome.ok:
+            assert residual_connected(
+                line, outcome.deployment.placements, {(2, 3)}
+            )
+        else:
+            assert outcome.status in ("invalid", "no_better")

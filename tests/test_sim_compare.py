@@ -1,6 +1,5 @@
 """Tests for the paired statistical comparison."""
 
-import math
 
 import numpy as np
 import pytest
@@ -59,6 +58,9 @@ class TestCompareAlgorithms:
             seed=3,
             params_a={"s": 2, "gain_mode": "fast",
                       "max_anchor_candidates": 6},
+            # RandomConnected draws fresh entropy when unseeded, which
+            # makes the win count flaky; pin it.
+            params_b={"seed": 7},
         )
         assert result.n == 6
         assert result.wins_a == 6

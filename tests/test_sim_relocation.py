@@ -1,6 +1,5 @@
 """Tests for the relocation planner."""
 
-import math
 
 import pytest
 

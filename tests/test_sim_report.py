@@ -1,6 +1,5 @@
 """Tests for the composed deployment report."""
 
-import pytest
 
 from repro.core.approx import appro_alg
 from repro.network.deployment import Deployment

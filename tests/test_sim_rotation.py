@@ -5,7 +5,6 @@ import pytest
 from repro.network.deployment import Deployment
 from repro.network.energy import EnergyModel
 from repro.sim.rotation import (
-    RotationSchedule,
     max_sustainable_mission_s,
     plan_rotation,
 )

@@ -1,0 +1,179 @@
+"""Tests for the solver watchdog (fallback chain, budgets) and the
+non-strict runner path."""
+
+import pytest
+
+from repro.network.deployment import Deployment
+from repro.sim.results import RunRecord
+from repro.sim.runner import (
+    ALGORITHMS,
+    DEFAULT_FALLBACK_CHAIN,
+    WatchdogConfig,
+    run_algorithm,
+    solve_with_fallback,
+)
+from repro.workload.scenarios import paper_scenario
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return paper_scenario(num_users=120, num_uavs=4, scale="small", seed=2)
+
+
+@pytest.fixture
+def broken_registry(monkeypatch):
+    """Registry helpers for injecting misbehaving solvers."""
+
+    def register(name, fn):
+        monkeypatch.setitem(ALGORITHMS, name, fn)
+
+    return register
+
+
+class TestRunAlgorithmStrict:
+    def test_default_still_raises_on_solver_error(self, tiny, broken_registry):
+        def boom(problem, **kw):
+            raise RuntimeError("solver exploded")
+
+        broken_registry("Boom", boom)
+        with pytest.raises(RuntimeError, match="exploded"):
+            run_algorithm(tiny, "Boom")
+
+    def test_non_strict_captures_solver_error(self, tiny, broken_registry):
+        def boom(problem, **kw):
+            raise RuntimeError("solver exploded")
+
+        broken_registry("Boom", boom)
+        rec = run_algorithm(tiny, "Boom", strict=False)
+        assert isinstance(rec, RunRecord)
+        assert rec.status == "error" and not rec.ok
+        assert "exploded" in rec.error
+        assert rec.served == 0
+
+    def test_non_strict_captures_invalid_deployment(
+        self, tiny, broken_registry
+    ):
+        def disconnected(problem, **kw):
+            # Two far-apart locations: structurally a deployment, but it
+            # violates the connectivity constraint.
+            locs = [0, problem.num_locations - 1]
+            return Deployment(placements={0: locs[0], 1: locs[1]})
+
+        broken_registry("Splitter", disconnected)
+        rec = run_algorithm(tiny, "Splitter", strict=False)
+        assert rec.status == "invalid"
+        assert "connected" in rec.error
+
+    def test_non_strict_ok_run_is_plain_ok(self, tiny):
+        rec = run_algorithm(tiny, "MCS", strict=False)
+        assert rec.status == "ok" and rec.ok and rec.error is None
+
+    def test_unknown_algorithm_still_raises(self, tiny):
+        with pytest.raises(KeyError, match="known"):
+            run_algorithm(tiny, "Oracle9000", strict=False)
+
+
+class TestWatchdogConfig:
+    def test_rejects_unknown_chain_entry(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            WatchdogConfig(chain=("approAlg", "Oracle9000"))
+
+    def test_rejects_empty_chain(self):
+        with pytest.raises(ValueError, match="at least one"):
+            WatchdogConfig(chain=())
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ValueError, match="budget"):
+            WatchdogConfig(budget_s=-1.0)
+
+
+class TestSolveWithFallback:
+    def test_first_tier_answers_with_no_budget(self, tiny):
+        result = solve_with_fallback(
+            tiny,
+            WatchdogConfig(params={"approAlg": {"s": 2, "gain_mode": "fast"}}),
+        )
+        assert result.ok
+        assert result.answered_by == "approAlg"
+        assert [a.status for a in result.record.attempts] == ["ok"]
+        assert result.record.status == "ok"
+        assert result.record.served == result.deployment.served_count
+
+    def test_tiny_budget_falls_back_without_raising(self, tiny):
+        result = solve_with_fallback(
+            tiny,
+            WatchdogConfig(
+                budget_s=1e-9,
+                params={"approAlg": {"s": 2, "gain_mode": "fast"}},
+            ),
+        )
+        assert result.ok, "last tier must answer even with no budget left"
+        assert result.answered_by == DEFAULT_FALLBACK_CHAIN[-1]
+        statuses = {a.algorithm: a.status for a in result.record.attempts}
+        assert statuses["approAlg"] == "timeout"
+        assert statuses[DEFAULT_FALLBACK_CHAIN[-1]] == "ok"
+
+    def test_error_tier_falls_through(self, tiny, broken_registry):
+        def boom(problem, **kw):
+            raise RuntimeError("solver exploded")
+
+        broken_registry("Boom", boom)
+        result = solve_with_fallback(
+            tiny, WatchdogConfig(chain=("Boom", "GreedyAssign"))
+        )
+        assert result.ok and result.answered_by == "GreedyAssign"
+        assert result.record.attempts[0].status == "error"
+        assert "exploded" in result.record.attempts[0].error
+
+    def test_invalid_tier_falls_through(self, tiny, broken_registry):
+        def disconnected(problem, **kw):
+            return Deployment(
+                placements={0: 0, 1: problem.num_locations - 1}
+            )
+
+        broken_registry("Splitter", disconnected)
+        result = solve_with_fallback(
+            tiny, WatchdogConfig(chain=("Splitter", "MCS"))
+        )
+        assert result.ok and result.answered_by == "MCS"
+        assert result.record.attempts[0].status == "invalid"
+
+    def test_all_tiers_failing_reports_failed_without_raising(
+        self, tiny, broken_registry
+    ):
+        def boom(problem, **kw):
+            raise RuntimeError("nope")
+
+        broken_registry("Boom", boom)
+        result = solve_with_fallback(tiny, WatchdogConfig(chain=("Boom",)))
+        assert not result.ok
+        assert result.deployment is None
+        assert result.answered_by is None
+        assert result.record.status == "failed"
+        assert result.record.served == 0
+        assert "Boom: error" in result.record.error
+
+    def test_attempt_elapsed_times_recorded(self, tiny):
+        result = solve_with_fallback(
+            tiny,
+            WatchdogConfig(params={"approAlg": {"s": 2, "gain_mode": "fast"}}),
+        )
+        assert all(a.elapsed_s >= 0.0 for a in result.record.attempts)
+        assert result.record.runtime_s >= max(
+            a.elapsed_s for a in result.record.attempts
+        )
+
+    def test_caller_progress_callback_still_invoked(self, tiny):
+        calls = []
+        result = solve_with_fallback(
+            tiny,
+            WatchdogConfig(
+                budget_s=60.0,
+                params={"approAlg": {
+                    "s": 2, "gain_mode": "fast",
+                    "progress": lambda done, total: calls.append(done),
+                }},
+            ),
+        )
+        assert result.ok
+        assert calls, "user progress hook must still fire under a budget"
