@@ -10,11 +10,23 @@ Environment knobs:
 * ``REPRO_BENCH_SCALE`` — scenario scale preset (default "bench"; set
   "paper" for the fine 100-location grid — much slower in pure Python);
 * ``REPRO_BENCH_POOL`` — approAlg anchor-candidate pool (default 10; 0
-  disables the restriction, reverting to the full O(m^s) enumeration).
+  disables the restriction, reverting to the full O(m^s) enumeration);
+* ``REPRO_BENCH_WORKERS`` — worker processes for the engine bench
+  (default: the machine's CPU count, capped at 4);
+* ``REPRO_BENCH_USERS`` — user count for the engine bench (default 3000;
+  CI smoke sets a few hundred);
+* ``REPRO_BENCH_ASSERT_SPEEDUP`` — when set, the engine bench *asserts*
+  the parallel speedup (use on multi-core runners only).
+
+Besides the figure tables, engine-relevant benches append their
+measurements to a session-scoped :class:`PerfTrajectory`; at session end
+it is written as machine-readable ``BENCH_approx.json`` at the repo root,
+one point per ``{scenario, algorithm, served, wall_s, workers, scale}``.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from collections import defaultdict
 from pathlib import Path
@@ -27,8 +39,14 @@ from repro.workload.scenarios import paper_scenario
 BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "bench")
 _pool = int(os.environ.get("REPRO_BENCH_POOL", "10"))
 ANCHOR_POOL = None if _pool == 0 else _pool
+BENCH_WORKERS = int(
+    os.environ.get("REPRO_BENCH_WORKERS", min(4, os.cpu_count() or 1))
+)
+BENCH_USERS = int(os.environ.get("REPRO_BENCH_USERS", "3000"))
 
 OUT_DIR = Path(__file__).parent / "out"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TRAJECTORY_PATH = REPO_ROOT / "BENCH_approx.json"
 
 
 class FigureReport:
@@ -69,7 +87,38 @@ class FigureReport:
         return "\n\n".join(blocks)
 
 
+class PerfTrajectory:
+    """Machine-readable perf points for the appro_alg engine.
+
+    Each point is one measured run: ``scenario`` (a short free-form label
+    like ``"fig4:K=20"``), ``algorithm`` (``"approAlg"``,
+    ``"approAlg+parallel"``, ``"context-build"``, ...), ``served``,
+    ``wall_s``, ``workers``, and ``scale``.  Extra keys (``speedup``,
+    ``subsets_evaluated``) are preserved as-is.
+    """
+
+    def __init__(self) -> None:
+        self.points: list = []
+
+    def record(self, scenario: str, algorithm: str, served: int,
+               wall_s: float, workers: int = 1,
+               scale: str = BENCH_SCALE, **extra: object) -> None:
+        self.points.append({
+            "scenario": scenario,
+            "algorithm": algorithm,
+            "served": int(served),
+            "wall_s": round(float(wall_s), 4),
+            "workers": int(workers),
+            "scale": scale,
+            **extra,
+        })
+
+    def dump(self) -> str:
+        return json.dumps({"points": self.points}, indent=2)
+
+
 _report = FigureReport()
+_trajectory = PerfTrajectory()
 
 
 @pytest.fixture(scope="session")
@@ -77,7 +126,16 @@ def figure_report() -> FigureReport:
     return _report
 
 
+@pytest.fixture(scope="session")
+def perf_trajectory() -> PerfTrajectory:
+    return _trajectory
+
+
 def pytest_sessionfinish(session, exitstatus):
+    if _trajectory.points:
+        TRAJECTORY_PATH.write_text(_trajectory.dump() + "\n")
+        print(f"\nperf trajectory ({len(_trajectory.points)} points) "
+              f"written to {TRAJECTORY_PATH}")
     if not _report.titles:
         return
     text = _report.dump()

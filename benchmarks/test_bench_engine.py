@@ -1,0 +1,103 @@
+"""Perf trajectory of the appro_alg engine: serial seed path vs the
+vectorized/bound-pruned/parallel engine on a Fig.-4-style scenario.
+
+The serial and engine runs must agree exactly on ``(served, anchors)`` —
+the engine's optimisations are lossless by construction, and this bench
+re-checks that on a realistic instance every run.  Wall-clock points for
+both paths land in ``BENCH_approx.json`` so the speedup trajectory is
+recorded per machine; the speedup itself is only *asserted* under
+``REPRO_BENCH_ASSERT_SPEEDUP`` (meaningless on single-core runners).
+
+CI smoke: ``REPRO_BENCH_USERS=800 REPRO_BENCH_WORKERS=2`` keeps this
+under a minute while still exercising the process pool.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import ANCHOR_POOL, BENCH_USERS, BENCH_WORKERS
+from repro.core.approx import appro_alg
+from repro.core.context import SolverContext
+
+NUM_UAVS = 12
+S = 2
+SEED = 7
+SCENARIO = f"engine:n={BENCH_USERS},K={NUM_UAVS},s={S}"
+
+
+def _params() -> dict:
+    params = {"s": S, "gain_mode": "fast"}
+    if ANCHOR_POOL is not None:
+        params["max_anchor_candidates"] = ANCHOR_POOL
+    return params
+
+
+def test_engine_matches_serial_and_records_speedup(
+    scenario_cache, perf_trajectory
+):
+    problem = scenario_cache(BENCH_USERS, NUM_UAVS, seed=SEED)
+
+    start = time.perf_counter()
+    serial = appro_alg(problem, **_params())
+    serial_s = time.perf_counter() - start
+    perf_trajectory.record(
+        SCENARIO, "approAlg", serial.served, serial_s, workers=1,
+        subsets_evaluated=serial.stats.subsets_evaluated,
+    )
+
+    # Engine run: shared context (built once, reused), lossless bound
+    # pruning, process-parallel subset fan-out.
+    context = SolverContext.from_problem(problem)
+    start = time.perf_counter()
+    engine = appro_alg(
+        problem, workers=BENCH_WORKERS, bound_prune=True, context=context,
+        **_params(),
+    )
+    engine_s = time.perf_counter() - start
+    speedup = serial_s / engine_s if engine_s > 0 else float("inf")
+    perf_trajectory.record(
+        SCENARIO, "approAlg+engine", engine.served, engine_s,
+        workers=BENCH_WORKERS, speedup=round(speedup, 2),
+        subsets_evaluated=engine.stats.subsets_evaluated,
+        subsets_bound_skipped=engine.stats.subsets_bound_skipped,
+        context_build_s=round(context.build_seconds, 4),
+    )
+
+    # Losslessness: identical result regardless of workers/pruning.
+    assert engine.served == serial.served
+    assert engine.anchors == serial.anchors
+    assert engine.stats.subsets_total == serial.stats.subsets_total
+    assert (
+        engine.stats.subsets_pruned
+        + engine.stats.subsets_bound_skipped
+        + engine.stats.subsets_evaluated
+        == engine.stats.subsets_total
+    )
+
+    if os.environ.get("REPRO_BENCH_ASSERT_SPEEDUP"):
+        assert speedup >= 3.0, (
+            f"engine speedup {speedup:.2f}x below the 3x target "
+            f"(serial {serial_s:.2f}s, engine {engine_s:.2f}s, "
+            f"workers={BENCH_WORKERS})"
+        )
+
+
+def test_parallel_only_agrees_with_serial(scenario_cache, perf_trajectory):
+    """Pure fan-out (no bound pruning) must also be bit-identical; its
+    wall-clock point isolates the pool overhead from the pruning win."""
+    problem = scenario_cache(BENCH_USERS, NUM_UAVS, seed=SEED)
+
+    start = time.perf_counter()
+    parallel = appro_alg(problem, workers=BENCH_WORKERS, **_params())
+    wall = time.perf_counter() - start
+    serial = appro_alg(problem, **_params())
+
+    perf_trajectory.record(
+        SCENARIO, "approAlg+parallel", parallel.served, wall,
+        workers=BENCH_WORKERS,
+        subsets_evaluated=parallel.stats.subsets_evaluated,
+    )
+    assert (parallel.served, parallel.anchors) == (serial.served, serial.anchors)
+    assert parallel.stats.subsets_evaluated == serial.stats.subsets_evaluated

@@ -22,7 +22,8 @@ TITLE = "Fig. 4 - served users vs K (n=3000, s=3)"
 
 @pytest.mark.parametrize("algorithm", ALGORITHMS)
 @pytest.mark.parametrize("k", KS)
-def test_fig4_point(benchmark, scenario_cache, figure_report, k, algorithm):
+def test_fig4_point(benchmark, scenario_cache, figure_report, perf_trajectory,
+                    k, algorithm):
     # Hold users and fleet fixed across the sweep: draw the scenario once
     # with max(KS) UAVs and deploy only the first k (see fig4_sweep).
     from repro.core.problem import ProblemInstance
@@ -43,5 +44,8 @@ def test_fig4_point(benchmark, scenario_cache, figure_report, k, algorithm):
     )
     figure_report.record(
         "fig4", TITLE, k, algorithm, record.served, round(record.runtime_s, 3)
+    )
+    perf_trajectory.record(
+        f"fig4:K={k}", algorithm, record.served, record.runtime_s, workers=1
     )
     assert 0 <= record.served <= N_USERS

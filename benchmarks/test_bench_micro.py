@@ -126,6 +126,22 @@ def test_incremental_assignment_opens(benchmark, scenario_cache):
     assert benchmark(run) > 0
 
 
+def test_solver_context_build(benchmark, scenario_cache, perf_trajectory):
+    """SolverContext precomputation (hop matrix + coverage bitsets): the
+    one-off cost the engine pays before any subset is evaluated."""
+    from repro.core.context import SolverContext
+
+    problem = scenario_cache(2000, 10)
+    SolverContext.from_problem(problem)  # warm the graph caches once
+
+    context = benchmark(lambda: SolverContext.from_problem(problem))
+    assert context.num_locations == problem.num_locations
+    perf_trajectory.record(
+        "micro:context-build", "context-build", 0,
+        benchmark.stats.stats.mean, workers=1,
+    )
+
+
 def test_exact_assignment_dinic(benchmark, scenario_cache):
     problem = scenario_cache(2000, 10)
     placements = {k: k for k in range(problem.num_uavs)}

@@ -42,6 +42,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--seed", type=int, default=None, help="override seed")
     parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for approAlg's subset fan-out (default 1)",
+    )
+    parser.add_argument(
+        "--bound-prune", action="store_true",
+        help="skip anchor subsets whose optimistic bound cannot beat the "
+        "incumbent (lossless)",
+    )
+    parser.add_argument(
         "--chart", action="store_true",
         help="also render an ASCII line chart of the series",
     )
@@ -61,11 +70,16 @@ def _print_result(args: argparse.Namespace, result, metric: str,
         print(ascii_chart(result.series(metric), title=f"{title} [chart]"))
 
 
+def _engine_kwargs(args: argparse.Namespace) -> dict:
+    return dict(workers=args.workers, bound_prune=args.bound_prune)
+
+
 def _cmd_fig4(args: argparse.Namespace) -> int:
     kwargs = dict(
         scale=args.scale,
         repetitions=args.reps,
         max_anchor_candidates=_pool(args),
+        **_engine_kwargs(args),
     )
     if args.seed is not None:
         kwargs["seed"] = args.seed
@@ -80,6 +94,7 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
         scale=args.scale,
         repetitions=args.reps,
         max_anchor_candidates=_pool(args),
+        **_engine_kwargs(args),
     )
     if args.seed is not None:
         kwargs["seed"] = args.seed
@@ -94,6 +109,7 @@ def _cmd_fig6(args: argparse.Namespace, metric: str, title: str) -> int:
         scale=args.scale,
         repetitions=args.reps,
         max_anchor_candidates=_pool(args),
+        **_engine_kwargs(args),
     )
     if args.seed is not None:
         kwargs["seed"] = args.seed
@@ -214,6 +230,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         params = {"s": args.s, "gain_mode": "fast"}
         if args.anchor_pool:
             params["max_anchor_candidates"] = args.anchor_pool
+        if args.workers != 1:
+            params["workers"] = args.workers
+        if args.bound_prune:
+            params["bound_prune"] = True
     record = run_algorithm(problem, args.algorithm, **params)
     print(
         f"{args.algorithm}: served {record.served}/{problem.num_users} "
@@ -266,12 +286,15 @@ def _cmd_mission(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}")
         return 2
+    appro_params = {
+        "s": 2, "gain_mode": "fast",
+        "max_anchor_candidates": min(10, problem.num_locations),
+    }
+    if args.workers != 1:
+        appro_params["workers"] = args.workers
     watchdog = WatchdogConfig(
         budget_s=args.budget,
-        params={"approAlg": {
-            "s": 2, "gain_mode": "fast",
-            "max_anchor_candidates": min(10, problem.num_locations),
-        }},
+        params={"approAlg": appro_params},
     )
     config = MissionConfig(
         duration_s=args.duration,
@@ -360,6 +383,14 @@ def main(argv: "list | None" = None) -> int:
     run_cmd.add_argument("--s", type=int, default=2)
     run_cmd.add_argument("--anchor-pool", type=int, default=10)
     run_cmd.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for approAlg's subset fan-out",
+    )
+    run_cmd.add_argument(
+        "--bound-prune", action="store_true",
+        help="lossless bound-ordered subset skipping for approAlg",
+    )
+    run_cmd.add_argument(
         "--report", action="store_true",
         help="print the full operational report (fleet, failures, spectrum)",
     )
@@ -387,6 +418,10 @@ def main(argv: "list | None" = None) -> int:
                              help="initial retry backoff (s)")
     mission_cmd.add_argument("--no-map", action="store_true",
                              help="skip the final ASCII map")
+    mission_cmd.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for each approAlg re-plan",
+    )
 
     sub.add_parser("selfcheck", help="quick end-to-end installation check")
 

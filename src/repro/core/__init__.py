@@ -3,8 +3,9 @@ algorithm for the maximum connected coverage problem (Section III), its
 subroutines, and an exact brute-force reference for tiny instances.
 """
 
-from repro.core.approx import ApproxResult, appro_alg
+from repro.core.approx import ApproxResult, ApproxStats, appro_alg
 from repro.core.assignment import optimal_assignment
+from repro.core.context import SolverContext
 from repro.core.exact import exact_optimum
 from repro.core.gateway import Gateway, appro_alg_with_gateway, ensure_gateway
 from repro.core.local_search import LocalSearchResult, local_search
@@ -20,6 +21,8 @@ from repro.core.segments import (
 
 __all__ = [
     "ApproxResult",
+    "ApproxStats",
+    "SolverContext",
     "appro_alg",
     "optimal_assignment",
     "exact_optimum",

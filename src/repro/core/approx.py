@@ -8,24 +8,39 @@ MST-of-shortest-paths and staff relays (:mod:`repro.core.connect`), and
 keep the feasible candidate serving the most users.  The final assignment
 is recomputed with the exact max-flow of Section II-D (line 25).
 
-Scaling knobs (all default to the paper-faithful behaviour):
+The enumeration runs on a shared :class:`repro.core.context.SolverContext`
+(all-pairs hop matrix + per-radio coverage bitsets), with three scaling
+layers on top of the paper-faithful loop:
 
-* subsets whose anchors provably cannot be connected within ``K`` UAVs are
-  skipped — a lossless prune (any such subset fails the ``q_j <= K`` test);
-* ``anchor_candidates`` / ``max_anchor_candidates`` restrict the anchor pool
-  (e.g. to the locations covering the most users).  This breaks the formal
-  guarantee but preserves solution quality in practice and makes the
-  ``O(m^s)`` outer loop tractable in pure Python; benches document when
-  they use it.
+* the connectivity prune is evaluated for all subsets at once
+  (vectorised; decisions identical to the scalar reference, so the serial
+  default stays bit-identical to the historical implementation);
+* ``bound_prune=True`` visits subsets in descending order of an admissible
+  upper bound (:func:`repro.core.context.subset_bounds`) and skips any
+  subset whose bound cannot beat the best found — a lossless prune whose
+  skips are counted in :class:`ApproxStats`;
+* ``workers=N`` fans the surviving subsets out over a process pool; each
+  worker receives the context once via the pool initializer, and per-chunk
+  bests merge under the canonical tie-break (served descending, then
+  anchors lexicographic) — the same winner the serial loop produces.
+
+Scaling knobs that trade fidelity for speed (``anchor_candidates`` /
+``max_anchor_candidates`` restrict the anchor pool to the best-covering
+locations) remain available; benches document when they use them.
 """
 
 from __future__ import annotations
 
+import math
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from itertools import combinations
+from itertools import chain, combinations
+
+import numpy as np
 
 from repro.core.assignment import optimal_assignment
 from repro.core.connect import connect_and_deploy
+from repro.core.context import SolverContext, prunable_mask, subset_bounds
 from repro.core.greedy import anchored_greedy, pair_greedy
 from repro.core.problem import ProblemInstance
 from repro.core.segments import SegmentPlan, optimal_segments
@@ -35,13 +50,23 @@ from repro.network.deployment import Deployment
 
 @dataclass
 class ApproxStats:
-    """Bookkeeping about one appro_alg run."""
+    """Bookkeeping about one appro_alg run.
+
+    ``subsets_total == subsets_pruned + subsets_bound_skipped +
+    subsets_evaluated`` always holds; with ``bound_prune`` off the skip
+    count is zero.  Bound skips depend on visit order, so their split
+    against ``subsets_evaluated`` may differ between worker counts — the
+    returned solution never does.
+    """
 
     subsets_total: int = 0
     subsets_pruned: int = 0
     subsets_evaluated: int = 0
     subsets_infeasible: int = 0
+    subsets_bound_skipped: int = 0
     fallback_used: bool = False
+    workers: int = 1
+    context_build_s: float = 0.0
 
 
 @dataclass
@@ -59,8 +84,15 @@ def _anchor_pool(
     problem: ProblemInstance,
     anchor_candidates: "list | None",
     max_anchor_candidates: "int | None",
+    s: int,
 ) -> list:
     """The locations anchors may be drawn from."""
+    if max_anchor_candidates is not None and max_anchor_candidates < s:
+        raise ValueError(
+            f"max_anchor_candidates = {max_anchor_candidates} is smaller "
+            f"than s = {s}: the restricted anchor pool could never host an "
+            "anchor subset; raise max_anchor_candidates or lower s"
+        )
     if anchor_candidates is not None:
         pool = sorted(set(anchor_candidates))
         for v in pool:
@@ -79,10 +111,12 @@ def _anchor_pool(
 
 
 def _prunable(problem: ProblemInstance, subset: tuple) -> bool:
-    """True if the anchors provably cannot appear in any feasible solution:
-    some pair is disconnected, or the path joining the two farthest anchors
-    alone already needs more than ``K`` nodes (a valid lower bound on any
-    connected subgraph containing the anchors; see
+    """Scalar reference for the connectivity prune (the vectorised
+    :func:`repro.core.context.prunable_mask` must agree with it; property
+    tests assert this).  True if the anchors provably cannot appear in any
+    feasible solution: some pair is disconnected, or the path joining the
+    two farthest anchors alone already needs more than ``K`` nodes (a valid
+    lower bound on any connected subgraph containing the anchors; see
     :func:`repro.graphs.steiner.connection_cost_lower_bound`)."""
     graph = problem.graph
     worst = 0
@@ -119,6 +153,233 @@ def _fallback_single(problem: ProblemInstance) -> ApproxResult:
     )
 
 
+# -- subset evaluation (shared by the serial loop and pool workers) ----------
+
+
+def _evaluate_subset(
+    problem: ProblemInstance,
+    subset: tuple,
+    plan: SegmentPlan,
+    order: list,
+    inner: str,
+    gain_mode: str,
+    augment_leftover: bool,
+    context: "SolverContext | None",
+) -> "tuple[int, dict] | None":
+    """Greedy + connect for one anchor subset; ``(served, placements)`` or
+    ``None`` when the connected subgraph would exceed ``K`` UAVs."""
+    if inner == "pairs":
+        greedy = pair_greedy(problem, list(subset), plan, context=context)
+    else:
+        greedy = anchored_greedy(
+            problem, list(subset), plan, order,
+            gain_mode=gain_mode, context=context,
+        )
+    solution = connect_and_deploy(
+        problem,
+        greedy,
+        order,
+        augment_leftover=augment_leftover,
+        gain_mode=gain_mode,
+        context=context,
+    )
+    if solution is None:
+        return None
+    return solution.served, solution.placements
+
+
+def _better(candidate: "tuple[int, dict, tuple]",
+            best: "tuple[int, dict, tuple] | None") -> bool:
+    """Canonical tie-break: served descending, then anchors lexicographic.
+
+    In lexicographic visit order the tie clause never fires (later subsets
+    compare greater), so this reproduces the historical first-strict-winner
+    exactly; under bound order or parallel merge it pins the same winner
+    regardless of execution order.
+    """
+    if best is None:
+        return True
+    return candidate[0] > best[0] or (
+        candidate[0] == best[0] and candidate[2] < best[2]
+    )
+
+
+def _bound_skippable(bound: int, subset: tuple,
+                     best: "tuple[int, dict, tuple] | None") -> bool:
+    """Whether an admissible ``bound`` proves ``subset`` cannot change the
+    canonical winner: it can neither beat the best served count nor, on a
+    tie, improve the lexicographic anchor tie-break."""
+    if best is None:
+        return False
+    return bound < best[0] or (bound == best[0] and subset > best[2])
+
+
+def _subset_array(pool: list, s: int) -> np.ndarray:
+    total = math.comb(len(pool), s)
+    arr = np.fromiter(
+        chain.from_iterable(combinations(pool, s)),
+        dtype=np.int32,
+        count=total * s,
+    )
+    return arr.reshape(total, s)
+
+
+# -- process-parallel fan-out ------------------------------------------------
+
+_WORKER_STATE: dict = {}
+
+
+def _worker_init(problem, context, plan, order, eval_kw) -> None:
+    """Pool initializer: adopt the shipped context so every hop/coverage
+    lookup in this process is a warm-cache hit."""
+    context.install_into(problem.graph)
+    _WORKER_STATE.update(
+        problem=problem, context=context, plan=plan, order=order,
+        eval_kw=eval_kw,
+    )
+
+
+def _worker_chunk(subsets: np.ndarray, bounds: "np.ndarray | None"):
+    """Evaluate one chunk of surviving subsets; returns the chunk-local
+    best (or ``None``) plus (evaluated, infeasible, bound_skipped) counts."""
+    problem = _WORKER_STATE["problem"]
+    context = _WORKER_STATE["context"]
+    plan = _WORKER_STATE["plan"]
+    order = _WORKER_STATE["order"]
+    eval_kw = _WORKER_STATE["eval_kw"]
+    best: "tuple[int, dict, tuple] | None" = None
+    evaluated = infeasible = skipped = 0
+    for i in range(subsets.shape[0]):
+        subset = tuple(int(x) for x in subsets[i])
+        if bounds is not None and _bound_skippable(
+            int(bounds[i]), subset, best
+        ):
+            skipped += 1
+            continue
+        evaluated += 1
+        outcome = _evaluate_subset(
+            problem, subset, plan, order, context=context, **eval_kw
+        )
+        if outcome is None:
+            infeasible += 1
+        else:
+            candidate = (outcome[0], outcome[1], subset)
+            if _better(candidate, best):
+                best = candidate
+    return best, evaluated, infeasible, skipped
+
+
+def _chunk_slices(n: int, workers: int) -> list:
+    """Contiguous chunk bounds: small enough for responsive progress and
+    cooperative aborts, large enough to amortise pickling."""
+    size = max(1, min(64, math.ceil(n / (workers * 4))))
+    return [(lo, min(lo + size, n)) for lo in range(0, n, size)]
+
+
+def _run_parallel(
+    problem, context, plan, order, eval_kw, stats, progress,
+    subsets, prunable, bounds, workers,
+):
+    total = stats.subsets_total
+    stats.subsets_pruned = int(prunable.sum())
+    done = stats.subsets_pruned
+    if progress is not None and done:
+        progress(done, total)
+    surviving = np.nonzero(~prunable)[0]
+    if bounds is not None:
+        live = bounds[surviving]
+        keys = tuple(subsets[surviving, col] for col in
+                     range(subsets.shape[1] - 1, -1, -1))
+        surviving = surviving[np.lexsort(keys + (-live,))]
+    sub = subsets[surviving]
+    live_bounds = None if bounds is None else bounds[surviving]
+
+    best: "tuple[int, dict, tuple] | None" = None
+    initargs = (problem, context, plan, order, eval_kw)
+    executor = ProcessPoolExecutor(
+        max_workers=workers, initializer=_worker_init, initargs=initargs
+    )
+    try:
+        futures = {}
+        for lo, hi in _chunk_slices(sub.shape[0], workers):
+            chunk_bounds = None if live_bounds is None else live_bounds[lo:hi]
+            futures[executor.submit(
+                _worker_chunk, sub[lo:hi], chunk_bounds
+            )] = hi - lo
+        pending = set(futures)
+        while pending:
+            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in finished:
+                chunk_best, evaluated, infeasible, skipped = fut.result()
+                stats.subsets_evaluated += evaluated
+                stats.subsets_infeasible += infeasible
+                stats.subsets_bound_skipped += skipped
+                if chunk_best is not None and _better(chunk_best, best):
+                    best = chunk_best
+                done += futures[fut]
+                if progress is not None:
+                    progress(done, total)
+    except BaseException:
+        for fut in futures:
+            fut.cancel()
+        executor.shutdown(wait=False, cancel_futures=True)
+        raise
+    executor.shutdown(wait=True)
+    return best
+
+
+def _run_serial(
+    problem, context, plan, order, eval_kw, stats, progress,
+    subsets, prunable, bounds,
+):
+    total = stats.subsets_total
+    best: "tuple[int, dict, tuple] | None" = None
+
+    def evaluate(subset: tuple) -> None:
+        nonlocal best
+        stats.subsets_evaluated += 1
+        outcome = _evaluate_subset(
+            problem, subset, plan, order, context=context, **eval_kw
+        )
+        if outcome is None:
+            stats.subsets_infeasible += 1
+        else:
+            candidate = (outcome[0], outcome[1], subset)
+            if _better(candidate, best):
+                best = candidate
+
+    if bounds is None:
+        # Paper-faithful lexicographic visit order (bit-identical to the
+        # historical loop, including the progress call series).
+        for i in range(subsets.shape[0]):
+            if prunable[i]:
+                stats.subsets_pruned += 1
+            else:
+                evaluate(tuple(int(x) for x in subsets[i]))
+            if progress is not None:
+                progress(i + 1, total)
+        return best
+
+    stats.subsets_pruned = int(prunable.sum())
+    done = stats.subsets_pruned
+    if progress is not None and done:
+        progress(done, total)
+    surviving = np.nonzero(~prunable)[0]
+    keys = tuple(subsets[surviving, col] for col in
+                 range(subsets.shape[1] - 1, -1, -1))
+    surviving = surviving[np.lexsort(keys + (-bounds[surviving],))]
+    for i in surviving:
+        subset = tuple(int(x) for x in subsets[i])
+        if _bound_skippable(int(bounds[i]), subset, best):
+            stats.subsets_bound_skipped += 1
+        else:
+            evaluate(subset)
+        done += 1
+        if progress is not None:
+            progress(done, total)
+    return best
+
+
 def appro_alg(
     problem: ProblemInstance,
     s: int = 3,
@@ -128,6 +389,9 @@ def appro_alg(
     gain_mode: str = "exact",
     inner: str = "sorted",
     progress: "object | None" = None,
+    workers: int = 1,
+    bound_prune: bool = False,
+    context: "SolverContext | None" = None,
 ) -> ApproxResult:
     """Run Algorithm 2 with parameter ``s`` (paper default 3).
 
@@ -141,54 +405,82 @@ def appro_alg(
     ranking; see :func:`repro.core.greedy.anchored_greedy`).  ``inner``
     selects the greedy flavour: ``"sorted"`` is Algorithm 2's
     capacity-sorted loop, ``"pairs"`` the textbook FNW greedy over (UAV,
-    location) pairs (slower; ablation).  ``progress``, if given, is called
-    as ``progress(done, total)`` after each subset.
+    location) pairs (slower; ablation).
+
+    ``progress``, if given, is called as ``progress(done, total)``; ``done``
+    is monotonically non-decreasing across the whole run, including the
+    ``s - 1`` fallback retries, during which ``total`` grows by the retry's
+    subset count (one continuous series, never a restart from zero).
+
+    Engine knobs — all default to the paper-faithful serial behaviour,
+    whose results are bit-identical to the historical implementation:
+
+    * ``workers`` > 1 fans subset evaluation out over a process pool; the
+      merged result is identical to the serial one.
+    * ``bound_prune`` visits subsets in descending optimistic-bound order
+      and skips provably non-improving ones (lossless; identical result).
+    * ``context`` reuses a prebuilt :class:`SolverContext` (e.g. across
+      repeated solves of the same instance); by default one is built and
+      its build time recorded in ``stats.context_build_s``.
     """
     if s < 1:
         raise ValueError(f"s must be a positive integer, got {s}")
     if inner not in ("sorted", "pairs"):
         raise ValueError(f"inner must be 'sorted' or 'pairs', got {inner!r}")
+    if workers < 1:
+        raise ValueError(f"workers must be a positive integer, got {workers}")
     s = min(s, problem.num_uavs)
-    pool = _anchor_pool(problem, anchor_candidates, max_anchor_candidates)
+    pool = _anchor_pool(problem, anchor_candidates, max_anchor_candidates, s)
     if len(pool) < s:
         raise ValueError(
             f"anchor pool of {len(pool)} locations cannot host s = {s} anchors"
         )
 
     order = problem.capacity_order()
-    stats = ApproxStats()
-    best: "tuple[int, dict, tuple] | None" = None  # (served, placements, anchors)
+    stats = ApproxStats(workers=workers)
     plan = optimal_segments(problem.num_uavs, s)
+    if context is None:
+        context = SolverContext.from_problem(problem)
+        stats.context_build_s = context.build_seconds
+    elif not context.matches(problem):
+        raise ValueError(
+            "supplied SolverContext does not match the problem shape "
+            f"(context: {context.num_locations} locations, "
+            f"{context.num_users} users, {context.num_uavs} UAVs)"
+        )
 
-    subsets = list(combinations(pool, s))
-    stats.subsets_total = len(subsets)
-    for done, subset in enumerate(subsets, start=1):
-        if _prunable(problem, subset):
-            stats.subsets_pruned += 1
-        else:
-            stats.subsets_evaluated += 1
-            if inner == "pairs":
-                greedy = pair_greedy(problem, list(subset), plan)
-            else:
-                greedy = anchored_greedy(
-                    problem, list(subset), plan, order, gain_mode=gain_mode
-                )
-            solution = connect_and_deploy(
-                problem,
-                greedy,
-                order,
-                augment_leftover=augment_leftover,
-                gain_mode=gain_mode,
-            )
-            if solution is None:
-                stats.subsets_infeasible += 1
-            elif best is None or solution.served > best[0]:
-                best = (solution.served, solution.placements, subset)
-        if progress is not None:
-            progress(done, stats.subsets_total)
+    subsets = _subset_array(pool, s)
+    stats.subsets_total = subsets.shape[0]
+    prunable = prunable_mask(context, subsets, problem.num_uavs)
+    bounds = (
+        subset_bounds(context, subsets, problem.num_uavs)
+        if bound_prune else None
+    )
+
+    eval_kw = dict(
+        inner=inner, gain_mode=gain_mode, augment_leftover=augment_leftover
+    )
+    surviving_count = int(subsets.shape[0] - prunable.sum())
+    if workers > 1 and surviving_count >= 2 * workers:
+        best = _run_parallel(
+            problem, context, plan, order, eval_kw, stats, progress,
+            subsets, prunable, bounds, workers,
+        )
+    else:
+        best = _run_serial(
+            problem, context, plan, order, eval_kw, stats, progress,
+            subsets, prunable, bounds,
+        )
 
     if best is None:
         if s > 1:
+            inner_progress = progress
+            if progress is not None:
+                base = stats.subsets_total
+
+                def inner_progress(done, total, _cb=progress, _base=base):
+                    _cb(_base + done, _base + total)
+
             smaller = appro_alg(
                 problem,
                 s=s - 1,
@@ -197,7 +489,10 @@ def appro_alg(
                 augment_leftover=augment_leftover,
                 gain_mode=gain_mode,
                 inner=inner,
-                progress=progress,
+                progress=inner_progress,
+                workers=workers,
+                bound_prune=bound_prune,
+                context=context,
             )
             smaller.stats.fallback_used = True
             return smaller

@@ -32,8 +32,14 @@ def connect_and_deploy(
     order: "list | None" = None,
     augment_leftover: bool = True,
     gain_mode: str = "exact",
+    context: "object | None" = None,
 ) -> "ConnectedSolution | None":
     """Connect the greedy's locations and staff the relays with UAVs.
+
+    ``context`` (a :class:`repro.core.context.SolverContext`) supplies
+    precomputed coverage counts for the frontier pre-filter; the connection
+    itself always runs on the graph's cached hop rows.  Results are
+    identical with or without it.
 
     Relay staffing follows the paper's "arbitrary, e.g. greedy" guidance:
     remaining UAVs are taken in decreasing capacity order and each is put on
@@ -103,18 +109,25 @@ def connect_and_deploy(
             if not frontier:
                 break
             uav = fleet[k]
+            counts = None if context is None else context.counts_for_uav(k)
             best_gain = 0
             best_loc = -1
             for loc in sorted(frontier):
-                cover = graph.coverable_users(loc, uav)
-                if min(uav.capacity, len(cover)) <= best_gain:
+                count = (
+                    int(counts[loc]) if counts is not None
+                    else len(graph.coverable_users(loc, uav))
+                )
+                if min(uav.capacity, count) <= best_gain:
                     continue
                 if fast:
                     gain = engine.direct_gain_bound(
                         graph.coverable_array(loc, uav), uav.capacity
                     )
                 else:
-                    gain = engine.try_open((k, loc), cover, uav.capacity)
+                    gain = engine.try_open(
+                        (k, loc), graph.coverable_users(loc, uav),
+                        uav.capacity,
+                    )
                     engine.rollback()
                 if gain > best_gain:
                     best_gain, best_loc = gain, loc

@@ -1,0 +1,283 @@
+"""Shared solver context: the per-run hot data of the appro_alg engine.
+
+Algorithm 2's outer loop touches the same derived structure for every
+anchor subset: hop distances in the candidate-location graph and per-radio
+coverage sets.  :class:`SolverContext` precomputes both once, immutably and
+pickle-friendly, so that
+
+* the connectivity prune and the optimistic upper bound are evaluated for
+  *all* subsets at once with vectorised numpy (see :func:`prunable_mask`
+  and :func:`subset_bounds`), and
+* worker processes of the parallel fan-out receive the whole structure a
+  single time via the pool initializer and :meth:`install_into` it,
+  instead of re-deriving it per process.
+
+The context stores coverage as packed bitsets (one bit per user) keyed by
+radio signature — UAVs sharing a radio share coverage — so union-coverage
+sizes are popcounts (:mod:`repro.util.bits`), not Python set walks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import ProblemInstance
+from repro.graphs.bfs import UNREACHABLE
+from repro.network.coverage import CoverageGraph
+from repro.util.bits import popcount, popcount_rows, unpack_indices
+
+_INT16_INF = np.int16(np.iinfo(np.int16).max)
+
+
+@dataclass(frozen=True)
+class SolverContext:
+    """Immutable precomputation shared by every subset evaluation.
+
+    All fields are plain numpy arrays and tuples, so a context pickles
+    cheaply and identically across process boundaries.
+    """
+
+    hop_matrix: np.ndarray      # (m, m) int16; UNREACHABLE = -1
+    radio_keys: tuple           # distinct radio signatures, sorted
+    coverage_bits: np.ndarray   # (r, m, words) uint8 packed user bitsets
+    coverage_counts: np.ndarray  # (r, m) int32 popcounts of the above
+    best_counts: np.ndarray     # (m,) int32 elementwise max over radios
+    fleet_radio_index: tuple    # uav index -> row in radio_keys
+    capacities: tuple           # uav index -> service capacity
+    num_users: int
+    build_seconds: float = 0.0
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_problem(cls, problem: ProblemInstance) -> "SolverContext":
+        """Precompute the context for one problem instance.
+
+        Warms the problem's own graph caches as a side effect (the hop
+        matrix and coverage sets are shared structure, not copies).
+        """
+        start = time.perf_counter()
+        graph = problem.graph
+        m = graph.num_locations
+
+        representative: dict = {}
+        fleet_index = []
+        for uav in problem.fleet:
+            key = graph.radio_signature(uav)
+            representative.setdefault(key, uav)
+        radio_keys = tuple(sorted(representative))
+        key_row = {key: r for r, key in enumerate(radio_keys)}
+        fleet_index = tuple(
+            key_row[graph.radio_signature(uav)] for uav in problem.fleet
+        )
+
+        hop = graph.hop_matrix()
+        words = np.packbits(np.zeros(graph.num_users, dtype=bool)).size
+        bits = np.zeros((len(radio_keys), m, words), dtype=np.uint8)
+        for key, r in key_row.items():
+            uav = representative[key]
+            for v in range(m):
+                bits[r, v, :] = graph.coverable_bits(v, uav)
+        counts = popcount_rows(bits).astype(np.int32)
+        best = (
+            counts.max(axis=0)
+            if counts.size
+            else np.zeros(m, dtype=np.int32)
+        )
+        return cls(
+            hop_matrix=hop,
+            radio_keys=radio_keys,
+            coverage_bits=bits,
+            coverage_counts=counts,
+            best_counts=best,
+            fleet_radio_index=fleet_index,
+            capacities=tuple(uav.capacity for uav in problem.fleet),
+            num_users=graph.num_users,
+            build_seconds=time.perf_counter() - start,
+        )
+
+    def matches(self, problem: ProblemInstance) -> bool:
+        """Cheap sanity check that a (possibly recycled) context belongs to
+        this problem's shape."""
+        return (
+            self.hop_matrix.shape[0] == problem.num_locations
+            and self.num_users == problem.num_users
+            and len(self.capacities) == problem.num_uavs
+        )
+
+    # -- sizes ---------------------------------------------------------------
+
+    @property
+    def num_locations(self) -> int:
+        return int(self.hop_matrix.shape[0])
+
+    @property
+    def num_uavs(self) -> int:
+        return len(self.capacities)
+
+    # -- hop structure -------------------------------------------------------
+
+    def hops_between(self, a: int, b: int) -> int:
+        return int(self.hop_matrix[a, b])
+
+    def hops_to_set(self, sources: list) -> list:
+        """Hop distance from each location to the nearest of ``sources``;
+        identical to :meth:`CoverageGraph.hops_to_set` but a masked matrix
+        min instead of a multi-source BFS."""
+        rows = self.hop_matrix[np.asarray(list(sources), dtype=np.int64)]
+        masked = np.where(rows == UNREACHABLE, _INT16_INF, rows)
+        nearest = masked.min(axis=0).astype(np.int64)
+        nearest[nearest == int(_INT16_INF)] = UNREACHABLE
+        return nearest.tolist()
+
+    # -- coverage ------------------------------------------------------------
+
+    def counts_for_uav(self, uav_index: int) -> np.ndarray:
+        """Per-location coverage counts under UAV ``uav_index``'s radio."""
+        return self.coverage_counts[self.fleet_radio_index[uav_index]]
+
+    def coverage_count(self, loc_index: int, uav_index: int) -> int:
+        return int(self.counts_for_uav(uav_index)[loc_index])
+
+    def union_coverage_count(self, loc_indices: list, uav_index: int) -> int:
+        """Distinct users coverable from any of ``loc_indices`` under one
+        UAV's radio (bitset union + popcount)."""
+        if not loc_indices:
+            return 0
+        rows = self.coverage_bits[self.fleet_radio_index[uav_index]]
+        union = np.bitwise_or.reduce(
+            rows[np.asarray(loc_indices, dtype=np.int64)], axis=0
+        )
+        return popcount(union)
+
+    def coverable_users(self, loc_index: int, uav_index: int) -> list:
+        """Decode one coverage bitset back to the sorted user-index list."""
+        rows = self.coverage_bits[self.fleet_radio_index[uav_index]]
+        return unpack_indices(rows[loc_index], self.num_users)
+
+    # -- worker adoption -----------------------------------------------------
+
+    def install_into(self, graph: CoverageGraph) -> None:
+        """Warm ``graph``'s hop and coverage caches from this context.
+
+        Worker processes call this once in the pool initializer: afterwards
+        every ``hops_from`` / ``coverable_users`` lookup is a cache hit with
+        values bit-identical to what the parent computed.
+        """
+        graph.warm_hops(self.hop_matrix)
+        for r, key in enumerate(self.radio_keys):
+            for v in range(self.num_locations):
+                graph.warm_coverage(
+                    v, key,
+                    unpack_indices(self.coverage_bits[r, v], self.num_users),
+                )
+
+
+# -- vectorised subset-level operations -------------------------------------
+
+_CHUNK = 8192
+# Sub-chunk for the union-coverage OR-reduce, whose (chunk, m, words)
+# temporary would otherwise dominate memory at paper scale.
+_UNION_CHUNK = 512
+
+
+def prunable_mask(
+    context: SolverContext, subsets: np.ndarray, num_uavs: int
+) -> np.ndarray:
+    """Vectorised form of the connectivity prune: ``True`` where an anchor
+    subset provably cannot appear in any feasible solution (some pair
+    disconnected, or the farthest pair's path alone already needs more than
+    ``K`` nodes).  Decisions are identical to the scalar ``_prunable``
+    reference in :mod:`repro.core.approx`."""
+    n, s = subsets.shape
+    out = np.zeros(n, dtype=bool)
+    hop = context.hop_matrix
+    for lo in range(0, n, _CHUNK):
+        chunk = subsets[lo:lo + _CHUNK]
+        pairwise = hop[chunk[:, :, None], chunk[:, None, :]]
+        disconnected = (pairwise == UNREACHABLE).any(axis=(1, 2))
+        worst = pairwise.max(axis=(1, 2)).astype(np.int64)
+        need = np.maximum(s, worst + 1)
+        out[lo:lo + chunk.shape[0]] = disconnected | (need > num_uavs)
+    return out
+
+
+def subset_bounds(
+    context: SolverContext, subsets: np.ndarray, num_uavs: int
+) -> np.ndarray:
+    """Optimistic upper bound on served users per anchor subset.
+
+    Any deployment for anchor set ``A`` occupies a connected subgraph of at
+    most ``K`` nodes containing ``A``; by the subgraph-size lemma (see
+    :func:`repro.graphs.steiner.connection_cost_lower_bound`) a location
+    ``v`` can be occupied only if
+
+        max(|A ∪ {v}|, max-pairwise-hops(A ∪ {v}) + 1) <= K.
+
+    Two admissible caps are intersected over the occupiable set:
+
+    * **capacity pairing** — a UAV of capacity ``c`` at location ``v``
+      serves at most ``min(c, best_counts[v])`` users, and locations are
+      distinct, so pairing the top-``K`` occupiable coverage counts with
+      the capacities (both descending) bounds any deployment, users
+      double-counted in the UAVs' favour;
+    * **union coverage** — served users are distinct and each is coverable
+      (under *some* radio) from an occupiable location, so the popcount of
+      the occupiable locations' any-radio coverage union bounds the total.
+
+    The result is never below the true achievable served count, which
+    makes bound-ordered skipping lossless.
+    """
+    n, s = subsets.shape
+    m = context.num_locations
+    caps = np.sort(np.asarray(context.capacities, dtype=np.int64))[::-1]
+    top_k = min(num_uavs, m)
+    caps = caps[:top_k]
+    bits = context.coverage_bits
+    if bits.shape[0]:
+        any_bits = np.bitwise_or.reduce(bits, axis=0)      # (m, words)
+    else:
+        any_bits = np.zeros((m, bits.shape[2]), dtype=np.uint8)
+    out = np.zeros(n, dtype=np.int64)
+    hop = context.hop_matrix
+    inf = np.int64(1) << 30
+    for lo in range(0, n, _CHUNK):
+        chunk = subsets[lo:lo + _CHUNK]
+        rows = hop[chunk].astype(np.int64)                 # (c, s, m)
+        rows[rows == UNREACHABLE] = inf
+        farthest = rows.max(axis=1)                        # (c, m)
+        pairwise = np.take_along_axis(
+            rows, chunk[:, None, :].astype(np.int64), axis=2
+        )                                                  # (c, s, s)
+        worst = pairwise.max(axis=(1, 2))                  # (c,)
+        # Non-anchor occupiable test: |A| + 1 nodes and the widened
+        # diameter must fit in K.  Anchors of a non-pruned subset always
+        # pass it (their farthest hop is within the anchor diameter).
+        occupiable = (
+            np.maximum(farthest, worst[:, None]) + 1 <= num_uavs
+        )
+        if s + 1 > num_uavs:
+            anchor_mask = np.zeros((chunk.shape[0], m), dtype=bool)
+            np.put_along_axis(
+                anchor_mask, chunk.astype(np.int64), True, axis=1
+            )
+            occupiable &= anchor_mask
+        counts = np.where(occupiable, context.best_counts[None, :], 0)
+        top = -np.sort(-counts, axis=1)[:, :top_k]         # (c, top_k) desc
+        bound = np.minimum(top, caps[None, :]).sum(axis=1)
+        c = chunk.shape[0]
+        union_pop = np.empty(c, dtype=np.int64)
+        for sub in range(0, c, _UNION_CHUNK):
+            occ = occupiable[sub:sub + _UNION_CHUNK]
+            masked = np.where(
+                occ[:, :, None], any_bits[None, :, :], np.uint8(0)
+            )
+            union_pop[sub:sub + occ.shape[0]] = popcount_rows(
+                np.bitwise_or.reduce(masked, axis=1)
+            )
+        bound = np.minimum(bound, union_pop)
+        out[lo:lo + c] = np.minimum(bound, context.num_users)
+    return out

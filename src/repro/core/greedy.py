@@ -44,6 +44,7 @@ def anchored_greedy(
     plan: SegmentPlan,
     order: "list | None" = None,
     gain_mode: str = "exact",
+    context: "object | None" = None,
 ) -> GreedyResult:
     """Run the greedy for anchor set ``anchors`` under segment plan ``plan``.
 
@@ -60,6 +61,10 @@ def anchored_greedy(
       The maintained assignment stays an exact maximum either way; only the
       selection score is approximated.  The ablation bench quantifies the
       difference (typically nil to a fraction of a percent of coverage).
+
+    ``context`` (a :class:`repro.core.context.SolverContext`) supplies hop
+    rows and coverage counts from its precomputed arrays — same values as
+    the graph lookups, so results are identical either way.
     """
     if gain_mode not in ("exact", "fast"):
         raise ValueError(f"gain_mode must be 'exact' or 'fast', got {gain_mode!r}")
@@ -73,7 +78,10 @@ def anchored_greedy(
     if order is None:
         order = problem.capacity_order()
 
-    hops = graph.hops_to_set(list(anchor_set))
+    if context is not None:
+        hops = context.hops_to_set(list(anchor_set))
+    else:
+        hops = graph.hops_to_set(list(anchor_set))
     matroid = HopCountingMatroid(hops, plan.q_bounds())
     hop_filter = IncrementalHopFilter(matroid)
     universe = sorted(matroid.ground_set())
@@ -85,6 +93,7 @@ def anchored_greedy(
     for k_pos in range(rounds):
         k = order[k_pos]
         uav = fleet[k]
+        counts = None if context is None else context.counts_for_uav(k)
         candidates = [
             v for v in universe
             if v not in used_locations and hop_filter.can_add(v)
@@ -101,7 +110,11 @@ def anchored_greedy(
             # gain; in fast mode the direct bound is the selection score.
             for v in candidates:
                 if first_iteration:
-                    gain = min(uav.capacity, len(graph.coverable_users(v, uav)))
+                    count = (
+                        int(counts[v]) if counts is not None
+                        else len(graph.coverable_users(v, uav))
+                    )
+                    gain = min(uav.capacity, count)
                 else:
                     gain = engine.direct_gain_bound(
                         graph.coverable_array(v, uav), uav.capacity
@@ -112,11 +125,16 @@ def anchored_greedy(
                 ):
                     best_gain, best_v, best_is_anchor = gain, v, is_anchor
         else:
+            # Rank by the capacity-capped coverage bound; the coverage list
+            # itself is only fetched for candidates that survive the scan
+            # cutoff below.
             scored = []
             for v in candidates:
-                cover = graph.coverable_users(v, uav)
-                bound = min(uav.capacity, len(cover))
-                scored.append((bound, v))
+                count = (
+                    int(counts[v]) if counts is not None
+                    else len(graph.coverable_users(v, uav))
+                )
+                scored.append((min(uav.capacity, count), v))
             scored.sort(key=lambda t: (-t[0], t[1]))
             for bound, v in scored:
                 if bound < best_gain or (bound == best_gain and best_is_anchor):
@@ -151,6 +169,7 @@ def pair_greedy(
     problem: ProblemInstance,
     anchors: list,
     plan: SegmentPlan,
+    context: "object | None" = None,
 ) -> GreedyResult:
     """Textbook FNW greedy over the full ``X × V`` ground set.
 
@@ -172,7 +191,10 @@ def pair_greedy(
         raise ValueError(
             f"expected {plan.s} distinct anchors, got {sorted(anchor_set)}"
         )
-    hops = graph.hops_to_set(list(anchor_set))
+    if context is not None:
+        hops = context.hops_to_set(list(anchor_set))
+    else:
+        hops = graph.hops_to_set(list(anchor_set))
     matroid = HopCountingMatroid(hops, plan.q_bounds())
     hop_filter = IncrementalHopFilter(matroid)
     universe = sorted(matroid.ground_set())
@@ -192,9 +214,13 @@ def pair_greedy(
         scored = []
         for k in free_uavs:
             uav = fleet[k]
+            counts = None if context is None else context.counts_for_uav(k)
             for v in candidates:
-                bound = min(uav.capacity, len(graph.coverable_users(v, uav)))
-                scored.append((bound, k, v))
+                count = (
+                    int(counts[v]) if counts is not None
+                    else len(graph.coverable_users(v, uav))
+                )
+                scored.append((min(uav.capacity, count), k, v))
         scored.sort(key=lambda t: (-t[0], t[1], t[2]))
 
         best = (-1, -1, -1, False)  # gain, k, v, is_anchor

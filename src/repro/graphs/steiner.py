@@ -16,13 +16,22 @@ from repro.graphs.bfs import UNREACHABLE, bfs_hops, shortest_hop_path
 from repro.graphs.mst import minimum_spanning_tree
 
 
-def steiner_connect(graph: Graph, terminals: Sequence) -> "tuple[set, list]":
+def steiner_connect(
+    graph: Graph,
+    terminals: Sequence,
+    hop_rows: "object | None" = None,
+) -> "tuple[set, list]":
     """Connect ``terminals`` in ``graph`` via MST-of-shortest-paths.
 
     Returns ``(nodes, tree_edges)`` where ``nodes`` is the node set of the
     connected subgraph ``G_j`` (terminals plus relays) and ``tree_edges`` is
     the list of terminal pairs that were joined, as
     ``(terminal_u, terminal_v, path)`` with ``path`` the node list used.
+
+    ``hop_rows``, if given, is a callable ``node -> hop-distance row``
+    replacing the per-terminal BFS (callers with a cached all-pairs hop
+    matrix — e.g. :class:`repro.network.coverage.CoverageGraph` — pass
+    theirs so the enumeration over anchor subsets amortises the BFS work).
 
     Raises ``ValueError`` if some terminal pair is disconnected in ``graph``.
     """
@@ -32,11 +41,13 @@ def steiner_connect(graph: Graph, terminals: Sequence) -> "tuple[set, list]":
     if len(terms) == 1:
         return {terms[0]}, []
 
-    # Pairwise hop distances among terminals via one BFS per terminal.
-    hop_rows = {t: bfs_hops(graph, t) for t in terms}
+    if hop_rows is None:
+        # Pairwise hop distances among terminals via one BFS per terminal.
+        rows = {t: bfs_hops(graph, t) for t in terms}
+        hop_rows = rows.__getitem__
     metric = Graph(len(terms))
     for a in range(len(terms)):
-        row = hop_rows[terms[a]]
+        row = hop_rows(terms[a])
         for b in range(a + 1, len(terms)):
             d = row[terms[b]]
             if d == UNREACHABLE:

@@ -31,6 +31,7 @@ from repro.graphs.bfs import (
 from repro.graphs.steiner import steiner_connect
 from repro.network.uav import UAV
 from repro.network.users import User
+from repro.util.bits import pack_indices, popcount
 
 
 class CoverageGraph:
@@ -72,6 +73,7 @@ class CoverageGraph:
         self.location_graph = self._build_location_graph()
         self._coverage_cache: dict = {}
         self._hop_cache: dict = {}
+        self._hop_matrix: "np.ndarray | None" = None
 
     # -- construction -------------------------------------------------------
 
@@ -112,6 +114,12 @@ class CoverageGraph:
 
     def _radio_key(self, uav: UAV) -> tuple:
         return (uav.user_range_m, uav.tx_power_dbm, uav.antenna_gain_db)
+
+    def radio_signature(self, uav: UAV) -> tuple:
+        """The (range, power, gain) tuple identifying a UAV's radio; all
+        coverage caches are keyed by it, so UAVs sharing a signature share
+        coverage sets."""
+        return self._radio_key(uav)
 
     def coverable_users(self, loc_index: int, uav: UAV) -> list:
         """Users the given UAV could serve from ``loc_index``: within
@@ -163,18 +171,75 @@ class CoverageGraph:
             self._coverage_cache[key] = cached
         return cached
 
+    def coverable_bits(self, loc_index: int, uav: UAV) -> np.ndarray:
+        """:meth:`coverable_users` as a packed ``uint8`` bitset (one bit per
+        user, :func:`numpy.packbits` layout).  Cached per (location, radio
+        signature); the substrate of the vectorised popcount bounds in
+        :class:`repro.core.context.SolverContext`."""
+        key = (loc_index, self._radio_key(uav), "bits")
+        cached = self._coverage_cache.get(key)
+        if cached is None:
+            cached = pack_indices(
+                self.coverable_array(loc_index, uav), self.num_users
+            )
+            self._coverage_cache[key] = cached
+        return cached
+
+    def union_coverage_count(self, loc_indices: list, uav: UAV) -> int:
+        """Number of distinct users coverable from any of ``loc_indices``
+        with the given UAV's radio (vectorised bitset union + popcount)."""
+        acc: "np.ndarray | None" = None
+        for v in loc_indices:
+            bits = self.coverable_bits(v, uav)
+            acc = bits.copy() if acc is None else np.bitwise_or(acc, bits)
+        return 0 if acc is None else popcount(acc)
+
     def coverage_count(self, loc_index: int, uav: UAV) -> int:
         return len(self.coverable_users(loc_index, uav))
+
+    def warm_coverage(self, loc_index: int, radio_key: tuple,
+                      covered: list) -> None:
+        """Seed the coverage cache with a precomputed sorted user list (used
+        by :meth:`repro.core.context.SolverContext.install_into` so worker
+        processes skip the geometric/rate computation entirely)."""
+        self._coverage_cache.setdefault((loc_index, radio_key), list(covered))
 
     # -- hop structure over the location graph -------------------------------
 
     def hops_from(self, loc_index: int) -> list:
-        """BFS hop distances from one location to all locations (cached)."""
+        """BFS hop distances from one location to all locations (cached;
+        served from the all-pairs hop matrix when one has been built)."""
         row = self._hop_cache.get(loc_index)
         if row is None:
-            row = bfs_hops(self.location_graph, loc_index)
+            if self._hop_matrix is not None:
+                row = self._hop_matrix[loc_index].tolist()
+            else:
+                row = bfs_hops(self.location_graph, loc_index)
             self._hop_cache[loc_index] = row
         return row
+
+    def hop_matrix(self) -> np.ndarray:
+        """The all-pairs hop matrix as an ``int16`` array (``UNREACHABLE``
+        entries are ``-1``).  Built once via one BFS per location and cached;
+        the per-run hot data of the appro_alg engine."""
+        if self._hop_matrix is None:
+            rows = [self.hops_from(v) for v in range(self.num_locations)]
+            self._hop_matrix = np.array(rows, dtype=np.int16).reshape(
+                self.num_locations, self.num_locations
+            )
+        return self._hop_matrix
+
+    def warm_hops(self, matrix: np.ndarray) -> None:
+        """Adopt a precomputed all-pairs hop matrix (worker processes get it
+        from the shipped :class:`~repro.core.context.SolverContext` instead
+        of re-running one BFS per location)."""
+        matrix = np.asarray(matrix, dtype=np.int16)
+        expected = (self.num_locations, self.num_locations)
+        if matrix.shape != expected:
+            raise ValueError(
+                f"hop matrix shape {matrix.shape} != {expected}"
+            )
+        self._hop_matrix = matrix
 
     def hops_between(self, a: int, b: int) -> int:
         """Hop distance between two locations (-1 if disconnected)."""
@@ -191,8 +256,12 @@ class CoverageGraph:
 
     def connect_terminals(self, terminals: list) -> "tuple[set, list]":
         """Section III-E connection step: MST over hop metric, expanded to
-        shortest paths.  Returns (node set of G_j, expanded tree edges)."""
-        return steiner_connect(self.location_graph, terminals)
+        shortest paths.  Returns (node set of G_j, expanded tree edges).
+        Hop rows come from the per-instance cache, so repeated calls across
+        anchor subsets stop re-running BFS per terminal."""
+        return steiner_connect(
+            self.location_graph, terminals, hop_rows=self.hops_from
+        )
 
     def reachable_from(self, loc_index: int) -> list:
         """All locations in the same connected component as ``loc_index``."""

@@ -33,11 +33,19 @@ DEFAULT_ANCHOR_POOL = 10
 
 
 def _appro_params(
-    s: int, max_anchor_candidates: "int | None", gain_mode: str = "fast"
+    s: int,
+    max_anchor_candidates: "int | None",
+    gain_mode: str = "fast",
+    workers: int = 1,
+    bound_prune: bool = False,
 ) -> dict:
     params: dict = {"s": s, "gain_mode": gain_mode}
     if max_anchor_candidates is not None:
         params["max_anchor_candidates"] = max_anchor_candidates
+    if workers != 1:
+        params["workers"] = workers
+    if bound_prune:
+        params["bound_prune"] = bound_prune
     return params
 
 
@@ -63,6 +71,8 @@ def fig4_sweep(
     algorithms: Sequence = PAPER_ALGORITHMS,
     max_anchor_candidates: "int | None" = DEFAULT_ANCHOR_POOL,
     gain_mode: str = "fast",
+    workers: int = 1,
+    bound_prune: bool = False,
 ) -> SweepResult:
     """Fig. 4: served users vs K.
 
@@ -81,7 +91,10 @@ def fig4_sweep(
         )
         for k in ks:
             problem = ProblemInstance(graph=base.graph, fleet=base.fleet[:k])
-            appro = _appro_params(min(s, k), max_anchor_candidates, gain_mode)
+            appro = _appro_params(
+                min(s, k), max_anchor_candidates, gain_mode,
+                workers, bound_prune,
+            )
             _run_point(result, k, problem, algorithms, appro)
     return result
 
@@ -96,10 +109,14 @@ def fig5_sweep(
     algorithms: Sequence = PAPER_ALGORITHMS,
     max_anchor_candidates: "int | None" = DEFAULT_ANCHOR_POOL,
     gain_mode: str = "fast",
+    workers: int = 1,
+    bound_prune: bool = False,
 ) -> SweepResult:
     """Fig. 5: served users vs n."""
     result = SweepResult(name="fig5", sweep_param="n")
-    appro = _appro_params(s, max_anchor_candidates, gain_mode)
+    appro = _appro_params(
+        s, max_anchor_candidates, gain_mode, workers, bound_prune
+    )
     for rep_rng in spawn_rngs(seed, repetitions):
         point_rngs = spawn_rngs(rep_rng, len(list(ns)))
         for n, rng in zip(ns, point_rngs):
@@ -182,6 +199,8 @@ def fig6_sweep(
     algorithms: Sequence = PAPER_ALGORITHMS,
     max_anchor_candidates: "int | None" = DEFAULT_ANCHOR_POOL,
     gain_mode: str = "fast",
+    workers: int = 1,
+    bound_prune: bool = False,
 ) -> SweepResult:
     """Fig. 6: served users (a) and running time (b) vs s.
 
@@ -196,6 +215,8 @@ def fig6_sweep(
             num_users=num_users, num_uavs=num_uavs, scale=scale, seed=rep_rng
         )
         for s in ss:
-            appro = _appro_params(s, max_anchor_candidates, gain_mode)
+            appro = _appro_params(
+                s, max_anchor_candidates, gain_mode, workers, bound_prune
+            )
             _run_point(result, s, problem, algorithms, appro)
     return result

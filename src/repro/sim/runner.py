@@ -50,7 +50,10 @@ ALGORITHMS = {
 _UNCONNECTED_OK = {"Unconstrained"}
 
 # Solvers whose inner loop accepts a ``progress`` callback, so the watchdog
-# can abort them mid-run when the wall-clock budget expires.
+# can abort them mid-run when the wall-clock budget expires.  This covers
+# the parallel engine too: ``appro_alg(workers=N)`` invokes ``progress``
+# from the parent process between completed chunks, and a SolverTimeout
+# raised there cancels the outstanding futures and shuts the pool down.
 _COOPERATIVE = {"approAlg"}
 
 

@@ -16,7 +16,7 @@ from repro.workload.scenarios import paper_scenario
 
 def make_line_instance(
     num_locations: int = 5,
-    users_per_location: int = 4,
+    users_per_location: "int | list" = 4,
     capacities: "tuple | None" = None,
     spacing: float = 500.0,
     altitude: float = 300.0,
@@ -24,14 +24,22 @@ def make_line_instance(
     user_range: float = 500.0,
 ) -> ProblemInstance:
     """Locations on a line, ``users_per_location`` users directly beneath
-    each location.  Coverage is disjoint per location when ``spacing``
-    exceeds twice the ground radius, making optima easy to reason about."""
+    each location (an int for a uniform count, or one count per location
+    for skewed instances).  Coverage is disjoint per location when
+    ``spacing`` exceeds twice the ground radius, making optima easy to
+    reason about."""
     locations = [
         Point3D(spacing * (j + 1), 0.0, altitude) for j in range(num_locations)
     ]
+    if isinstance(users_per_location, int):
+        per_location = [users_per_location] * num_locations
+    else:
+        per_location = list(users_per_location)
+        if len(per_location) != num_locations:
+            raise ValueError("need one user count per location")
     points = []
     for j in range(num_locations):
-        for i in range(users_per_location):
+        for i in range(per_location[j]):
             points.append((spacing * (j + 1) + 5.0 * i, 0.0))
     users = users_from_points(points)
     graph = CoverageGraph(
@@ -41,7 +49,7 @@ def make_line_instance(
         channel=AirToGroundChannel(URBAN),
     )
     if capacities is None:
-        capacities = tuple([users_per_location] * num_locations)
+        capacities = tuple(per_location)
     fleet = [
         UAV(capacity=c, tx_power_dbm=36.0, antenna_gain_db=3.0,
             user_range_m=user_range, name=f"uav-{k}")

@@ -60,7 +60,17 @@ class TestApproAlgBasics:
         problem = make_line_instance()
         result = appro_alg(problem, s=2)
         st_ = result.stats
+        assert st_.subsets_bound_skipped == 0  # pruning is opt-in
         assert st_.subsets_total == st_.subsets_pruned + st_.subsets_evaluated
+
+    def test_stats_add_up_with_bound_prune(self):
+        problem = make_line_instance()
+        result = appro_alg(problem, s=2, bound_prune=True)
+        st_ = result.stats
+        assert st_.subsets_total == (
+            st_.subsets_pruned + st_.subsets_bound_skipped
+            + st_.subsets_evaluated
+        )
 
     def test_anchor_pool_restriction(self):
         problem = make_line_instance(num_locations=6, users_per_location=2)

@@ -1,0 +1,131 @@
+"""Engine guarantees: parallel fan-out and bound pruning are lossless —
+same (served, anchors, deployment, subset accounting) as the historical
+serial loop — and progress/abort semantics survive both.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.approx import appro_alg
+from repro.core.context import SolverContext
+from repro.sim.runner import SolverTimeout
+from repro.workload.scenarios import paper_scenario
+from tests.conftest import make_line_instance
+
+SEEDS = [1, 3, 8]
+
+
+def _same(a, b):
+    assert a.served == b.served
+    assert a.anchors == b.anchors
+    assert a.deployment.placements == b.deployment.placements
+    assert a.stats.subsets_total == b.stats.subsets_total
+    assert (
+        a.stats.subsets_pruned
+        + a.stats.subsets_bound_skipped
+        + a.stats.subsets_evaluated
+        == a.stats.subsets_total
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_workers4_identical_to_serial(seed):
+    problem = paper_scenario(
+        num_users=130, num_uavs=4, scale="small", seed=seed
+    )
+    serial = appro_alg(problem, s=2)
+    parallel = appro_alg(problem, s=2, workers=4)
+    _same(parallel, serial)
+    assert parallel.stats.workers == 4
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_bound_prune_lossless(seed):
+    problem = paper_scenario(
+        num_users=130, num_uavs=4, scale="small", seed=seed
+    )
+    serial = appro_alg(problem, s=2)
+    pruned = appro_alg(problem, s=2, bound_prune=True)
+    _same(pruned, serial)
+
+
+def test_parallel_plus_bound_prune_identical():
+    problem = paper_scenario(num_users=150, num_uavs=5, scale="small", seed=4)
+    serial = appro_alg(problem, s=2)
+    engine = appro_alg(problem, s=2, workers=4, bound_prune=True)
+    _same(engine, serial)
+
+
+def test_bound_prune_skips_on_skewed_instance():
+    """The skew that makes bounds informative: bound pruning must actually
+    skip subsets here (not just stay lossless vacuously)."""
+    p = make_line_instance(
+        num_locations=12,
+        users_per_location=[40, 40, 30, 20, 0, 0, 0, 0, 0, 0, 0, 5],
+        capacities=[35, 30, 25, 20],
+    )
+    serial = appro_alg(p, s=2)
+    pruned = appro_alg(p, s=2, bound_prune=True)
+    _same(pruned, serial)
+    assert pruned.stats.subsets_bound_skipped > 0
+    assert (
+        pruned.stats.subsets_evaluated < serial.stats.subsets_evaluated
+    )
+
+
+def test_shared_context_reused_across_calls():
+    problem = paper_scenario(num_users=130, num_uavs=4, scale="small", seed=6)
+    context = SolverContext.from_problem(problem)
+    a = appro_alg(problem, s=2, context=context)
+    b = appro_alg(problem, s=2, context=context, workers=2)
+    _same(b, a)
+    # A supplied context is not re-built: build time is not re-charged.
+    assert a.stats.context_build_s == 0.0
+
+
+def test_progress_monotonic_across_fallback():
+    """When level s is infeasible the s-1 fallback must continue the same
+    monotonic (done, total) series instead of restarting from zero."""
+    # Locations too far apart to interconnect: every s=2 subset is pruned
+    # as disconnected, forcing the s=1 fallback.
+    p = make_line_instance(num_locations=5, users_per_location=3,
+                           spacing=5000.0)
+    calls = []
+    result = appro_alg(p, s=2, progress=lambda d, t: calls.append((d, t)))
+    assert result.plan.s == 1
+    assert calls, "progress must be invoked"
+    dones = [d for d, _ in calls]
+    totals = [t for _, t in calls]
+    assert dones == sorted(dones), "done must be monotonic across fallback"
+    assert all(d <= t for d, t in calls)
+    assert calls[-1][0] == calls[-1][1], "series must end complete"
+    # The final total covers both enumeration levels.
+    assert totals[-1] >= result.stats.subsets_total
+
+
+def test_watchdog_abort_with_workers():
+    """A SolverTimeout raised from the progress callback must abort the
+    parallel run promptly and propagate."""
+    problem = paper_scenario(num_users=150, num_uavs=5, scale="small", seed=4)
+
+    def abort(done, total):
+        raise SolverTimeout("budget exhausted")
+
+    with pytest.raises(SolverTimeout):
+        appro_alg(problem, s=2, workers=2, progress=abort)
+
+
+def test_workers_validated():
+    problem = paper_scenario(num_users=90, num_uavs=4, scale="small", seed=1)
+    with pytest.raises(ValueError, match="workers"):
+        appro_alg(problem, s=2, workers=0)
+
+
+def test_max_anchor_candidates_smaller_than_s_rejected():
+    problem = paper_scenario(num_users=90, num_uavs=4, scale="small", seed=1)
+    with pytest.raises(ValueError) as excinfo:
+        appro_alg(problem, s=3, max_anchor_candidates=2)
+    message = str(excinfo.value)
+    assert "max_anchor_candidates" in message
+    assert "s = 3" in message
