@@ -95,6 +95,13 @@ class PerfTrajectory:
     ``"approAlg+parallel"``, ``"context-build"``, ...), ``served``,
     ``wall_s``, ``workers``, and ``scale``.  Extra keys (``speedup``,
     ``subsets_evaluated``) are preserved as-is.
+
+    At session end the trajectory is *merged* into the existing
+    ``BENCH_approx.json`` (a point replaces an earlier one with the same
+    ``(scenario, algorithm, workers, scale)`` key, new points append), so
+    running a subset of the benches refreshes just those points instead of
+    wiping the rest — the historical failure mode was an empty ``[]``
+    file after a session that recorded nothing.
     """
 
     def __init__(self) -> None:
@@ -113,8 +120,32 @@ class PerfTrajectory:
             **extra,
         })
 
-    def dump(self) -> str:
-        return json.dumps({"points": self.points}, indent=2)
+    @staticmethod
+    def _key(point: dict) -> tuple:
+        return (point.get("scenario"), point.get("algorithm"),
+                point.get("workers"), point.get("scale"))
+
+    def merged_with(self, existing: list) -> list:
+        """Existing file points updated/extended by this session's."""
+        merged = {self._key(p): p for p in existing}
+        for point in self.points:
+            merged[self._key(point)] = point
+        return list(merged.values())
+
+    def dump(self, existing: "list | None" = None) -> str:
+        points = self.merged_with(existing or [])
+        return json.dumps({"points": points}, indent=2)
+
+
+def _existing_trajectory_points(path: Path) -> list:
+    """Points already on disk; tolerates a missing, empty, or corrupt
+    file (the merge must never block a bench session from flushing)."""
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return []
+    points = data.get("points") if isinstance(data, dict) else None
+    return points if isinstance(points, list) else []
 
 
 _report = FigureReport()
@@ -133,9 +164,15 @@ def perf_trajectory() -> PerfTrajectory:
 
 def pytest_sessionfinish(session, exitstatus):
     if _trajectory.points:
-        TRAJECTORY_PATH.write_text(_trajectory.dump() + "\n")
-        print(f"\nperf trajectory ({len(_trajectory.points)} points) "
-              f"written to {TRAJECTORY_PATH}")
+        existing = _existing_trajectory_points(TRAJECTORY_PATH)
+        TRAJECTORY_PATH.write_text(_trajectory.dump(existing) + "\n")
+        print(f"\nperf trajectory ({len(_trajectory.points)} points "
+              f"recorded, {len(existing)} merged) written to "
+              f"{TRAJECTORY_PATH}")
+    elif not _existing_trajectory_points(TRAJECTORY_PATH):
+        print(f"\nWARNING: no perf points recorded and {TRAJECTORY_PATH} "
+              "is empty or missing — the perf trajectory is NOT flushed "
+              "(run benchmarks/test_bench_engine.py)")
     if not _report.titles:
         return
     text = _report.dump()

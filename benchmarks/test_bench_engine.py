@@ -84,6 +84,30 @@ def test_engine_matches_serial_and_records_speedup(
         )
 
 
+def test_fig4_smoke_wall_time(perf_trajectory):
+    """Fig.-4 smoke (approAlg only, tracing disabled): the observability
+    layer must cost nothing when off, so this wall-clock point is the
+    regression sentinel for the instrumented hot path."""
+    from repro import obs
+    from repro.sim.experiments import fig4_sweep
+
+    assert not obs.is_enabled(), "tracing must be off for the perf sentinel"
+    ks = (2, 4, 6, 8, 10, 12)
+    start = time.perf_counter()
+    result = fig4_sweep(
+        ks=ks, num_users=2000, s=2, scale="bench", seed=SEED,
+        algorithms=("approAlg",), max_anchor_candidates=ANCHOR_POOL,
+    )
+    wall = time.perf_counter() - start
+    served_total = sum(rec.served for _, rec in result.records)
+    perf_trajectory.record(
+        f"fig4-smoke:n=2000,ks={'-'.join(map(str, ks))}",
+        "approAlg", served_total, wall, workers=1,
+    )
+    assert served_total > 0
+    assert not obs.snapshot_spans(), "disabled run must record no spans"
+
+
 def test_parallel_only_agrees_with_serial(scenario_cache, perf_trajectory):
     """Pure fan-out (no bound pruning) must also be bit-identical; its
     wall-clock point isolates the pool overhead from the pruning win."""

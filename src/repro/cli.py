@@ -7,11 +7,19 @@
 
 Each figure command regenerates the corresponding paper figure's data as
 an ASCII table on stdout.
+
+Observability: the ``run``, ``fig4/5/6a/6b``, and ``mission`` commands
+accept ``--trace PATH`` (write a JSONL run manifest + spans + metrics)
+and ``--metrics-out PATH`` (just the metrics snapshot); ``repro
+trace-report PATH`` summarizes a trace and can export Chrome trace format
+(``--chrome``).  Without these flags the observability layer stays off
+and adds no overhead.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 
 from repro.core.approx import appro_alg
 from repro.core.ratio import approximation_ratio
@@ -53,6 +61,20 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--chart", action="store_true",
         help="also render an ASCII line chart of the series",
+    )
+    _add_obs_flags(parser)
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="enable observability and write a JSONL trace (manifest + "
+        "spans + metrics) to PATH; summarize with 'repro trace-report'",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="enable observability and write the metrics snapshot JSON "
+        "to PATH",
     )
 
 
@@ -309,6 +331,81 @@ def _cmd_mission(args: argparse.Namespace) -> int:
     return 0 if result.final_valid else 1
 
 
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    """Summarize a trace JSONL file; optionally export Chrome trace."""
+    from repro.obs import read_trace, summarize, write_chrome_trace
+
+    try:
+        data = read_trace(args.path)
+    except FileNotFoundError:
+        print(f"error: no trace file at {args.path}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: malformed trace: {exc}", file=sys.stderr)
+        return 2
+    print(summarize(data))
+    if args.chrome is not None:
+        write_chrome_trace(args.chrome, data.spans)
+        print(f"\nchrome trace written to {args.chrome} "
+              "(load in chrome://tracing or ui.perfetto.dev)")
+    return 0
+
+
+def _observed(handler, args: argparse.Namespace) -> int:
+    """Run a command with the observability layer on; write the trace
+    JSONL and/or metrics snapshot afterwards (even if the command
+    raises)."""
+    import json
+    import time as _time
+
+    from repro import obs
+
+    obs.reset()
+    obs.enable()
+    start = _time.perf_counter()
+    exit_code: "int | None" = None
+    try:
+        exit_code = handler(args)
+    finally:
+        wall = _time.perf_counter() - start
+        obs.disable()
+        spans = obs.drain_spans()
+        metrics = obs.metrics_snapshot()
+        obs.reset()
+        scenario = {
+            key: getattr(args, key)
+            for key in ("users", "uavs", "scale")
+            if getattr(args, key, None) is not None
+        }
+        manifest = obs.RunManifest(
+            command=args.command,
+            seed=getattr(args, "seed", None),
+            scenario=scenario,
+            algorithm=getattr(args, "algorithm", None),
+            config={
+                k: v for k, v in vars(args).items()
+                if k not in ("trace", "metrics_out") and not callable(v)
+            },
+            git_rev=obs.git_revision(),
+            stats={
+                "exit_code": exit_code,
+                "spans": len(spans),
+                "completed": exit_code is not None,
+            },
+            wall_s=wall,
+        )
+        if args.trace is not None:
+            obs.write_trace(args.trace, manifest, spans, metrics)
+            print(f"trace ({len(spans)} spans) written to {args.trace}")
+        if args.metrics_out is not None:
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                json.dump(
+                    {"manifest": manifest.to_dict(), **metrics}, fh, indent=2
+                )
+            print(f"metrics written to {args.metrics_out}")
+    return exit_code
+
+
 def _cmd_ratio(args: argparse.Namespace) -> int:
     from repro.core.ratio import l1_of
     from repro.core.segments import optimal_segments
@@ -394,6 +491,7 @@ def main(argv: "list | None" = None) -> int:
         "--report", action="store_true",
         help="print the full operational report (fleet, failures, spectrum)",
     )
+    _add_obs_flags(run_cmd)
 
     mission_cmd = sub.add_parser(
         "mission", help="fault-injected mission with self-healing recovery"
@@ -422,32 +520,54 @@ def main(argv: "list | None" = None) -> int:
         "--workers", type=int, default=1,
         help="worker processes for each approAlg re-plan",
     )
+    _add_obs_flags(mission_cmd)
 
     sub.add_parser("selfcheck", help="quick end-to-end installation check")
 
+    report_cmd = sub.add_parser(
+        "trace-report", help="summarize a --trace JSONL file"
+    )
+    report_cmd.add_argument("path", help="trace JSONL written by --trace")
+    report_cmd.add_argument(
+        "--chrome", default=None, metavar="PATH",
+        help="also export Chrome trace format here",
+    )
+
     args = parser.parse_args(argv)
+    handler = _dispatch_handler(args)
+    if getattr(args, "trace", None) is not None or getattr(
+        args, "metrics_out", None
+    ) is not None:
+        return _observed(handler, args)
+    return handler(args)
+
+
+def _dispatch_handler(args: argparse.Namespace):
+    """Resolve the subcommand to its handler (a callable of ``args``)."""
     if args.command == "fig4":
-        return _cmd_fig4(args)
+        return _cmd_fig4
     if args.command == "fig5":
-        return _cmd_fig5(args)
+        return _cmd_fig5
     if args.command == "fig6a":
-        return _cmd_fig6(
-            args, "served", "Fig. 6(a) - served users vs s (n=3000, K=20)"
+        return lambda a: _cmd_fig6(
+            a, "served", "Fig. 6(a) - served users vs s (n=3000, K=20)"
         )
     if args.command == "fig6b":
-        return _cmd_fig6(
-            args, "runtime_s", "Fig. 6(b) - running time (s) vs s (n=3000, K=20)"
+        return lambda a: _cmd_fig6(
+            a, "runtime_s", "Fig. 6(b) - running time (s) vs s (n=3000, K=20)"
         )
     if args.command == "demo":
-        return _cmd_demo(args)
+        return _cmd_demo
     if args.command == "map":
-        return _cmd_map(args)
+        return _cmd_map
     if args.command == "ratio":
-        return _cmd_ratio(args)
+        return _cmd_ratio
     if args.command == "mission":
-        return _cmd_mission(args)
+        return _cmd_mission
     if args.command == "run":
-        return _cmd_run(args)
+        return _cmd_run
     if args.command == "selfcheck":
-        return _cmd_selfcheck(args)
+        return _cmd_selfcheck
+    if args.command == "trace-report":
+        return _cmd_trace_report
     raise AssertionError(f"unhandled command {args.command!r}")

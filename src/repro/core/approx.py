@@ -38,6 +38,7 @@ from itertools import chain, combinations
 
 import numpy as np
 
+from repro import obs
 from repro.core.assignment import optimal_assignment
 from repro.core.connect import connect_and_deploy
 from repro.core.context import SolverContext, prunable_mask, subset_bounds
@@ -168,21 +169,25 @@ def _evaluate_subset(
 ) -> "tuple[int, dict] | None":
     """Greedy + connect for one anchor subset; ``(served, placements)`` or
     ``None`` when the connected subgraph would exceed ``K`` UAVs."""
-    if inner == "pairs":
-        greedy = pair_greedy(problem, list(subset), plan, context=context)
-    else:
-        greedy = anchored_greedy(
-            problem, list(subset), plan, order,
-            gain_mode=gain_mode, context=context,
-        )
-    solution = connect_and_deploy(
-        problem,
-        greedy,
-        order,
-        augment_leftover=augment_leftover,
-        gain_mode=gain_mode,
-        context=context,
-    )
+    with obs.span("approx.subset", anchors=list(subset)):
+        with obs.span("approx.greedy"):
+            if inner == "pairs":
+                greedy = pair_greedy(problem, list(subset), plan,
+                                     context=context)
+            else:
+                greedy = anchored_greedy(
+                    problem, list(subset), plan, order,
+                    gain_mode=gain_mode, context=context,
+                )
+        with obs.span("approx.connect"):
+            solution = connect_and_deploy(
+                problem,
+                greedy,
+                order,
+                augment_leftover=augment_leftover,
+                gain_mode=gain_mode,
+                context=context,
+            )
     if solution is None:
         return None
     return solution.served, solution.placements
@@ -229,9 +234,13 @@ def _subset_array(pool: list, s: int) -> np.ndarray:
 _WORKER_STATE: dict = {}
 
 
-def _worker_init(problem, context, plan, order, eval_kw) -> None:
+def _worker_init(problem, context, plan, order, eval_kw,
+                 obs_enabled: bool = False) -> None:
     """Pool initializer: adopt the shipped context so every hop/coverage
-    lookup in this process is a warm-cache hit."""
+    lookup in this process is a warm-cache hit.  Observability state is
+    reset (forked workers inherit the parent's buffers) and re-enabled
+    only when the parent traces."""
+    obs.worker_init(obs_enabled)
     context.install_into(problem.graph)
     _WORKER_STATE.update(
         problem=problem, context=context, plan=plan, order=order,
@@ -241,7 +250,9 @@ def _worker_init(problem, context, plan, order, eval_kw) -> None:
 
 def _worker_chunk(subsets: np.ndarray, bounds: "np.ndarray | None"):
     """Evaluate one chunk of surviving subsets; returns the chunk-local
-    best (or ``None``) plus (evaluated, infeasible, bound_skipped) counts."""
+    best (or ``None``), (evaluated, infeasible, bound_skipped) counts, and
+    the worker's observability delta (spans + metrics, ``None`` when
+    tracing is off)."""
     problem = _WORKER_STATE["problem"]
     context = _WORKER_STATE["context"]
     plan = _WORKER_STATE["plan"]
@@ -266,7 +277,7 @@ def _worker_chunk(subsets: np.ndarray, bounds: "np.ndarray | None"):
             candidate = (outcome[0], outcome[1], subset)
             if _better(candidate, best):
                 best = candidate
-    return best, evaluated, infeasible, skipped
+    return best, evaluated, infeasible, skipped, obs.export_obs_state()
 
 
 def _chunk_slices(n: int, workers: int) -> list:
@@ -295,7 +306,7 @@ def _run_parallel(
     live_bounds = None if bounds is None else bounds[surviving]
 
     best: "tuple[int, dict, tuple] | None" = None
-    initargs = (problem, context, plan, order, eval_kw)
+    initargs = (problem, context, plan, order, eval_kw, obs.is_enabled())
     executor = ProcessPoolExecutor(
         max_workers=workers, initializer=_worker_init, initargs=initargs
     )
@@ -310,7 +321,10 @@ def _run_parallel(
         while pending:
             finished, pending = wait(pending, return_when=FIRST_COMPLETED)
             for fut in finished:
-                chunk_best, evaluated, infeasible, skipped = fut.result()
+                chunk_best, evaluated, infeasible, skipped, payload = (
+                    fut.result()
+                )
+                obs.absorb_obs_state(payload)
                 stats.subsets_evaluated += evaluated
                 stats.subsets_infeasible += infeasible
                 stats.subsets_bound_skipped += skipped
@@ -436,11 +450,13 @@ def appro_alg(
             f"anchor pool of {len(pool)} locations cannot host s = {s} anchors"
         )
 
+    obs.counter_inc("approx.runs")
     order = problem.capacity_order()
     stats = ApproxStats(workers=workers)
     plan = optimal_segments(problem.num_uavs, s)
     if context is None:
-        context = SolverContext.from_problem(problem)
+        with obs.span("approx.context_build"):
+            context = SolverContext.from_problem(problem)
         stats.context_build_s = context.build_seconds
     elif not context.matches(problem):
         raise ValueError(
@@ -461,18 +477,26 @@ def appro_alg(
         inner=inner, gain_mode=gain_mode, augment_leftover=augment_leftover
     )
     surviving_count = int(subsets.shape[0] - prunable.sum())
-    if workers > 1 and surviving_count >= 2 * workers:
-        best = _run_parallel(
-            problem, context, plan, order, eval_kw, stats, progress,
-            subsets, prunable, bounds, workers,
-        )
-    else:
-        best = _run_serial(
-            problem, context, plan, order, eval_kw, stats, progress,
-            subsets, prunable, bounds,
-        )
+    with obs.span("approx.enumerate", s=s, subsets=int(stats.subsets_total),
+                  workers=workers):
+        if workers > 1 and surviving_count >= 2 * workers:
+            best = _run_parallel(
+                problem, context, plan, order, eval_kw, stats, progress,
+                subsets, prunable, bounds, workers,
+            )
+        else:
+            best = _run_serial(
+                problem, context, plan, order, eval_kw, stats, progress,
+                subsets, prunable, bounds,
+            )
+    obs.counter_inc("approx.subsets_pruned", stats.subsets_pruned)
+    obs.counter_inc("approx.subsets_evaluated", stats.subsets_evaluated)
+    obs.counter_inc("approx.subsets_infeasible", stats.subsets_infeasible)
+    obs.counter_inc("approx.subsets_bound_skipped",
+                    stats.subsets_bound_skipped)
 
     if best is None:
+        obs.counter_inc("approx.fallbacks")
         if s > 1:
             inner_progress = progress
             if progress is not None:
@@ -499,7 +523,10 @@ def appro_alg(
         return _fallback_single(problem)
 
     served, placements, anchors = best
-    deployment = optimal_assignment(problem.graph, problem.fleet, placements)
+    with obs.span("approx.final_assignment"):
+        deployment = optimal_assignment(
+            problem.graph, problem.fleet, placements
+        )
     assert deployment.served_count == served, (
         f"incremental engine served {served} but exact max-flow served "
         f"{deployment.served_count}; the two must agree"

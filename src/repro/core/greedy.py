@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.problem import ProblemInstance
 from repro.core.segments import SegmentPlan
 from repro.flow.bipartite import IncrementalAssignment
@@ -139,6 +140,7 @@ def anchored_greedy(
             for bound, v in scored:
                 if bound < best_gain or (bound == best_gain and best_is_anchor):
                     break  # no remaining candidate can strictly improve
+                obs.counter_inc("greedy.oracle_calls")
                 gain = engine.try_open(
                     (k, v), graph.coverable_users(v, uav), uav.capacity
                 )
@@ -162,6 +164,8 @@ def anchored_greedy(
         f"anchors {sorted(missing)} not selected; the Q_h counting bounds "
         "should force all anchors into the solution"
     )
+    obs.counter_inc("greedy.runs")
+    obs.counter_inc("greedy.placements", len(chosen))
     return GreedyResult(chosen=chosen, engine=engine, served=engine.served_count)
 
 
@@ -228,6 +232,7 @@ def pair_greedy(
             if bound < best[0] or (bound == best[0] and best[3]):
                 break
             if chosen:
+                obs.counter_inc("greedy.oracle_calls")
                 gain = engine.try_open(
                     (k, v), graph.coverable_users(v, fleet[k]),
                     fleet[k].capacity,
@@ -251,4 +256,6 @@ def pair_greedy(
 
     missing = anchor_set - used_locations
     assert not missing, "anchors must end up in the pair-greedy solution"
+    obs.counter_inc("greedy.runs")
+    obs.counter_inc("greedy.placements", len(chosen))
     return GreedyResult(chosen=chosen, engine=engine, served=engine.served_count)

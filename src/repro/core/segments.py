@@ -16,6 +16,8 @@ import math
 from dataclasses import dataclass
 from itertools import product
 
+from repro import obs
+
 
 def _validate_p(p: list) -> None:
     if len(p) < 2:
@@ -159,19 +161,22 @@ def optimal_segments(num_uavs: int, s: int) -> SegmentPlan:
             f"need at least s = {s} UAVs to place the anchors, got {num_uavs}"
         )
     # L = s is always feasible: no interior nodes, g = s <= K.
-    best_l = s
-    best_split = _best_split(s, s)
-    assert best_split is not None
-    lo, hi = s, num_uavs + 1  # invariant: lo feasible, hi infeasible-or-bound
-    while lo + 1 < hi:
-        mid = (lo + hi) // 2
-        split = _best_split(mid, s)
-        if split is not None and split[0] <= num_uavs:
-            lo = mid
-            best_l, best_split = mid, split
-        else:
-            hi = mid
-    g, p = best_split
+    with obs.span("segments.optimal", s=s, num_uavs=num_uavs):
+        obs.counter_inc("segments.plans")
+        best_l = s
+        best_split = _best_split(s, s)
+        assert best_split is not None
+        lo, hi = s, num_uavs + 1  # invariant: lo feasible, hi infeasible-or-bound
+        while lo + 1 < hi:
+            obs.counter_inc("segments.search_steps")
+            mid = (lo + hi) // 2
+            split = _best_split(mid, s)
+            if split is not None and split[0] <= num_uavs:
+                lo = mid
+                best_l, best_split = mid, split
+            else:
+                hi = mid
+        g, p = best_split
     return SegmentPlan(s=s, num_uavs=num_uavs, lmax=best_l, p=p, relay_bound=g)
 
 

@@ -30,6 +30,8 @@ from collections.abc import Hashable, Sequence
 
 import numpy as np
 
+from repro import obs
+
 
 class IncrementalAssignment:
     """Maximum capacitated assignment of users to dynamically added stations.
@@ -127,11 +129,15 @@ class IncrementalAssignment:
                 self._record_and_assign(u, station)
                 self._served += 1
                 gain += 1
+        direct = gain
         # Chain phase: alternating-path augmentations for the remainder.
         while gain < capacity:
             if not self._augment_from(station):
                 break
             gain += 1
+        obs.counter_inc("flow.try_opens")
+        obs.counter_inc("flow.direct_assignments", direct)
+        obs.counter_inc("flow.chain_augmentations", gain - direct)
         return gain
 
     def commit(self) -> None:

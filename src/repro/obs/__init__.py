@@ -1,0 +1,149 @@
+"""repro.obs — zero-dependency observability: spans, metrics, manifests.
+
+Everything is **off by default**.  :func:`enable` switches on the span
+tracer and the metrics helpers in one go; while disabled, every
+instrumentation site in the solvers (``obs.span`` / ``obs.counter_inc``
+/ ...) short-circuits on a single module-level boolean, adding no
+measurable overhead (the fig4 bench records this).
+
+Quick tour::
+
+    from repro import obs
+
+    obs.enable()
+    result = appro_alg(problem, s=2)
+    spans = obs.drain_spans()                 # hierarchical Span records
+    counts = obs.metrics_snapshot()           # {"counters": {...}, ...}
+
+    manifest = obs.RunManifest(command="run", seed=7, ...)
+    obs.write_trace("out.jsonl", manifest, spans, counts)
+    print(obs.trace_report("out.jsonl"))      # or: repro trace-report
+
+See docs/OBSERVABILITY.md for the model and CLI flags (``--trace``,
+``--metrics-out``, ``repro trace-report``).
+"""
+
+from __future__ import annotations
+
+from repro.obs.manifest import (
+    RunManifest,
+    TraceData,
+    chrome_trace,
+    git_revision,
+    read_trace,
+    write_chrome_trace,
+    write_trace,
+)
+from repro.obs.metrics import REGISTRY, Histogram, MetricsRegistry
+from repro.obs.report import summarize, trace_report
+from repro.obs.trace import (
+    Span,
+    absorb_state,
+    disable,
+    drain_spans,
+    enable,
+    export_state,
+    is_enabled,
+    open_span_count,
+    snapshot_spans,
+    span,
+    traced,
+    worker_reset,
+)
+from repro.obs.trace import reset as _reset_spans
+
+__all__ = [
+    "enable",
+    "disable",
+    "is_enabled",
+    "span",
+    "traced",
+    "Span",
+    "open_span_count",
+    "snapshot_spans",
+    "drain_spans",
+    "reset",
+    "counter_inc",
+    "gauge_set",
+    "observe",
+    "metrics_snapshot",
+    "export_obs_state",
+    "absorb_obs_state",
+    "REGISTRY",
+    "MetricsRegistry",
+    "Histogram",
+    "RunManifest",
+    "TraceData",
+    "write_trace",
+    "read_trace",
+    "chrome_trace",
+    "write_chrome_trace",
+    "git_revision",
+    "trace_report",
+    "summarize",
+    "absorb_state",
+    "export_state",
+    "worker_reset",
+    "worker_init",
+]
+
+
+# -- guarded metrics helpers (cheap no-ops while disabled) -------------------
+
+
+def counter_inc(name: str, amount: int = 1) -> None:
+    """Increment a counter (no-op while observability is off)."""
+    if not is_enabled():
+        return
+    REGISTRY.inc(name, amount)
+
+
+def gauge_set(name: str, value: float) -> None:
+    if not is_enabled():
+        return
+    REGISTRY.set_gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram observation (no-op while off)."""
+    if not is_enabled():
+        return
+    REGISTRY.observe(name, value)
+
+
+def metrics_snapshot() -> dict:
+    return REGISTRY.snapshot()
+
+
+def reset() -> None:
+    """Clear spans and metrics (enabled flag is left as-is)."""
+    _reset_spans()
+    REGISTRY.reset()
+
+
+# -- process-pool plumbing ---------------------------------------------------
+
+
+def export_obs_state() -> "dict | None":
+    """Ship a worker's spans + metrics delta back to the parent.
+
+    Returns ``None`` when observability is off, so the common case costs
+    one boolean check and pickles nothing extra.
+    """
+    if not is_enabled():
+        return None
+    return {"spans": export_state(), "metrics": REGISTRY.export_and_reset()}
+
+
+def absorb_obs_state(payload: "dict | None") -> None:
+    """Merge a worker's :func:`export_obs_state` payload (parent side)."""
+    if not payload:
+        return
+    absorb_state(payload.get("spans"))
+    REGISTRY.merge(payload.get("metrics"))
+
+
+def worker_init(enabled: bool) -> None:
+    """Reset + configure observability inside a fresh pool worker."""
+    worker_reset(enabled)
+    REGISTRY.reset()

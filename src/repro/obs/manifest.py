@@ -1,0 +1,168 @@
+"""Run manifests: one JSONL file per observed run.
+
+Layout (one JSON object per line, ``type`` discriminated):
+
+* line 1 — ``{"type": "manifest", ...}``: seed, scenario, command,
+  config, git revision, solver stats, wall time;
+* then — ``{"type": "span", ...}``: every finished span
+  (:class:`repro.obs.trace.Span`), entry order;
+* last — ``{"type": "metrics", ...}``: the final registry snapshot.
+
+:func:`read_trace` round-trips the file exactly (a property test pins
+this); :func:`chrome_trace` converts the spans to Chrome trace format —
+load the output in ``chrome://tracing`` or https://ui.perfetto.dev.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+
+
+def _json_safe(value: object) -> object:
+    """Best-effort conversion of arbitrary config values to JSON types."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_json_safe(v) for v in value]
+    return repr(value)
+
+
+def git_revision(cwd: "str | Path | None" = None) -> "str | None":
+    """Short git revision of the working tree, or ``None`` outside a repo
+    (never raises — observability must not take a run down)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=str(cwd) if cwd is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Identifying facts of one observed run."""
+
+    command: str                    # e.g. "run", "fig4", "mission"
+    seed: "int | None" = None
+    scenario: dict = field(default_factory=dict)
+    algorithm: "str | None" = None
+    config: dict = field(default_factory=dict)
+    git_rev: "str | None" = None
+    stats: dict = field(default_factory=dict)
+    wall_s: float = 0.0
+    created_unix: float = field(default_factory=time.time)
+    schema: int = SCHEMA_VERSION
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["config"] = _json_safe(data["config"])
+        data["scenario"] = _json_safe(data["scenario"])
+        data["stats"] = _json_safe(data["stats"])
+        return data
+
+    @staticmethod
+    def from_dict(data: dict) -> "RunManifest":
+        known = {f for f in RunManifest.__dataclass_fields__}
+        return RunManifest(**{k: v for k, v in data.items() if k in known})
+
+
+@dataclass(frozen=True)
+class TraceData:
+    """Parsed contents of one trace JSONL file."""
+
+    manifest: "RunManifest | None"
+    spans: list                      # list[dict], entry order
+    metrics: dict
+
+
+def write_trace(
+    path: "str | Path",
+    manifest: RunManifest,
+    spans: "list | None" = None,
+    metrics: "dict | None" = None,
+) -> Path:
+    """Write one run's manifest + spans + metrics as JSONL."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    records = [
+        span if isinstance(span, dict) else span.to_dict()
+        for span in spans or []
+    ]
+    # Spans finish inner-first; write them in entry order so the file (and
+    # every reader of it) sees the call hierarchy top-down.
+    records.sort(key=lambda r: r.get("index", 0))
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(json.dumps({"type": "manifest", **manifest.to_dict()}) + "\n")
+        for record in records:
+            fh.write(json.dumps({"type": "span", **record}) + "\n")
+        fh.write(json.dumps({"type": "metrics", **(metrics or {})}) + "\n")
+    return path
+
+
+def read_trace(path: "str | Path") -> TraceData:
+    """Parse a trace JSONL file (tolerates missing sections)."""
+    manifest: "RunManifest | None" = None
+    spans: list = []
+    metrics: dict = {}
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.pop("type", None)
+            if kind == "manifest":
+                manifest = RunManifest.from_dict(record)
+            elif kind == "span":
+                spans.append(record)
+            elif kind == "metrics":
+                metrics = record
+            else:
+                raise ValueError(f"unknown trace record type {kind!r}")
+    return TraceData(manifest=manifest, spans=spans, metrics=metrics)
+
+
+def chrome_trace(spans: list) -> dict:
+    """Spans (dicts or :class:`Span` objects) → Chrome trace format.
+
+    Events use phase ``"X"`` (complete); timestamps are microseconds
+    relative to the earliest span so traces start at t=0.
+    """
+    records = [s if isinstance(s, dict) else s.to_dict() for s in spans]
+    base_ns = min((r["start_ns"] for r in records), default=0)
+    events = []
+    for r in records:
+        args = dict(r.get("attrs", {}))
+        if r.get("error"):
+            args["error"] = r["error"]
+        events.append({
+            "name": r["name"],
+            "ph": "X",
+            "ts": (r["start_ns"] - base_ns) / 1000.0,
+            "dur": r["duration_ns"] / 1000.0,
+            "pid": r["pid"],
+            "tid": r["tid"],
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: "str | Path", spans: list) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(spans), indent=1))
+    return path

@@ -1,0 +1,158 @@
+"""Metrics registry: counters, gauges, histograms.
+
+Counters are exact and deterministic: for a fixed problem and seed the
+instrumented solvers increment them identically whether they run serially
+or fan out over a process pool (workers ship their registry snapshot back
+with each chunk and the parent merges — addition is commutative, so the
+merged totals match the serial run; a property test pins this).
+
+Gauges record "last observed value"; histograms keep ``count / total /
+min / max`` (no samples — bounded memory even on million-call paths).
+
+All module-level helpers exported through :mod:`repro.obs`
+(``counter_inc`` etc.) are guarded by the tracer's enabled flag and no-op
+in a single boolean check while observability is off.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class Histogram:
+    """Bounded-memory summary of an observed distribution."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+    def merge_dict(self, data: dict) -> None:
+        if not data.get("count"):
+            return
+        self.count += int(data["count"])
+        self.total += float(data["total"])
+        self.min = min(self.min, float(data["min"]))
+        self.max = max(self.max, float(data["max"]))
+
+
+class MetricsRegistry:
+    """A named bag of counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict = {}
+        self._gauges: dict = {}
+        self._histograms: dict = {}
+
+    # -- write ------------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram()
+            hist.observe(value)
+
+    # -- read -------------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def counters(self) -> dict:
+        with self._lock:
+            return dict(self._counters)
+
+    def snapshot(self) -> dict:
+        """Plain-dict (picklable, JSON-safe) view of everything."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    name: h.to_dict() for name, h in self._histograms.items()
+                },
+            }
+
+    @property
+    def empty(self) -> bool:
+        with self._lock:
+            return not (self._counters or self._gauges or self._histograms)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def merge(self, snapshot: "dict | None") -> None:
+        """Fold a worker's :meth:`snapshot` into this registry.
+
+        Counters and histograms add; gauges take the incoming value (last
+        writer wins — workers should avoid gauges where determinism across
+        worker counts matters).
+        """
+        if not snapshot:
+            return
+        with self._lock:
+            for name, value in snapshot.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            self._gauges.update(snapshot.get("gauges", {}))
+            for name, data in snapshot.get("histograms", {}).items():
+                hist = self._histograms.get(name)
+                if hist is None:
+                    hist = self._histograms[name] = Histogram()
+                hist.merge_dict(data)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def export_and_reset(self) -> dict:
+        """Atomic snapshot-then-clear (workers ship deltas per chunk)."""
+        with self._lock:
+            out = {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    name: h.to_dict() for name, h in self._histograms.items()
+                },
+            }
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+        return out
+
+
+#: The process-global registry all instrumentation writes to.
+REGISTRY = MetricsRegistry()

@@ -1,0 +1,106 @@
+"""Human-readable summary of a trace JSONL file (``repro trace-report``).
+
+Aggregates spans by name (count, total/mean/max wall time, share of the
+run) and prints the counters and histograms from the metrics section,
+after the manifest header — the quickest answer to "where did the time
+go" without opening ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs.manifest import TraceData, read_trace
+from repro.util.tables import format_table
+
+
+def _fmt_ms(ns: float) -> str:
+    return f"{ns / 1e6:.2f}"
+
+
+def summarize(data: TraceData) -> str:
+    """Render one parsed trace as text."""
+    blocks: list = []
+
+    if data.manifest is not None:
+        m = data.manifest
+        lines = [f"command: {m.command}"]
+        if m.algorithm:
+            lines.append(f"algorithm: {m.algorithm}")
+        if m.scenario:
+            scenario = ", ".join(f"{k}={v}" for k, v in m.scenario.items())
+            lines.append(f"scenario: {scenario}")
+        if m.seed is not None:
+            lines.append(f"seed: {m.seed}")
+        if m.git_rev:
+            lines.append(f"git: {m.git_rev}")
+        lines.append(f"wall: {m.wall_s:.3f}s")
+        if m.stats:
+            stats = ", ".join(f"{k}={v}" for k, v in sorted(m.stats.items()))
+            lines.append(f"stats: {stats}")
+        blocks.append("\n".join(lines))
+
+    if data.spans:
+        total_ns = sum(
+            s["duration_ns"] for s in data.spans if s.get("depth", 0) == 0
+        ) or 1
+        by_name: dict = {}
+        for s in data.spans:
+            agg = by_name.setdefault(
+                s["name"], {"count": 0, "total": 0, "max": 0, "errors": 0}
+            )
+            agg["count"] += 1
+            agg["total"] += s["duration_ns"]
+            agg["max"] = max(agg["max"], s["duration_ns"])
+            agg["errors"] += 1 if s.get("error") else 0
+        rows = []
+        for name, agg in sorted(
+            by_name.items(), key=lambda kv: -kv[1]["total"]
+        ):
+            rows.append([
+                name,
+                agg["count"],
+                _fmt_ms(agg["total"]),
+                _fmt_ms(agg["total"] / agg["count"]),
+                _fmt_ms(agg["max"]),
+                f"{100.0 * agg['total'] / total_ns:.1f}%",
+                agg["errors"] or "-",
+            ])
+        blocks.append(format_table(
+            ["span", "count", "total ms", "mean ms", "max ms", "share",
+             "errors"],
+            rows,
+            title=f"spans ({len(data.spans)} recorded)",
+        ))
+
+    counters = data.metrics.get("counters", {})
+    if counters:
+        rows = [[name, counters[name]] for name in sorted(counters)]
+        blocks.append(format_table(["counter", "value"], rows,
+                                   title="counters"))
+
+    histograms = data.metrics.get("histograms", {})
+    if histograms:
+        rows = []
+        for name in sorted(histograms):
+            h = histograms[name]
+            count = h.get("count", 0)
+            mean = (h.get("total", 0.0) / count) if count else 0.0
+            rows.append([
+                name, count, f"{mean:.4g}",
+                f"{h.get('min'):.4g}" if h.get("min") is not None else "-",
+                f"{h.get('max'):.4g}" if h.get("max") is not None else "-",
+            ])
+        blocks.append(format_table(
+            ["histogram", "count", "mean", "min", "max"], rows,
+            title="histograms",
+        ))
+
+    if not blocks:
+        return "empty trace: no manifest, spans, or metrics"
+    return "\n\n".join(blocks)
+
+
+def trace_report(path: "str | Path") -> str:
+    """Read a trace JSONL file and summarize it."""
+    return summarize(read_trace(path))

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.problem import ProblemInstance
 from repro.network.deployment import Deployment
 from repro.network.validate import is_feasible
@@ -103,6 +104,7 @@ class _MissionState:
         )
 
 
+@obs.traced("mission.run")
 def run_mission(
     problem: ProblemInstance,
     schedule: FaultSchedule,
@@ -115,7 +117,8 @@ def run_mission(
     log = MissionLog()
     timeline: list = []
 
-    initial = solve_with_fallback(problem, policy.watchdog)
+    with obs.span("mission.plan"):
+        initial = solve_with_fallback(problem, policy.watchdog)
     if not initial.ok:
         log.record(
             0.0, evt.MISSION_END,
@@ -150,13 +153,16 @@ def run_mission(
         kind, arg = payload
         if kind == "fault":
             faults_injected += 1
-            _handle_fault(state, arg, now, queue, policy, log)
+            obs.counter_inc("mission.faults")
+            with obs.span("mission.fault", kind=arg.kind, time_s=now):
+                _handle_fault(state, arg, now, queue, policy, log)
         elif kind == "link_restored":
             _handle_link_restored(state, arg, now, queue, log)
         elif kind == _UAV_RESTORED:
             _handle_uav_restored(state, arg, now, queue, log)
         elif kind == _REPAIR:
-            _handle_repair(state, arg, now, queue, policy, config, log)
+            with obs.span("mission.repair", attempt=arg, time_s=now):
+                _handle_repair(state, arg, now, queue, policy, config, log)
         else:
             raise AssertionError(f"unhandled mission event {kind!r}")
         timeline.append((now, state.current.served_count))
@@ -304,6 +310,7 @@ def _handle_repair(
         state.problem, state.current, available, state.degraded_links, policy
     )
     if outcome.ok:
+        obs.counter_inc("mission.repairs")
         state.current = outcome.deployment
         state.repairs += 1
         state.attempt = 0

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from repro import obs
 from repro.sim.results import SweepResult
 from repro.sim.runner import run_algorithm
 from repro.util.rng import ensure_rng, spawn_rngs
@@ -56,9 +57,11 @@ def _run_point(
     algorithms: Sequence,
     appro_params: dict,
 ) -> None:
-    for name in algorithms:
-        params = appro_params if name == "approAlg" else {}
-        result.add(sweep_value, run_algorithm(problem, name, **params))
+    with obs.span("sweep.point", sweep=result.name, value=str(sweep_value)):
+        obs.counter_inc("sweep.points")
+        for name in algorithms:
+            params = appro_params if name == "approAlg" else {}
+            result.add(sweep_value, run_algorithm(problem, name, **params))
 
 
 def fig4_sweep(

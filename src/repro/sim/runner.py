@@ -17,6 +17,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.baselines.greedy_assign import greedy_assign
 from repro.baselines.max_throughput import max_throughput
 from repro.baselines.mcs import mcs
@@ -82,9 +83,10 @@ def run_algorithm(
         known = ", ".join(sorted(ALGORITHMS))
         raise KeyError(f"unknown algorithm {name!r}; known: {known}") from None
 
+    obs.counter_inc("runner.solves")
     watch = Stopwatch()
     try:
-        with watch:
+        with watch, obs.span("runner.solve", algorithm=name):
             deployment = algorithm(problem, **params)
     except Exception as exc:  # noqa: BLE001 - captured into the record
         if strict:
@@ -220,9 +222,10 @@ def solve_with_fallback(
 
         watch = Stopwatch()
         try:
-            with watch:
+            with watch, obs.span("runner.tier", algorithm=name, tier=i):
                 deployment = ALGORITHMS[name](problem, **params)
         except SolverTimeout as exc:
+            obs.counter_inc("runner.timeouts")
             attempts.append(AttemptRecord(
                 algorithm=name, elapsed_s=watch.elapsed, status="timeout",
                 error=str(exc),

@@ -1,6 +1,14 @@
-"""Shared fixtures: hand-built tiny instances and small random scenarios."""
+"""Shared fixtures: hand-built tiny instances and small random scenarios.
+
+Also provides the ``timeout_guard(seconds)`` marker: a zero-dependency
+SIGALRM watchdog for tests that drive process pools, turning a hung pool
+into a clear ``TimeoutError`` instead of a stuck CI job.  On platforms
+without ``SIGALRM`` (Windows) the marker is a no-op.
+"""
 
 from __future__ import annotations
+
+import signal
 
 import pytest
 
@@ -12,6 +20,36 @@ from repro.network.coverage import CoverageGraph
 from repro.network.uav import UAV
 from repro.network.users import users_from_points
 from repro.workload.scenarios import paper_scenario
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout_guard(seconds): fail the test with TimeoutError if it "
+        "runs past the wall-clock guard (SIGALRM; guards hung pools)",
+    )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    marker = item.get_closest_marker("timeout_guard")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    seconds = int(marker.args[0]) if marker.args else 120
+
+    def _abort(signum, frame):
+        raise TimeoutError(
+            f"test exceeded its {seconds}s timeout guard (hung pool?)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _abort)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def make_line_instance(

@@ -154,6 +154,67 @@ class TestCli:
         assert "fault" in out
         assert "mission_end" in out
 
+    def test_run_with_trace_and_metrics(self, capsys, tmp_path):
+        from repro import obs
+
+        trace = tmp_path / "out.jsonl"
+        metrics = tmp_path / "metrics.json"
+        assert main([
+            "run", "--users", "60", "--uavs", "3", "--scale", "small",
+            "--seed", "4", "--trace", str(trace),
+            "--metrics-out", str(metrics),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "trace (" in out and "metrics written" in out
+        assert not obs.is_enabled(), "the CLI must switch tracing back off"
+
+        data = obs.read_trace(trace)
+        assert data.manifest.command == "run"
+        assert data.manifest.seed == 4
+        assert data.manifest.stats["exit_code"] == 0
+        names = {s["name"] for s in data.spans}
+        assert "runner.solve" in names and "approx.enumerate" in names
+        assert data.metrics["counters"]["approx.runs"] >= 1
+
+        import json
+        saved = json.loads(metrics.read_text())
+        assert saved["counters"]["runner.solves"] == 1
+
+    def test_trace_report_renders_trace(self, capsys, tmp_path):
+        trace = tmp_path / "out.jsonl"
+        chrome = tmp_path / "chrome.json"
+        assert main([
+            "run", "--users", "60", "--uavs", "3", "--scale", "small",
+            "--seed", "4", "--trace", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "trace-report", str(trace), "--chrome", str(chrome),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "runner.solve" in out and "counters" in out
+        import json
+        events = json.loads(chrome.read_text())["traceEvents"]
+        assert events and all(e["ph"] == "X" for e in events)
+
+    def test_trace_report_missing_file_fails_cleanly(self, capsys, tmp_path):
+        assert main(["trace-report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no trace file" in capsys.readouterr().err
+
+    def test_mission_trace_records_mission_spans(self, capsys, tmp_path):
+        from repro import obs
+
+        trace = tmp_path / "mission.jsonl"
+        assert main([
+            "mission", "--users", "80", "--uavs", "4", "--scale", "small",
+            "--seed", "3", "--duration", "60", "--crashes", "1",
+            "--no-map", "--trace", str(trace),
+        ]) == 0
+        data = obs.read_trace(trace)
+        names = {s["name"] for s in data.spans}
+        assert "mission.run" in names and "mission.plan" in names
+        assert data.metrics["counters"]["mission.faults"] == 1
+
     def test_seed_forwarded(self, monkeypatch):
         import repro.cli as cli
 

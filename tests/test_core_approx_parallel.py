@@ -29,6 +29,7 @@ def _same(a, b):
     )
 
 
+@pytest.mark.timeout_guard(180)
 @pytest.mark.parametrize("seed", SEEDS)
 def test_workers4_identical_to_serial(seed):
     problem = paper_scenario(
@@ -50,6 +51,7 @@ def test_bound_prune_lossless(seed):
     _same(pruned, serial)
 
 
+@pytest.mark.timeout_guard(180)
 def test_parallel_plus_bound_prune_identical():
     problem = paper_scenario(num_users=150, num_uavs=5, scale="small", seed=4)
     serial = appro_alg(problem, s=2)
@@ -74,6 +76,7 @@ def test_bound_prune_skips_on_skewed_instance():
     )
 
 
+@pytest.mark.timeout_guard(180)
 def test_shared_context_reused_across_calls():
     problem = paper_scenario(num_users=130, num_uavs=4, scale="small", seed=6)
     context = SolverContext.from_problem(problem)
@@ -104,6 +107,7 @@ def test_progress_monotonic_across_fallback():
     assert totals[-1] >= result.stats.subsets_total
 
 
+@pytest.mark.timeout_guard(180)
 def test_watchdog_abort_with_workers():
     """A SolverTimeout raised from the progress callback must abort the
     parallel run promptly and propagate."""

@@ -1,0 +1,138 @@
+"""Differential oracle pass: solver outputs vs the brute-force optimum.
+
+Every instance here is small enough for :func:`repro.core.exact.exact_optimum`
+to enumerate, so three things can be asserted exactly on ~50 seeded
+instances:
+
+* soundness — no algorithm ever serves more than the optimum (an
+  algorithm beating the exhaustive oracle means one of the two is wrong);
+* Theorem 1 — ``appro_alg`` serves at least
+  ``approximation_ratio(K, s) * OPT`` (the ``O(sqrt(s/K))`` guarantee from
+  :mod:`repro.core.ratio`);
+* baselines — each algorithm in :mod:`repro.baselines` is individually
+  bounded by the oracle (``Unconstrained`` by the connectivity-free one,
+  which dominates the connected optimum).
+
+The oracle value is cached per instance so the ~7 per-instance checks pay
+for one enumeration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.greedy_assign import greedy_assign
+from repro.baselines.max_throughput import max_throughput
+from repro.baselines.mcs import mcs
+from repro.baselines.motionctrl import motion_ctrl
+from repro.baselines.random_connected import random_connected
+from repro.baselines.unconstrained import unconstrained_greedy
+from repro.core.approx import appro_alg
+from repro.core.exact import exact_optimum_value
+from repro.core.ratio import approximation_ratio
+from repro.workload.scenarios import paper_scenario
+from tests.conftest import make_line_instance
+
+# Baselines that must respect the *connected* optimum; Unconstrained is
+# checked against the connectivity-free oracle separately.
+CONNECTED_BASELINES = {
+    "GreedyAssign": greedy_assign,
+    "maxThroughput": max_throughput,
+    "MCS": mcs,
+    "MotionCtrl": motion_ctrl,
+    "RandomConnected": random_connected,
+}
+
+# ~50 instances: (kind, spec).  Line instances are deterministic
+# geometries with known structure; "small"-scale paper scenarios are
+# seeded random draws on the 9-location grid (K <= 4 keeps the oracle
+# enumeration under ~0.3 s each).
+LINE_SPECS = [
+    # (num_locations, users_per_location, capacities)
+    (4, 3, (3, 3, 3)),
+    (4, (1, 5, 2, 4), (4, 4)),
+    (4, (6, 1, 1, 6), (6, 2, 2)),
+    (5, 2, (2, 2, 2)),
+    (5, 4, (4, 4, 4)),
+    (5, (5, 1, 3, 1, 5), (5, 3, 1)),
+    (5, 3, (1, 2, 3, 4)),
+    (6, 2, (2, 2, 2)),
+    (6, (4, 1, 4, 1, 4, 1), (4, 4, 4)),
+    (6, 3, (3, 1, 3, 1)),
+]
+
+SMALL_SPECS = [
+    # (num_users, num_uavs, seed)
+    *[(35, 3, seed) for seed in range(10)],
+    *[(50, 3, seed) for seed in range(10, 20)],
+    *[(45, 4, seed) for seed in range(20, 28)],
+    *[(60, 4, seed) for seed in range(28, 36)],
+    *[(25, 2, seed) for seed in range(36, 40)],
+]
+
+ALL_SPECS = [("line", spec) for spec in LINE_SPECS] + [
+    ("small", spec) for spec in SMALL_SPECS
+]
+
+
+def _build(kind: str, spec: tuple):
+    if kind == "line":
+        m, users, caps = spec
+        return make_line_instance(
+            num_locations=m, users_per_location=users, capacities=caps
+        )
+    n, k, seed = spec
+    return paper_scenario(num_users=n, num_uavs=k, scale="small", seed=seed)
+
+
+@pytest.fixture(scope="module")
+def oracle_cache():
+    """(kind, spec) -> (problem, OPT_connected, OPT_unconstrained)."""
+    cache: dict = {}
+
+    def get(kind: str, spec: tuple):
+        key = (kind, spec)
+        if key not in cache:
+            problem = _build(kind, spec)
+            cache[key] = (
+                problem,
+                exact_optimum_value(problem),
+                exact_optimum_value(problem, require_connected=False),
+            )
+        return cache[key]
+
+    return get
+
+
+@pytest.mark.parametrize("kind,spec", ALL_SPECS)
+def test_appro_alg_within_oracle_and_ratio(kind, spec, oracle_cache):
+    problem, opt, _ = oracle_cache(kind, spec)
+    k = problem.num_uavs
+    s = min(2, k)
+    served = appro_alg(problem, s=s).served
+    assert served <= opt, (
+        f"appro_alg served {served} > brute-force optimum {opt}"
+    )
+    if k >= 2:
+        alpha = approximation_ratio(k, s)
+        assert served >= alpha * opt, (
+            f"Theorem 1 violated: served {served} < "
+            f"{alpha:.4f} * OPT ({opt}) on {kind} {spec}"
+        )
+
+
+@pytest.mark.parametrize("kind,spec", ALL_SPECS)
+def test_baselines_bounded_by_oracle(kind, spec, oracle_cache):
+    problem, opt, opt_free = oracle_cache(kind, spec)
+    for name, algorithm in CONNECTED_BASELINES.items():
+        served = algorithm(problem).served_count
+        assert served <= opt, (
+            f"{name} served {served} > connected optimum {opt} "
+            f"on {kind} {spec}"
+        )
+    served = unconstrained_greedy(problem).served_count
+    assert served <= opt_free, (
+        f"Unconstrained served {served} > connectivity-free optimum "
+        f"{opt_free} on {kind} {spec}"
+    )
+    assert opt <= opt_free, "dropping a constraint can only help the oracle"

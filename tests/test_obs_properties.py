@@ -1,0 +1,272 @@
+"""Property tests hardening ``repro.obs``.
+
+Four invariants the observability layer must never lose:
+
+* span balance — however instrumented code exits (returns, raises,
+  nests), every entered span is closed and recorded; no open span
+  survives, including when the watchdog aborts a cooperative solver with
+  :class:`~repro.sim.runner.SolverTimeout` mid-run;
+* engine equivalence — identical seeds yield bit-identical metric
+  counters serial vs ``workers=N`` (counter merging is commutative
+  addition of worker deltas, so chunking must not show through);
+* manifest round-trip — ``write_trace`` → ``read_trace`` is lossless
+  for any JSON-safe manifest;
+* disabled means free — with observability off, nothing is recorded and
+  the span helper returns the shared no-op singleton.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.core.approx import appro_alg
+from repro.sim.runner import WatchdogConfig, solve_with_fallback
+from repro.workload.scenarios import paper_scenario
+
+
+class _Boom(Exception):
+    pass
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    """Every test starts and ends with observability off and empty."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+# -- span balance ------------------------------------------------------------
+
+# A random call tree: (children, raises_after_children).
+_trees = st.recursive(
+    st.booleans().map(lambda r: ([], r)),
+    lambda kids: st.tuples(st.lists(kids, max_size=3), st.booleans()),
+    max_leaves=12,
+)
+
+
+def _execute(node, entered: list, depth: int = 0) -> None:
+    children, raises = node
+    with obs.span(f"node-d{depth}", raises=raises):
+        entered.append(depth)
+        for child in children:
+            _execute(child, entered, depth + 1)
+        if raises:
+            raise _Boom()
+
+
+@given(tree=_trees)
+@settings(max_examples=60, deadline=None)
+def test_spans_balance_under_arbitrary_exceptions(tree):
+    obs.enable()
+    obs.reset()
+    entered: list = []
+    try:
+        _execute(tree, entered)
+    except _Boom:
+        pass
+    assert obs.open_span_count() == 0, "an exception leaked an open span"
+    spans = obs.drain_spans()
+    obs.disable()
+    assert len(spans) == len(entered), "every entered span must be recorded"
+    # Any span the exception escaped through carries the error marker.
+    for s in spans:
+        assert s.error in (None, "_Boom")
+    if any(raises for _, raises in _flatten(tree)):
+        if entered:  # the raise happened inside at least the root span
+            assert any(s.error == "_Boom" for s in spans)
+
+
+def _flatten(node):
+    children, raises = node
+    yield node, raises
+    for child in children:
+        yield from _flatten(child)
+
+
+def test_traced_decorator_balances_on_exception():
+    @obs.traced("boomer")
+    def boomer():
+        raise _Boom()
+
+    obs.enable()
+    with pytest.raises(_Boom):
+        boomer()
+    assert obs.open_span_count() == 0
+    (span,) = obs.drain_spans()
+    assert span.name == "boomer" and span.error == "_Boom"
+
+
+def test_spans_balance_under_watchdog_solver_timeout():
+    """A SolverTimeout aborting approAlg mid-enumeration must not leave
+    the runner/approx spans open; the aborted tier's span records the
+    timeout as its error."""
+    problem = paper_scenario(num_users=120, num_uavs=4, scale="small", seed=2)
+    obs.enable()
+    result = solve_with_fallback(
+        problem,
+        WatchdogConfig(
+            chain=("approAlg", "GreedyAssign"),
+            budget_s=0.05,
+            params={"approAlg": {
+                "s": 2,
+                "gain_mode": "fast",
+                # Burn past the deadline on the first progress call so the
+                # timeout deterministically fires *inside* the solver.
+                "progress": lambda done, total: time.sleep(0.1),
+            }},
+        ),
+    )
+    assert obs.open_span_count() == 0
+    spans = obs.drain_spans()
+    counters = obs.metrics_snapshot()["counters"]
+    obs.disable()
+
+    assert result.ok and result.answered_by == "GreedyAssign"
+    statuses = {a.algorithm: a.status for a in result.record.attempts}
+    assert statuses["approAlg"] == "timeout"
+    aborted = [s for s in spans if s.name == "runner.tier" and s.error]
+    assert len(aborted) == 1
+    assert aborted[0].error == "SolverTimeout"
+    assert counters.get("runner.timeouts") == 1
+
+
+# -- engine equivalence ------------------------------------------------------
+
+
+@pytest.mark.timeout_guard(180)
+def test_metric_counts_identical_serial_vs_parallel():
+    """Same seed, same counters, same span count — workers=1 vs workers=4.
+
+    approx.* totals are incremented parent-side from the merged stats and
+    worker-side greedy/flow counters merge by commutative addition, so the
+    chunking of the subset enumeration must be invisible in the metrics.
+    """
+    problem = paper_scenario(num_users=130, num_uavs=4, scale="small", seed=3)
+
+    def observed_run(workers: int):
+        obs.enable()
+        obs.reset()
+        result = appro_alg(problem, s=2, gain_mode="exact", workers=workers)
+        counters = dict(obs.metrics_snapshot()["counters"])
+        spans = obs.drain_spans()
+        obs.disable()
+        obs.reset()
+        return result, counters, len(spans)
+
+    serial, serial_counts, serial_spans = observed_run(workers=1)
+    parallel, parallel_counts, parallel_spans = observed_run(workers=4)
+
+    assert (serial.served, serial.anchors) == (parallel.served, parallel.anchors)
+    assert serial_counts == parallel_counts
+    assert serial_spans == parallel_spans
+    assert serial_counts["approx.subsets_evaluated"] > 0
+    assert serial_counts["greedy.oracle_calls"] > 0
+    assert serial_counts["flow.try_opens"] > 0
+
+
+# -- manifest round-trip -----------------------------------------------------
+
+_scalars = (
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**53), max_value=2**53)
+    | st.floats(allow_nan=False)
+    | st.text(max_size=20)
+)
+_config_dicts = st.dictionaries(st.text(max_size=10), _scalars, max_size=5)
+
+
+@given(
+    command=st.text(min_size=1, max_size=15),
+    seed=st.none() | st.integers(min_value=0, max_value=2**31),
+    algorithm=st.none() | st.text(max_size=15),
+    scenario=_config_dicts,
+    config=_config_dicts,
+    stats=_config_dicts,
+    wall_s=st.floats(min_value=0, allow_nan=False, allow_infinity=False),
+)
+@settings(max_examples=40, deadline=None)
+def test_manifest_jsonl_roundtrip(
+    command, seed, algorithm, scenario, config, stats, wall_s
+):
+    manifest = obs.RunManifest(
+        command=command,
+        seed=seed,
+        scenario=scenario,
+        algorithm=algorithm,
+        config=config,
+        git_rev="abc1234",
+        stats=stats,
+        wall_s=wall_s,
+        created_unix=1700000000.0,
+    )
+    metrics = {"counters": {"x": 1}, "gauges": {}, "histograms": {}}
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "trace.jsonl"
+        obs.write_trace(path, manifest, spans=[], metrics=metrics)
+        data = obs.read_trace(path)
+    assert data.manifest == manifest
+    assert data.spans == []
+    assert data.metrics == metrics
+
+
+def test_trace_file_roundtrips_real_spans(tmp_path):
+    obs.enable()
+    with obs.span("outer", label="x"):
+        with obs.span("inner"):
+            obs.counter_inc("touched")
+    spans = obs.drain_spans()
+    metrics = obs.metrics_snapshot()
+    obs.disable()
+
+    manifest = obs.RunManifest(command="test", seed=7)
+    path = obs.write_trace(tmp_path / "t.jsonl", manifest, spans, metrics)
+    data = obs.read_trace(path)
+    assert [s["name"] for s in data.spans] == ["outer", "inner"]
+    assert [s["depth"] for s in data.spans] == [0, 1]
+    assert data.spans == sorted(
+        (s.to_dict() for s in spans), key=lambda r: r["index"]
+    )
+    assert data.metrics["counters"] == {"touched": 1}
+
+    chrome = obs.chrome_trace(data.spans)
+    assert len(chrome["traceEvents"]) == 2
+    assert all(e["ph"] == "X" for e in chrome["traceEvents"])
+
+
+def test_read_trace_rejects_unknown_record_type(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"type": "mystery", "x": 1}\n')
+    with pytest.raises(ValueError, match="mystery"):
+        obs.read_trace(path)
+
+
+# -- disabled means free -----------------------------------------------------
+
+
+def test_disabled_records_nothing():
+    assert not obs.is_enabled()
+    null = obs.span("anything", attr=1)
+    assert obs.span("other") is null, "disabled span() must be a singleton"
+    with obs.span("quiet"):
+        obs.counter_inc("never")
+        obs.observe("never.hist", 1.0)
+        obs.gauge_set("never.gauge", 2.0)
+    assert obs.open_span_count() == 0
+    assert obs.snapshot_spans() == []
+    snap = obs.metrics_snapshot()
+    assert snap["counters"] == {}
+    assert snap["gauges"] == {}
+    assert snap["histograms"] == {}
+    assert obs.export_obs_state() is None
