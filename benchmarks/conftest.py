@@ -87,6 +87,27 @@ class FigureReport:
         return "\n\n".join(blocks)
 
 
+#: Every trajectory point carries exactly these keys; metrics a bench did
+#: not measure are explicit ``None``, never absent.
+POINT_FIELDS = (
+    "scenario", "algorithm", "served", "wall_s", "workers", "scale",
+    "speedup", "subsets_evaluated", "subsets_bound_skipped",
+    "context_build_s",
+)
+
+
+def normalize_point(point: dict) -> dict:
+    """Project ``point`` onto the full :data:`POINT_FIELDS` schema.
+
+    Unknown extra keys are kept (after the canonical columns) so a future
+    bench can grow the schema without silently dropping data."""
+    out = {name: point.get(name) for name in POINT_FIELDS}
+    for key, value in point.items():
+        if key not in out:
+            out[key] = value
+    return out
+
+
 class PerfTrajectory:
     """Machine-readable perf points for the appro_alg engine.
 
@@ -95,6 +116,12 @@ class PerfTrajectory:
     ``"approAlg+parallel"``, ``"context-build"``, ...), ``served``,
     ``wall_s``, ``workers``, and ``scale``.  Extra keys (``speedup``,
     ``subsets_evaluated``) are preserved as-is.
+
+    Points are normalized to one schema (:data:`POINT_FIELDS`): every
+    point carries the full key set, with ``None`` standing in for metrics
+    a given bench did not measure.  Consumers (``repro perf-diff``,
+    plotting scripts) can then index columns without per-point
+    ``.get(...)`` defensive code.
 
     At session end the trajectory is *merged* into the existing
     ``BENCH_approx.json`` (a point replaces an earlier one with the same
@@ -110,7 +137,7 @@ class PerfTrajectory:
     def record(self, scenario: str, algorithm: str, served: int,
                wall_s: float, workers: int = 1,
                scale: str = BENCH_SCALE, **extra: object) -> None:
-        self.points.append({
+        self.points.append(normalize_point({
             "scenario": scenario,
             "algorithm": algorithm,
             "served": int(served),
@@ -118,7 +145,7 @@ class PerfTrajectory:
             "workers": int(workers),
             "scale": scale,
             **extra,
-        })
+        }))
 
     @staticmethod
     def _key(point: dict) -> tuple:
@@ -127,7 +154,7 @@ class PerfTrajectory:
 
     def merged_with(self, existing: list) -> list:
         """Existing file points updated/extended by this session's."""
-        merged = {self._key(p): p for p in existing}
+        merged = {self._key(p): normalize_point(p) for p in existing}
         for point in self.points:
             merged[self._key(point)] = point
         return list(merged.values())

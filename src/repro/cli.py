@@ -73,8 +73,24 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--metrics-out", default=None, metavar="PATH",
-        help="enable observability and write the metrics snapshot JSON "
-        "to PATH",
+        help="enable observability and write the metrics snapshot "
+        "to PATH (format set by --metrics-format)",
+    )
+    parser.add_argument(
+        "--metrics-format", choices=("json", "openmetrics"),
+        default="json",
+        help="--metrics-out file format: 'json' (default) or "
+        "'openmetrics' (Prometheus textfile exposition)",
+    )
+    parser.add_argument(
+        "--live", action="store_true",
+        help="enable observability and print a live progress heartbeat "
+        "(subsets/s, completion %%, ETA, stall warnings) to stderr "
+        "while the command runs",
+    )
+    parser.add_argument(
+        "--live-interval", type=float, default=1.0, metavar="SECONDS",
+        help="sampling interval of the --live heartbeat (default 1.0)",
     )
 
 
@@ -352,9 +368,9 @@ def _cmd_trace_report(args: argparse.Namespace) -> int:
 
 
 def _observed(handler, args: argparse.Namespace) -> int:
-    """Run a command with the observability layer on; write the trace
-    JSONL and/or metrics snapshot afterwards (even if the command
-    raises)."""
+    """Run a command with the observability layer on; stream a live
+    heartbeat while it runs (``--live``) and write the trace JSONL
+    and/or metrics snapshot afterwards (even if the command raises)."""
     import json
     import time as _time
 
@@ -362,12 +378,19 @@ def _observed(handler, args: argparse.Namespace) -> int:
 
     obs.reset()
     obs.enable()
+    reporter = None
+    if getattr(args, "live", False):
+        reporter = obs.LiveReporter(
+            obs.LiveConfig(interval_s=args.live_interval)
+        ).start()
     start = _time.perf_counter()
     exit_code: "int | None" = None
     try:
         exit_code = handler(args)
     finally:
         wall = _time.perf_counter() - start
+        if reporter is not None:
+            reporter.stop()
         obs.disable()
         spans = obs.drain_spans()
         metrics = obs.metrics_snapshot()
@@ -398,12 +421,48 @@ def _observed(handler, args: argparse.Namespace) -> int:
             obs.write_trace(args.trace, manifest, spans, metrics)
             print(f"trace ({len(spans)} spans) written to {args.trace}")
         if args.metrics_out is not None:
-            with open(args.metrics_out, "w", encoding="utf-8") as fh:
-                json.dump(
-                    {"manifest": manifest.to_dict(), **metrics}, fh, indent=2
+            if getattr(args, "metrics_format", "json") == "openmetrics":
+                obs.write_openmetrics(
+                    args.metrics_out, metrics,
+                    info={
+                        "command": args.command,
+                        "seed": getattr(args, "seed", None),
+                        "algorithm": getattr(args, "algorithm", None),
+                        "git": manifest.git_rev,
+                    },
                 )
+            else:
+                with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                    json.dump(
+                        {"manifest": manifest.to_dict(), **metrics},
+                        fh, indent=2,
+                    )
             print(f"metrics written to {args.metrics_out}")
     return exit_code
+
+
+def _cmd_perf_diff(args: argparse.Namespace) -> int:
+    """Compare two perf recordings; exit 1 only on a wall-time regression."""
+    import json
+
+    from repro.obs import perf_diff_paths
+
+    try:
+        diff = perf_diff_paths(
+            args.baseline, args.current,
+            threshold=args.threshold, window=args.window,
+        )
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(diff.to_dict(), indent=2))
+    else:
+        print(diff.to_text())
+    return diff.exit_code
 
 
 def _cmd_ratio(args: argparse.Namespace) -> int:
@@ -533,11 +592,35 @@ def main(argv: "list | None" = None) -> int:
         help="also export Chrome trace format here",
     )
 
+    diff_cmd = sub.add_parser(
+        "perf-diff",
+        help="compare two perf recordings (BENCH_approx.json trajectories "
+        "or --trace files); exit 1 on wall-time regression",
+    )
+    diff_cmd.add_argument("baseline", help="baseline trajectory/trace file")
+    diff_cmd.add_argument("current", help="current trajectory/trace file")
+    diff_cmd.add_argument(
+        "--threshold", type=float, default=0.15,
+        help="relative wall-time increase tolerated before a key counts "
+        "as regressed (default 0.15 = 15%%)",
+    )
+    diff_cmd.add_argument(
+        "--window", type=int, default=3,
+        help="per-key median window over the most recent points "
+        "(default 3)",
+    )
+    diff_cmd.add_argument(
+        "--json", action="store_true",
+        help="print the diff as JSON instead of a table",
+    )
+
     args = parser.parse_args(argv)
     handler = _dispatch_handler(args)
-    if getattr(args, "trace", None) is not None or getattr(
-        args, "metrics_out", None
-    ) is not None:
+    if (
+        getattr(args, "trace", None) is not None
+        or getattr(args, "metrics_out", None) is not None
+        or getattr(args, "live", False)
+    ):
         return _observed(handler, args)
     return handler(args)
 
@@ -570,4 +653,6 @@ def _dispatch_handler(args: argparse.Namespace):
         return _cmd_selfcheck
     if args.command == "trace-report":
         return _cmd_trace_report
+    if args.command == "perf-diff":
+        return _cmd_perf_diff
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -32,6 +32,7 @@ locations) remain available; benches document when they use them.
 from __future__ import annotations
 
 import math
+import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from itertools import chain, combinations
@@ -277,7 +278,8 @@ def _worker_chunk(subsets: np.ndarray, bounds: "np.ndarray | None"):
             candidate = (outcome[0], outcome[1], subset)
             if _better(candidate, best):
                 best = candidate
-    return best, evaluated, infeasible, skipped, obs.export_obs_state()
+    return (best, evaluated, infeasible, skipped, os.getpid(),
+            obs.export_obs_state())
 
 
 def _chunk_slices(n: int, workers: int) -> list:
@@ -294,6 +296,8 @@ def _run_parallel(
     total = stats.subsets_total
     stats.subsets_pruned = int(prunable.sum())
     done = stats.subsets_pruned
+    if done:
+        obs.counter_inc("approx.subsets_done", done)
     if progress is not None and done:
         progress(done, total)
     surviving = np.nonzero(~prunable)[0]
@@ -318,10 +322,11 @@ def _run_parallel(
                 _worker_chunk, sub[lo:hi], chunk_bounds
             )] = hi - lo
         pending = set(futures)
+        worker_done: dict = {}
         while pending:
             finished, pending = wait(pending, return_when=FIRST_COMPLETED)
             for fut in finished:
-                chunk_best, evaluated, infeasible, skipped, payload = (
+                chunk_best, evaluated, infeasible, skipped, pid, payload = (
                     fut.result()
                 )
                 obs.absorb_obs_state(payload)
@@ -331,6 +336,15 @@ def _run_parallel(
                 if chunk_best is not None and _better(chunk_best, best):
                     best = chunk_best
                 done += futures[fut]
+                # Parent-side progress telemetry: the done counter mirrors
+                # the serial loop exactly (both sum to subsets_total), and
+                # per-worker absorption lands in gauges so worker skew is
+                # visible live without perturbing counter equality.
+                obs.counter_inc("approx.subsets_done", futures[fut])
+                worker_done[pid] = worker_done.get(pid, 0) + futures[fut]
+                obs.gauge_set(
+                    f"approx.worker.{pid}.subsets", worker_done[pid]
+                )
                 if progress is not None:
                     progress(done, total)
     except BaseException:
@@ -370,12 +384,15 @@ def _run_serial(
                 stats.subsets_pruned += 1
             else:
                 evaluate(tuple(int(x) for x in subsets[i]))
+            obs.counter_inc("approx.subsets_done")
             if progress is not None:
                 progress(i + 1, total)
         return best
 
     stats.subsets_pruned = int(prunable.sum())
     done = stats.subsets_pruned
+    if done:
+        obs.counter_inc("approx.subsets_done", done)
     if progress is not None and done:
         progress(done, total)
     surviving = np.nonzero(~prunable)[0]
@@ -389,6 +406,7 @@ def _run_serial(
         else:
             evaluate(subset)
         done += 1
+        obs.counter_inc("approx.subsets_done")
         if progress is not None:
             progress(done, total)
     return best
@@ -467,6 +485,12 @@ def appro_alg(
 
     subsets = _subset_array(pool, s)
     stats.subsets_total = subsets.shape[0]
+    # Announce the denominator before enumerating so live progress
+    # (repro.obs.live) can render a completion fraction and an ETA; the
+    # matching approx.subsets_done counter advances parent-side in both
+    # the serial loop and the parallel absorption loop, so done/planned
+    # is exact for any worker count (and sums across s-1 fallbacks).
+    obs.counter_inc("approx.subsets_planned", stats.subsets_total)
     prunable = prunable_mask(context, subsets, problem.num_uavs)
     bounds = (
         subset_bounds(context, subsets, problem.num_uavs)

@@ -19,12 +19,26 @@ Quick tour::
     obs.write_trace("out.jsonl", manifest, spans, counts)
     print(obs.trace_report("out.jsonl"))      # or: repro trace-report
 
+Three live/offline companions build on the same registry:
+
+* :class:`LiveReporter` (:mod:`repro.obs.live`) — a heartbeat thread
+  rendering progress/throughput/ETA lines while a solver runs
+  (``--live`` on the CLI);
+* :func:`write_openmetrics` (:mod:`repro.obs.export`) — OpenMetrics
+  textfile export of any metrics snapshot (``--metrics-format
+  openmetrics``);
+* :func:`perf_diff` (:mod:`repro.obs.regress`) — wall-time regression
+  detection between two recordings (``repro perf-diff A B``).
+
 See docs/OBSERVABILITY.md for the model and CLI flags (``--trace``,
-``--metrics-out``, ``repro trace-report``).
+``--metrics-out``, ``--live``, ``repro trace-report``,
+``repro perf-diff``).
 """
 
 from __future__ import annotations
 
+from repro.obs.export import metric_name, render_openmetrics, write_openmetrics
+from repro.obs.live import LiveConfig, LiveReporter, LiveSample
 from repro.obs.manifest import (
     RunManifest,
     TraceData,
@@ -35,6 +49,13 @@ from repro.obs.manifest import (
     write_trace,
 )
 from repro.obs.metrics import REGISTRY, Histogram, MetricsRegistry
+from repro.obs.regress import (
+    KeyDelta,
+    PerfDiff,
+    load_points,
+    perf_diff,
+    perf_diff_paths,
+)
 from repro.obs.report import summarize, trace_report
 from repro.obs.trace import (
     Span,
@@ -85,6 +106,17 @@ __all__ = [
     "export_state",
     "worker_reset",
     "worker_init",
+    "LiveReporter",
+    "LiveConfig",
+    "LiveSample",
+    "metric_name",
+    "render_openmetrics",
+    "write_openmetrics",
+    "KeyDelta",
+    "PerfDiff",
+    "load_points",
+    "perf_diff",
+    "perf_diff_paths",
 ]
 
 

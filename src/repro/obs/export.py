@@ -1,0 +1,133 @@
+"""OpenMetrics/Prometheus textfile export of the metrics registry.
+
+`repro` metric names are dotted (``approx.subsets_evaluated``);
+OpenMetrics names are ``[a-zA-Z_:][a-zA-Z0-9_:]*``, so dots (and any
+other invalid character) become underscores.  The mapping per metric
+kind follows the exposition-format conventions:
+
+* counters — ``# TYPE <name> counter`` with one ``<name>_total`` sample;
+* gauges — ``# TYPE <name> gauge`` with one ``<name>`` sample;
+* histograms (count/total/min/max summaries) — ``# TYPE <name> summary``
+  with ``<name>_count`` / ``<name>_sum`` samples, plus two gauges
+  ``<name>_min`` / ``<name>_max`` when observations exist.
+
+An optional ``info`` mapping is emitted as an OpenMetrics info metric
+(``repro_run_info{key="value", ...} 1``) so a scrape can tell which run,
+seed, and git revision produced the file.  Output always ends with the
+mandatory ``# EOF`` terminator; a lint test parses every line.
+
+This is a *textfile* exporter: solvers are batch jobs, so the natural
+integration is the node-exporter textfile collector or a CI artifact,
+not a live scrape endpoint.  Write with :func:`write_openmetrics` or via
+``--metrics-out PATH --metrics-format openmetrics`` on the CLI.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from pathlib import Path
+
+from repro.obs.metrics import REGISTRY
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(raw: str) -> str:
+    """A dotted repro metric name as a valid OpenMetrics name."""
+    name = _INVALID_CHARS.sub("_", raw)
+    if not name or not _NAME_OK.match(name):
+        name = "_" + name
+    return name
+
+
+def _escape_label(value: object) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _fmt_value(value: object) -> str:
+    number = float(value)
+    if math.isnan(number):
+        return "NaN"
+    if math.isinf(number):
+        return "+Inf" if number > 0 else "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_openmetrics(
+    snapshot: "dict | None" = None,
+    info: "dict | None" = None,
+) -> str:
+    """The registry snapshot as OpenMetrics exposition text.
+
+    ``snapshot`` defaults to the live registry
+    (:meth:`~repro.obs.metrics.MetricsRegistry.snapshot`); pass the
+    ``metrics`` section of a trace file to export a recorded run.
+    """
+    if snapshot is None:
+        snapshot = REGISTRY.snapshot()
+    lines: list = []
+    seen: set = set()
+
+    def declare(name: str, kind: str) -> bool:
+        if name in seen:   # a sanitized-name collision; first family wins
+            return False
+        seen.add(name)
+        lines.append(f"# TYPE {name} {kind}")
+        return True
+
+    if info:
+        if declare("repro_run", "info"):
+            labels = ",".join(
+                f'{metric_name(str(k))}="{_escape_label(v)}"'
+                for k, v in sorted(info.items())
+                if v is not None
+            )
+            lines.append(f"repro_run_info{{{labels}}} 1")
+
+    for raw in sorted(snapshot.get("counters", {})):
+        name = metric_name(raw)
+        if declare(name, "counter"):
+            value = _fmt_value(snapshot["counters"][raw])
+            lines.append(f"{name}_total {value}")
+
+    for raw in sorted(snapshot.get("gauges", {})):
+        name = metric_name(raw)
+        if declare(name, "gauge"):
+            lines.append(f"{name} {_fmt_value(snapshot['gauges'][raw])}")
+
+    for raw in sorted(snapshot.get("histograms", {})):
+        data = snapshot["histograms"][raw]
+        name = metric_name(raw)
+        if not declare(name, "summary"):
+            continue
+        count = int(data.get("count", 0))
+        lines.append(f"{name}_count {count}")
+        lines.append(f"{name}_sum {_fmt_value(data.get('total', 0.0))}")
+        for bound in ("min", "max"):
+            value = data.get(bound)
+            if value is not None and declare(f"{name}_{bound}", "gauge"):
+                lines.append(f"{name}_{bound} {_fmt_value(value)}")
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(
+    path: "str | Path",
+    snapshot: "dict | None" = None,
+    info: "dict | None" = None,
+) -> Path:
+    """Write :func:`render_openmetrics` output to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_openmetrics(snapshot, info), encoding="utf-8")
+    return path

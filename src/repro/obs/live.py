@@ -1,0 +1,318 @@
+"""Live solver telemetry: a heartbeat thread over the metrics registry.
+
+Long ``appro_alg`` runs and figure sweeps enumerate ``C(m, s)`` anchor
+subsets and are opaque while they run — the trace/metrics files of
+:mod:`repro.obs` only become readable afterwards.  :class:`LiveReporter`
+closes that gap: a daemon thread samples the registry counters at a fixed
+interval and renders one progress line per sample with
+
+* completion fraction (``approx.subsets_done`` over
+  ``approx.subsets_planned``, both maintained parent-side by
+  :mod:`repro.core.approx` so they are exact for any worker count);
+* instantaneous throughput in subsets/s and an EWMA-smoothed ETA (the
+  smoothing absorbs the burstiness of chunked parallel absorption);
+* per-worker utilization derived from the ``approx.worker.<pid>.subsets``
+  gauges the parent sets as it absorbs chunk results;
+* stall detection — no movement on any watched counter for
+  ``stall_intervals`` consecutive samples emits a warning line and bumps
+  the ``live.stalls`` counter (once per stall episode, re-armed on the
+  next movement).
+
+The reporter is **off by default** and costs nothing when unused: no
+thread is started, and no instrumentation site anywhere references this
+module.  When stdout is not a TTY the in-place ``\\r`` rendering degrades
+to one plain line per sample, so logs from CI or ``nohup`` stay readable.
+
+The reporter only *reads* counters (and writes the one ``live.stalls``
+counter + nothing else), so enabling it cannot change solver results or
+the serial-vs-parallel metric equality the engine guarantees.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import REGISTRY
+
+#: Counters whose movement proves the run is alive (stall detection
+#: watches the sum of these plus the progress counter).
+DEFAULT_ACTIVITY_COUNTERS = (
+    "approx.subsets_done",
+    "approx.subsets_evaluated",
+    "approx.subsets_pruned",
+    "greedy.oracle_calls",
+    "flow.try_opens",
+    "sweep.points",
+)
+
+PROGRESS_COUNTER = "approx.subsets_done"
+TOTAL_COUNTER = "approx.subsets_planned"
+WORKER_GAUGE_PREFIX = "approx.worker."
+WORKER_GAUGE_SUFFIX = ".subsets"
+
+
+@dataclass(frozen=True)
+class LiveConfig:
+    """Knobs of the heartbeat reporter."""
+
+    interval_s: float = 1.0
+    stall_intervals: int = 5          # samples without movement -> warning
+    ewma_alpha: float = 0.3           # smoothing of the subsets/s rate
+    stream: "object | None" = None    # defaults to sys.stderr at start()
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ValueError(
+                f"interval must be positive, got {self.interval_s}"
+            )
+        if self.stall_intervals < 1:
+            raise ValueError(
+                f"stall_intervals must be >= 1, got {self.stall_intervals}"
+            )
+        if not (0.0 < self.ewma_alpha <= 1.0):
+            raise ValueError(
+                f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}"
+            )
+
+
+@dataclass
+class LiveSample:
+    """One heartbeat observation (returned by :meth:`LiveReporter.sample`
+    so tests can drive the reporter without the thread)."""
+
+    done: int
+    total: int
+    rate: float                      # EWMA subsets/s
+    eta_s: "float | None"            # None until the rate is known
+    activity: int                    # sum of the watched activity counters
+    stalled: bool
+    workers: dict = field(default_factory=dict)   # pid -> subsets absorbed
+    counters: dict = field(default_factory=dict)  # extra rendered counters
+
+    @property
+    def fraction(self) -> "float | None":
+        if self.total <= 0:
+            return None
+        return min(1.0, self.done / self.total)
+
+
+def _fmt_eta(seconds: "float | None") -> str:
+    if seconds is None:
+        return "eta ?"
+    seconds = max(0.0, seconds)
+    if seconds >= 3600:
+        return f"eta {seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"eta {int(seconds // 60)}m{int(seconds % 60):02d}s"
+    return f"eta {seconds:.0f}s"
+
+
+class LiveReporter:
+    """Heartbeat progress reporter over :data:`repro.obs.REGISTRY`.
+
+    Use as a context manager (``with LiveReporter(): ...``) or via
+    :meth:`start` / :meth:`stop`.  The sampling thread is a daemon, so a
+    crashed run never hangs on it; :meth:`stop` joins it and prints a
+    final newline when it was rendering in place.
+    """
+
+    def __init__(
+        self,
+        config: "LiveConfig | None" = None,
+        registry=REGISTRY,
+        clock=time.monotonic,
+        activity_counters: tuple = DEFAULT_ACTIVITY_COUNTERS,
+    ) -> None:
+        self.config = config if config is not None else LiveConfig()
+        self.registry = registry
+        self.clock = clock
+        self.activity_counters = tuple(activity_counters)
+        self.samples_taken = 0
+        self.stall_warnings = 0
+        self._thread: "threading.Thread | None" = None
+        self._stop = threading.Event()
+        self._stream = None
+        self._tty = False
+        self._rate: "float | None" = None
+        self._last_done: "int | None" = None
+        self._last_time: "float | None" = None
+        self._last_activity: "int | None" = None
+        self._flat_samples = 0
+        self._stall_announced = False
+        self._rendered_inplace = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "LiveReporter":
+        if self.running:
+            raise RuntimeError("LiveReporter is already running")
+        self._stream = (
+            self.config.stream if self.config.stream is not None
+            else sys.stderr
+        )
+        self._tty = bool(getattr(self._stream, "isatty", lambda: False)())
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-live-reporter", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=max(5.0, 4 * self.config.interval_s))
+        self._thread = None
+        # Take one closing sample so short runs still print a line, and
+        # finish the in-place line with a newline.
+        self._emit(self.sample())
+        if self._rendered_inplace:
+            self._write("\n")
+        self._flush()
+
+    def __enter__(self) -> "LiveReporter":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- sampling ----------------------------------------------------------
+
+    def sample(self) -> LiveSample:
+        """Take one observation (thread-free; used by the loop and tests)."""
+        snap = self.registry.snapshot()
+        counters = snap["counters"]
+        gauges = snap["gauges"]
+        now = self.clock()
+        done = int(counters.get(PROGRESS_COUNTER, 0))
+        total = int(counters.get(TOTAL_COUNTER, 0))
+        activity = done + sum(
+            int(counters.get(name, 0)) for name in self.activity_counters
+        )
+
+        if self._last_done is not None and self._last_time is not None:
+            dt = now - self._last_time
+            if dt > 0:
+                instant = max(0.0, (done - self._last_done) / dt)
+                alpha = self.config.ewma_alpha
+                self._rate = (
+                    instant if self._rate is None
+                    else alpha * instant + (1 - alpha) * self._rate
+                )
+        self._last_done, self._last_time = done, now
+
+        stalled = False
+        if self._last_activity is not None and activity == self._last_activity:
+            self._flat_samples += 1
+            stalled = self._flat_samples >= self.config.stall_intervals
+        else:
+            self._flat_samples = 0
+            self._stall_announced = False
+        self._last_activity = activity
+
+        eta = None
+        if total > 0 and self._rate and self._rate > 0:
+            eta = max(0, total - done) / self._rate
+
+        workers = {}
+        for name, value in gauges.items():
+            if (name.startswith(WORKER_GAUGE_PREFIX)
+                    and name.endswith(WORKER_GAUGE_SUFFIX)):
+                pid = name[len(WORKER_GAUGE_PREFIX):-len(WORKER_GAUGE_SUFFIX)]
+                workers[pid] = int(value)
+
+        extras = {
+            name: int(counters[name])
+            for name in ("greedy.oracle_calls", "sweep.points")
+            if counters.get(name)
+        }
+        self.samples_taken += 1
+        return LiveSample(
+            done=done, total=total,
+            rate=self._rate or 0.0, eta_s=eta,
+            activity=activity, stalled=stalled,
+            workers=workers, counters=extras,
+        )
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self, sample: LiveSample) -> str:
+        """One progress line for ``sample`` (no trailing newline)."""
+        parts = []
+        if sample.fraction is not None:
+            parts.append(
+                f"{sample.fraction:6.1%} {sample.done}/{sample.total} subsets"
+            )
+        elif sample.done:
+            parts.append(f"{sample.done} subsets")
+        else:
+            parts.append("warming up")
+        parts.append(f"{sample.rate:8.1f} subsets/s")
+        parts.append(_fmt_eta(sample.eta_s))
+        for name, value in sorted(sample.counters.items()):
+            parts.append(f"{name.split('.')[-1]} {value}")
+        if sample.workers:
+            share_total = sum(sample.workers.values()) or 1
+            util = " ".join(
+                f"w{pid}:{100 * n // share_total}%"
+                for pid, n in sorted(sample.workers.items())
+            )
+            parts.append(util)
+        line = "[live] " + " | ".join(parts)
+        if sample.stalled:
+            line += f" | STALLED ({self._flat_samples} quiet intervals)"
+        return line
+
+    def _emit(self, sample: LiveSample) -> None:
+        line = self.render(sample)
+        if self._tty:
+            # In-place update: pad to clear the previous, longer line.
+            self._write("\r" + line.ljust(100))
+            self._rendered_inplace = True
+        else:
+            self._write(line + "\n")
+        self._flush()
+        if sample.stalled and not self._stall_announced:
+            self._stall_announced = True
+            self.stall_warnings += 1
+            # The reporter is only ever alive alongside an enabled
+            # registry, but guard anyway: a stall warning must never crash
+            # the run it is reporting on.
+            self.registry.inc("live.stalls")
+            warning = (
+                f"[live] WARNING: no counter movement for "
+                f"{self._flat_samples} intervals "
+                f"({self._flat_samples * self.config.interval_s:.0f}s) — "
+                "solver may be stuck on one subset or starved of CPU"
+            )
+            prefix = "\n" if self._tty else ""
+            self._write(prefix + warning + "\n")
+            self._flush()
+
+    def _write(self, text: str) -> None:
+        try:
+            self._stream.write(text)
+        except (ValueError, OSError):
+            pass  # stream closed mid-run; reporting must never raise
+
+    def _flush(self) -> None:
+        flush = getattr(self._stream, "flush", None)
+        if flush is not None:
+            try:
+                flush()
+            except (ValueError, OSError):
+                pass
+
+    # -- the thread body ---------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.config.interval_s):
+            self._emit(self.sample())

@@ -1,0 +1,273 @@
+"""Perf-regression detection over recorded wall times.
+
+Compares two performance recordings — ``BENCH_approx.json`` perf
+trajectories (see ``benchmarks/conftest.py``) or ``--trace`` JSONL files
+— keyed on ``(scenario, algorithm, workers, scale)``, and classifies
+every key:
+
+* ``regressed`` — current wall time exceeds baseline by more than the
+  relative ``threshold`` (strictly: ``delta > threshold``);
+* ``improved`` — current is faster than baseline by more than the
+  threshold;
+* ``unchanged`` — within the threshold band (inclusive at both edges);
+* ``new`` — key only present in the current recording;
+* ``missing`` — key only present in the baseline.
+
+Wall times are noisy, so each side's value is the **median of the most
+recent** ``window`` points per key (a trajectory file that accumulated
+several sessions' points for one key is averaged down to a robust
+baseline; a single point is used as-is).  Only ``regressed`` keys fail
+the gate: :meth:`PerfDiff.exit_code` is 1 iff at least one key regressed,
+which is what the CI ``perf-gate`` job and ``repro perf-diff`` expose.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.util.tables import format_table
+
+#: The identity of one measured configuration.
+KEY_FIELDS = ("scenario", "algorithm", "workers", "scale")
+
+REGRESSED = "regressed"
+IMPROVED = "improved"
+UNCHANGED = "unchanged"
+NEW = "new"
+MISSING = "missing"
+
+
+@dataclass(frozen=True)
+class KeyDelta:
+    """Wall-time comparison of one ``(scenario, algorithm, workers,
+    scale)`` key."""
+
+    key: tuple
+    status: str
+    baseline_s: "float | None" = None
+    current_s: "float | None" = None
+    delta: "float | None" = None      # (current - baseline) / baseline
+
+    def to_dict(self) -> dict:
+        return {
+            "key": dict(zip(KEY_FIELDS, self.key)),
+            "status": self.status,
+            "baseline_s": self.baseline_s,
+            "current_s": self.current_s,
+            "delta": self.delta,
+        }
+
+
+@dataclass
+class PerfDiff:
+    """The full comparison: one :class:`KeyDelta` per key, worst first."""
+
+    threshold: float
+    window: int
+    entries: list = field(default_factory=list)
+
+    def of_status(self, status: str) -> list:
+        return [e for e in self.entries if e.status == status]
+
+    @property
+    def regressions(self) -> list:
+        return self.of_status(REGRESSED)
+
+    @property
+    def exit_code(self) -> int:
+        """1 iff at least one key regressed; improvements, new keys and
+        missing keys never fail the gate."""
+        return 1 if self.regressions else 0
+
+    def counts(self) -> dict:
+        out: dict = {}
+        for entry in self.entries:
+            out[entry.status] = out.get(entry.status, 0) + 1
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "threshold": self.threshold,
+            "window": self.window,
+            "counts": self.counts(),
+            "regression": bool(self.regressions),
+            "entries": [e.to_dict() for e in self.entries],
+        }
+
+    def to_text(self) -> str:
+        rows = []
+        for e in self.entries:
+            scenario, algorithm, workers, scale = e.key
+            rows.append([
+                scenario,
+                algorithm,
+                workers,
+                scale,
+                "-" if e.baseline_s is None else f"{e.baseline_s:.4f}",
+                "-" if e.current_s is None else f"{e.current_s:.4f}",
+                "-" if e.delta is None else f"{e.delta:+.1%}",
+                e.status.upper() if e.status == REGRESSED else e.status,
+            ])
+        table = format_table(
+            ["scenario", "algorithm", "workers", "scale", "base s",
+             "now s", "delta", "status"],
+            rows,
+            title=f"perf-diff (threshold ±{self.threshold:.0%}, "
+            f"median of last {self.window})",
+        )
+        summary = ", ".join(
+            f"{count} {status}" for status, count in sorted(self.counts().items())
+        ) or "no keys"
+        verdict = (
+            f"REGRESSION: {len(self.regressions)} key(s) slower than "
+            f"baseline by more than {self.threshold:.0%}"
+            if self.regressions else "no regression"
+        )
+        return f"{table}\n\n{summary}\n{verdict}"
+
+
+# -- loading -----------------------------------------------------------------
+
+
+def _trace_points(path: Path) -> list:
+    """A ``--trace`` JSONL file as a one-point trajectory."""
+    from repro.obs.manifest import read_trace
+
+    data = read_trace(path)
+    manifest = data.manifest
+    if manifest is None or not manifest.wall_s:
+        return []
+    scenario = manifest.scenario or {}
+    label = manifest.command
+    detail = ",".join(
+        f"{k}={scenario[k]}" for k in sorted(scenario) if k != "scale"
+    )
+    if detail:
+        label = f"{label}:{detail}"
+    config = manifest.config or {}
+    return [{
+        "scenario": label,
+        "algorithm": manifest.algorithm or manifest.command,
+        "workers": int(config.get("workers") or 1),
+        "scale": scenario.get("scale") or config.get("scale") or "?",
+        "wall_s": float(manifest.wall_s),
+    }]
+
+
+def load_points(path: "str | Path") -> list:
+    """Measurement points from a trajectory JSON or a trace JSONL file.
+
+    Raises ``FileNotFoundError`` for a missing file and ``ValueError``
+    for a file that is neither format.
+    """
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    try:
+        data = json.loads(text)
+    except ValueError:
+        data = None
+    if isinstance(data, dict) and isinstance(data.get("points"), list):
+        return [p for p in data["points"] if isinstance(p, dict)]
+    if isinstance(data, list):
+        return [p for p in data if isinstance(p, dict)]
+    # Not a single JSON document: try trace JSONL.
+    try:
+        return _trace_points(path)
+    except ValueError as exc:
+        raise ValueError(
+            f"{path} is neither a perf trajectory (JSON with 'points') "
+            f"nor a trace JSONL file: {exc}"
+        ) from None
+
+
+# -- comparison --------------------------------------------------------------
+
+
+def _key_of(point: dict) -> tuple:
+    return tuple(point.get(f) for f in KEY_FIELDS)
+
+
+def _grouped_medians(points: list, window: int) -> dict:
+    """key -> median wall_s of the last ``window`` points for that key."""
+    series: dict = {}
+    for point in points:
+        wall = point.get("wall_s")
+        if wall is None:
+            continue
+        series.setdefault(_key_of(point), []).append(float(wall))
+    return {
+        key: statistics.median(values[-window:])
+        for key, values in series.items()
+    }
+
+
+def classify(
+    baseline_s: "float | None",
+    current_s: "float | None",
+    threshold: float,
+) -> "tuple[str, float | None]":
+    """(status, relative delta) for one key's wall times."""
+    if baseline_s is None:
+        return NEW, None
+    if current_s is None:
+        return MISSING, None
+    if baseline_s <= 0:
+        # A zero baseline has no meaningful relative delta; any measurable
+        # current time would be an infinite regression, which helps nobody
+        # — treat the key as unchanged unless the current side also
+        # measured zero (then it trivially is).
+        return UNCHANGED, None
+    delta = (current_s - baseline_s) / baseline_s
+    if delta > threshold:
+        return REGRESSED, delta
+    if delta < -threshold:
+        return IMPROVED, delta
+    return UNCHANGED, delta
+
+
+def perf_diff(
+    baseline_points: list,
+    current_points: list,
+    threshold: float = 0.15,
+    window: int = 3,
+) -> PerfDiff:
+    """Compare two point lists (see module docstring for semantics)."""
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    baseline = _grouped_medians(baseline_points, window)
+    current = _grouped_medians(current_points, window)
+    entries = []
+    for key in sorted(
+        set(baseline) | set(current), key=lambda k: tuple(map(str, k))
+    ):
+        base_s = baseline.get(key)
+        cur_s = current.get(key)
+        status, delta = classify(base_s, cur_s, threshold)
+        entries.append(KeyDelta(
+            key=key, status=status,
+            baseline_s=base_s, current_s=cur_s, delta=delta,
+        ))
+    # Worst first: regressions by descending delta, then the rest.
+    rank = {REGRESSED: 0, NEW: 1, MISSING: 2, IMPROVED: 3, UNCHANGED: 4}
+    entries.sort(key=lambda e: (rank[e.status], -(e.delta or 0.0)))
+    return PerfDiff(threshold=threshold, window=window, entries=entries)
+
+
+def perf_diff_paths(
+    baseline_path: "str | Path",
+    current_path: "str | Path",
+    threshold: float = 0.15,
+    window: int = 3,
+) -> PerfDiff:
+    """File-level convenience wrapper used by ``repro perf-diff``."""
+    return perf_diff(
+        load_points(baseline_path),
+        load_points(current_path),
+        threshold=threshold,
+        window=window,
+    )

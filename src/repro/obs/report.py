@@ -40,7 +40,15 @@ def summarize(data: TraceData) -> str:
             lines.append(f"stats: {stats}")
         blocks.append("\n".join(lines))
 
-    if data.spans:
+    if not data.spans:
+        # A run can legitimately record zero spans (e.g. it timed out
+        # before the first subset, or tracing was enabled but nothing
+        # instrumented ran); say so instead of rendering an empty table —
+        # the counters below still print.  A fully empty file keeps the
+        # "empty trace" message instead.
+        if data.manifest is not None or data.metrics:
+            blocks.append("no spans recorded")
+    else:
         total_ns = sum(
             s["duration_ns"] for s in data.spans if s.get("depth", 0) == 0
         ) or 1

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.util.tables import format_table
 
 #: Canonical event kinds, in the order a typical recovery unfolds.
@@ -68,6 +69,10 @@ class MissionLog:
             time_s=time_s, kind=kind, detail=detail, data=dict(data)
         )
         self.events.append(event)
+        # Mirror every event into the metrics registry so mission
+        # telemetry shows up in --metrics-out / OpenMetrics exports
+        # without parsing the mission log (no-op while obs is off).
+        obs.counter_inc(f"mission.event.{kind}")
         return event
 
     def __len__(self) -> int:

@@ -85,6 +85,12 @@ class MissionResult:
         return min((s for _, s in self.timeline), default=0)
 
 
+def _telemetry(time_s: float, served: int) -> None:
+    """Mission-clock gauges for live observers (no-op while obs is off)."""
+    obs.gauge_set("mission.clock_s", time_s)
+    obs.gauge_set("mission.served", served)
+
+
 class _MissionState:
     """Mutable runtime state threaded through event handling."""
 
@@ -140,6 +146,7 @@ def run_mission(
 
     state = _MissionState(problem, initial.deployment)
     timeline.append((0.0, state.current.served_count))
+    _telemetry(0.0, state.current.served_count)
 
     queue = EventQueue()
     schedule.inject(queue)
@@ -166,6 +173,7 @@ def run_mission(
         else:
             raise AssertionError(f"unhandled mission event {kind!r}")
         timeline.append((now, state.current.served_count))
+        _telemetry(now, state.current.served_count)
 
     final_valid = is_feasible(problem.graph, problem.fleet, state.current)
     final_connected = residual_connected(

@@ -20,7 +20,7 @@ from repro import obs
 from repro.sim.results import SweepResult
 from repro.sim.runner import run_algorithm
 from repro.util.rng import ensure_rng, spawn_rngs
-from repro.workload.scenarios import paper_scenario
+from repro.workload.scenarios import SCALES, paper_scenario
 
 PAPER_ALGORITHMS = (
     "approAlg",
@@ -64,6 +64,45 @@ def _run_point(
             result.add(sweep_value, run_algorithm(problem, name, **params))
 
 
+def _announce_points(count: int) -> None:
+    """Declare the sweep's total point count up front so live telemetry
+    can pair it with the ``sweep.points`` completions."""
+    obs.counter_inc("sweep.points_planned", count)
+
+
+def _num_locations(scale: str) -> int:
+    """Candidate hovering locations of a scale preset (no users built)."""
+    from repro.geometry.area import DisasterArea
+
+    config = SCALES[scale]
+    area = DisasterArea(config.area_length_m, config.area_width_m)
+    altitudes = config.altitude_layers_m or (config.altitude_m,)
+    return sum(
+        len(area.hovering_grid(config.grid_side_m, alt).centers)
+        for alt in altitudes
+    )
+
+
+def _feasible_ks(ks: Sequence, scale: str) -> list:
+    """The K values deployable at this scale.
+
+    Constraint (ii) allows at most one UAV per candidate location, so on
+    coarse scales (``small`` has m = 9) the default fig4 range reaches
+    into infeasible territory; those points are skipped (counted in
+    ``sweep.points_skipped``) instead of aborting the whole sweep.
+    """
+    limit = _num_locations(scale)
+    feasible = [k for k in ks if k <= limit]
+    if not feasible:
+        raise ValueError(
+            f"no feasible sweep point: every K in {list(ks)} exceeds the "
+            f"{limit} candidate locations of scale {scale!r}"
+        )
+    if len(feasible) < len(ks):
+        obs.counter_inc("sweep.points_skipped", len(ks) - len(feasible))
+    return feasible
+
+
 def fig4_sweep(
     ks: Sequence = (2, 4, 6, 8, 10, 12, 14, 16, 18, 20),
     num_users: int = 3000,
@@ -86,8 +125,9 @@ def fig4_sweep(
     """
     from repro.core.problem import ProblemInstance
 
-    ks = list(ks)
+    ks = _feasible_ks(list(ks), scale)
     result = SweepResult(name="fig4", sweep_param="K")
+    _announce_points(len(ks) * repetitions)
     for rep_rng in spawn_rngs(seed, repetitions):
         base = paper_scenario(
             num_users=num_users, num_uavs=max(ks), scale=scale, seed=rep_rng
@@ -116,12 +156,14 @@ def fig5_sweep(
     bound_prune: bool = False,
 ) -> SweepResult:
     """Fig. 5: served users vs n."""
+    ns = list(ns)
     result = SweepResult(name="fig5", sweep_param="n")
+    _announce_points(len(ns) * repetitions)
     appro = _appro_params(
         s, max_anchor_candidates, gain_mode, workers, bound_prune
     )
     for rep_rng in spawn_rngs(seed, repetitions):
-        point_rngs = spawn_rngs(rep_rng, len(list(ns)))
+        point_rngs = spawn_rngs(rep_rng, len(ns))
         for n, rng in zip(ns, point_rngs):
             problem = paper_scenario(
                 num_users=n, num_uavs=num_uavs, scale=scale, seed=rng
@@ -147,7 +189,9 @@ def capacity_spread_sweep(
     from repro.core.problem import ProblemInstance
     from repro.network.fleet import heterogeneous_fleet
 
+    spreads = list(spreads)
     result = SweepResult(name="capacity-spread", sweep_param="C range")
+    _announce_points(len(spreads))
     base = paper_scenario(num_users=num_users, num_uavs=num_uavs,
                           scale=scale, seed=seed)
     appro = _appro_params(s, max_anchor_candidates, gain_mode)
@@ -178,7 +222,9 @@ def environment_sweep(
     from repro.workload.fat_tailed import FatTailedWorkload
     from repro.workload.scenarios import SCALES, build_scenario
 
+    environments = list(environments)
     result = SweepResult(name="environment", sweep_param="environment")
+    _announce_points(len(environments))
     appro = _appro_params(s, max_anchor_candidates, gain_mode)
     for env in environments:
         config = SCALES[scale].with_overrides(
@@ -211,7 +257,9 @@ def fig6_sweep(
     series, so they are re-run at every sweep point (their runtimes feed
     Fig. 6(b)).
     """
+    ss = list(ss)
     result = SweepResult(name="fig6", sweep_param="s")
+    _announce_points(len(ss) * repetitions)
     rng = ensure_rng(seed)
     for rep_rng in spawn_rngs(rng, repetitions):
         problem = paper_scenario(

@@ -88,6 +88,10 @@ def run_algorithm(
     try:
         with watch, obs.span("runner.solve", algorithm=name):
             deployment = algorithm(problem, **params)
+        # One observation per solve (parent-side), so the distribution is
+        # identical for any worker count and feeds `repro perf-diff`-style
+        # after-the-fact analysis without a trace file.
+        obs.observe("runner.solve_seconds", watch.elapsed)
     except Exception as exc:  # noqa: BLE001 - captured into the record
         if strict:
             raise
@@ -224,6 +228,7 @@ def solve_with_fallback(
         try:
             with watch, obs.span("runner.tier", algorithm=name, tier=i):
                 deployment = ALGORITHMS[name](problem, **params)
+            obs.observe("runner.tier_seconds", watch.elapsed)
         except SolverTimeout as exc:
             obs.counter_inc("runner.timeouts")
             attempts.append(AttemptRecord(

@@ -215,6 +215,108 @@ class TestCli:
         assert "mission.run" in names and "mission.plan" in names
         assert data.metrics["counters"]["mission.faults"] == 1
 
+    def test_trace_report_notes_zero_span_trace(self, capsys, tmp_path):
+        """A trace with a manifest and metrics but no spans must say so
+        and still render the counters (regression: the span table used to
+        vanish silently)."""
+        from repro import obs
+
+        trace = tmp_path / "empty_spans.jsonl"
+        manifest = obs.RunManifest(command="run", seed=1, wall_s=0.5)
+        obs.write_trace(
+            trace, manifest, spans=[],
+            metrics={"counters": {"runner.solves": 1}, "gauges": {},
+                     "histograms": {}},
+        )
+        assert main(["trace-report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "no spans recorded" in out
+        assert "runner.solves" in out
+
+    def test_metrics_format_openmetrics(self, capsys, tmp_path):
+        metrics = tmp_path / "metrics.prom"
+        assert main([
+            "run", "--users", "60", "--uavs", "3", "--scale", "small",
+            "--seed", "4", "--metrics-out", str(metrics),
+            "--metrics-format", "openmetrics",
+        ]) == 0
+        text = metrics.read_text()
+        assert text.endswith("# EOF\n")
+        assert "repro_run_info{" in text and 'command="run"' in text
+        assert "runner_solves_total 1" in text
+
+    def test_live_flag_prints_heartbeat(self, capsys):
+        from repro import obs
+
+        assert main([
+            "run", "--users", "60", "--uavs", "3", "--scale", "small",
+            "--seed", "4", "--live", "--live-interval", "0.05",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "[live]" in err
+        assert not obs.is_enabled(), "the CLI must switch tracing back off"
+
+    def test_fig4_live_smoke(self, capsys, monkeypatch):
+        """`repro fig4 --live` goes through the observed path and emits
+        at least the closing heartbeat line."""
+        import repro.cli as cli
+        from repro.sim.results import RunRecord, SweepResult
+
+        def stub_sweep(**kwargs):
+            sweep = SweepResult(name="fig4", sweep_param="K")
+            sweep.add(2, RunRecord("approAlg", 42, 0.1, 100, 2))
+            return sweep
+
+        monkeypatch.setattr(cli, "fig4_sweep", stub_sweep)
+        assert main(["fig4", "--scale", "small", "--live"]) == 0
+        captured = capsys.readouterr()
+        assert "Fig. 4" in captured.out
+        assert "[live]" in captured.err
+
+    def test_perf_diff_clean_and_regressed(self, capsys, tmp_path):
+        import json
+
+        point = {"scenario": "engine", "algorithm": "approAlg",
+                 "workers": 1, "scale": "bench", "wall_s": 1.0}
+        baseline = tmp_path / "base.json"
+        current = tmp_path / "cur.json"
+        baseline.write_text(json.dumps({"points": [point]}))
+        current.write_text(json.dumps({"points": [dict(point, wall_s=1.1)]}))
+        assert main(["perf-diff", str(baseline), str(current)]) == 0
+        assert "no regression" in capsys.readouterr().out
+
+        current.write_text(json.dumps({"points": [dict(point, wall_s=2.0)]}))
+        assert main(["perf-diff", str(baseline), str(current)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_perf_diff_json_output(self, capsys, tmp_path):
+        import json
+
+        point = {"scenario": "engine", "algorithm": "approAlg",
+                 "workers": 1, "scale": "bench", "wall_s": 1.0}
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps({"points": [point]}))
+        assert main([
+            "perf-diff", str(baseline), str(baseline),
+            "--threshold", "0.3", "--json",
+        ]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["regression"] is False
+        assert data["threshold"] == 0.3
+        assert data["entries"][0]["status"] == "unchanged"
+
+    def test_perf_diff_missing_file_exits_two(self, capsys, tmp_path):
+        assert main([
+            "perf-diff", str(tmp_path / "a.json"), str(tmp_path / "b.json"),
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_perf_diff_garbage_file_exits_two(self, capsys, tmp_path):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("not {{{ json\n")
+        assert main(["perf-diff", str(bad), str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
     def test_seed_forwarded(self, monkeypatch):
         import repro.cli as cli
 

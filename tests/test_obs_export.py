@@ -1,0 +1,117 @@
+"""OpenMetrics exporter tests, including an exposition-format lint."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.obs.export import metric_name, render_openmetrics, write_openmetrics
+
+SNAPSHOT = {
+    "counters": {"approx.subsets_evaluated": 45, "greedy.oracle_calls": 3},
+    "gauges": {"mission.clock_s": 12.5, "approx.worker.42.subsets": 7},
+    "histograms": {
+        "runner.solve_seconds": {
+            "count": 2, "total": 0.5, "min": 0.1, "max": 0.4,
+        },
+    },
+}
+
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_TYPE_LINE = re.compile(rf"^# TYPE {_NAME} (counter|gauge|summary|info)$")
+_SAMPLE_LINE = re.compile(
+    rf"^{_NAME}(\{{[^{{}}]*\}})? (-?[0-9][0-9.e+-]*|NaN|[+-]Inf)$"
+)
+
+
+def test_metric_name_sanitization():
+    assert metric_name("approx.subsets_evaluated") == "approx_subsets_evaluated"
+    assert metric_name("a-b/c d") == "a_b_c_d"
+    assert metric_name("ok_name:x") == "ok_name:x"
+    assert metric_name("9lives") == "_9lives"
+
+
+def test_output_lints_as_openmetrics():
+    text = render_openmetrics(SNAPSHOT, info={"command": "run", "seed": 4})
+    assert text.endswith("# EOF\n")
+    lines = text.splitlines()
+    assert lines[-1] == "# EOF"
+    for line in lines[:-1]:
+        assert _TYPE_LINE.match(line) or _SAMPLE_LINE.match(line), (
+            f"invalid exposition line: {line!r}"
+        )
+
+
+def test_counters_get_total_suffix_and_int_collapse():
+    text = render_openmetrics(SNAPSHOT)
+    assert "# TYPE approx_subsets_evaluated counter" in text
+    assert "approx_subsets_evaluated_total 45" in text
+    assert "greedy_oracle_calls_total 3" in text
+
+
+def test_gauges_and_summaries_render():
+    text = render_openmetrics(SNAPSHOT)
+    assert "# TYPE mission_clock_s gauge" in text
+    assert "mission_clock_s 12.5" in text
+    assert "# TYPE runner_solve_seconds summary" in text
+    assert "runner_solve_seconds_count 2" in text
+    assert "runner_solve_seconds_sum 0.5" in text
+    assert "runner_solve_seconds_min 0.1" in text
+    assert "runner_solve_seconds_max 0.4" in text
+
+
+def test_no_duplicate_type_declarations():
+    text = render_openmetrics(SNAPSHOT, info={"command": "x"})
+    declared = [line.split()[2] for line in text.splitlines()
+                if line.startswith("# TYPE")]
+    assert len(declared) == len(set(declared))
+
+
+def test_sanitized_name_collision_first_family_wins():
+    snapshot = {
+        "counters": {"a.b": 1},
+        "gauges": {"a_b": 2},       # sanitizes to the same family name
+        "histograms": {},
+    }
+    text = render_openmetrics(snapshot)
+    assert "a_b_total 1" in text
+    assert "\na_b 2" not in text
+    assert text.count("# TYPE a_b ") == 1
+
+
+def test_info_metric_skips_none_and_escapes_labels():
+    text = render_openmetrics(
+        {"counters": {}, "gauges": {}, "histograms": {}},
+        info={"command": "run", "seed": None, "note": 'a"b\nc\\d'},
+    )
+    assert "# TYPE repro_run info" in text
+    (sample,) = [line for line in text.splitlines()
+                 if line.startswith("repro_run_info")]
+    assert sample == (
+        'repro_run_info{command="run",note="a\\"b\\nc\\\\d"} 1'
+    )
+    assert "seed" not in sample
+
+
+def test_empty_snapshot_is_just_eof():
+    empty = {"counters": {}, "gauges": {}, "histograms": {}}
+    assert render_openmetrics(empty) == "# EOF\n"
+
+
+@pytest.mark.parametrize("value,expected", [
+    (float("nan"), "NaN"),
+    (float("inf"), "+Inf"),
+    (float("-inf"), "-Inf"),
+])
+def test_non_finite_gauges(value, expected):
+    text = render_openmetrics(
+        {"counters": {}, "gauges": {"weird": value}, "histograms": {}}
+    )
+    assert f"weird {expected}" in text
+
+
+def test_write_creates_parent_directories(tmp_path):
+    path = write_openmetrics(tmp_path / "deep" / "dir" / "m.prom", SNAPSHOT)
+    assert path.exists()
+    assert path.read_text().endswith("# EOF\n")

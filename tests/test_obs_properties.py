@@ -17,6 +17,7 @@ Four invariants the observability layer must never lose:
 
 from __future__ import annotations
 
+import io
 import tempfile
 import time
 from pathlib import Path
@@ -146,18 +147,30 @@ def test_spans_balance_under_watchdog_solver_timeout():
 
 @pytest.mark.timeout_guard(180)
 def test_metric_counts_identical_serial_vs_parallel():
-    """Same seed, same counters, same span count — workers=1 vs workers=4.
+    """Same seed, same counters, same span count — workers=1 vs workers=4,
+    with a live heartbeat reporter running over both.
 
     approx.* totals are incremented parent-side from the merged stats and
     worker-side greedy/flow counters merge by commutative addition, so the
     chunking of the subset enumeration must be invisible in the metrics.
+    The LiveReporter only *reads* counters (per-worker utilization lands
+    in gauges, which are legitimately worker-dependent), so sampling
+    concurrently with either run must not break the equality.
     """
     problem = paper_scenario(num_users=130, num_uavs=4, scale="small", seed=3)
 
     def observed_run(workers: int):
         obs.enable()
         obs.reset()
-        result = appro_alg(problem, s=2, gain_mode="exact", workers=workers)
+        heartbeat = io.StringIO()
+        live = obs.LiveReporter(obs.LiveConfig(
+            interval_s=0.02, stall_intervals=10**6, stream=heartbeat,
+        ))
+        with live:
+            result = appro_alg(
+                problem, s=2, gain_mode="exact", workers=workers
+            )
+        assert "[live]" in heartbeat.getvalue()
         counters = dict(obs.metrics_snapshot()["counters"])
         spans = obs.drain_spans()
         obs.disable()
@@ -173,6 +186,11 @@ def test_metric_counts_identical_serial_vs_parallel():
     assert serial_counts["approx.subsets_evaluated"] > 0
     assert serial_counts["greedy.oracle_calls"] > 0
     assert serial_counts["flow.try_opens"] > 0
+    # Live-progress counters: every planned subset was accounted done,
+    # identically on both sides.
+    assert serial_counts["approx.subsets_planned"] > 0
+    assert (serial_counts["approx.subsets_done"]
+            == serial_counts["approx.subsets_planned"])
 
 
 # -- manifest round-trip -----------------------------------------------------

@@ -178,6 +178,23 @@ class TestSweeps:
         series = result.series()["approAlg"]
         assert series["highrise-urban"] <= series["suburban"]
 
+    def test_fig4_skips_infeasible_ks(self):
+        """K values beyond the scale's candidate-location count (one UAV
+        per grid at most) are skipped instead of crashing the sweep —
+        `repro fig4 --scale small` reaches K=20 on a 9-location grid."""
+        result = fig4_sweep(
+            ks=(2, 20),
+            num_users=40,
+            s=1,
+            scale="small",
+            algorithms=("MCS",),
+        )
+        assert set(result.series()["MCS"]) == {2}
+
+    def test_fig4_rejects_all_infeasible_ks(self):
+        with pytest.raises(ValueError, match="no feasible sweep point"):
+            fig4_sweep(ks=(20, 30), num_users=40, scale="small")
+
     def test_repetitions_average(self):
         result = fig4_sweep(
             ks=(2,),
