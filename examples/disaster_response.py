@@ -10,7 +10,7 @@ Run:  python examples/disaster_response.py
 """
 
 from repro import paper_scenario
-from repro.sim.runner import ALGORITHMS, run_algorithm
+from repro.scenario import DEFAULT_REGISTRY, SolvePipeline
 from repro.util.tables import format_table
 from repro.workload.fat_tailed import FatTailedWorkload
 
@@ -33,14 +33,15 @@ def main() -> None:
         f"(capacities {sorted(u.capacity for u in problem.fleet)})"
     )
 
+    pipeline = SolvePipeline()
     rows = []
-    for name in ALGORITHMS:
+    for name in DEFAULT_REGISTRY.names():
         params = (
             {"s": 2, "max_anchor_candidates": 8, "gain_mode": "fast"}
             if name == "approAlg"
             else {}
         )
-        rec = run_algorithm(problem, name, **params)
+        rec = pipeline.solve(problem, name, params).record
         note = "(ignores connectivity!)" if name == "Unconstrained" else ""
         rows.append(
             [name, rec.served, f"{rec.served_fraction:.0%}",

@@ -4,9 +4,19 @@
     repro fig5 ...
     repro fig6a / fig6b ...
     repro demo            # tiny end-to-end run
+    repro run [--scenario SPEC.json] ...
+    repro batch SPEC.json [...] [--workers N]
+    repro scenario list|show [PRESET]
 
 Each figure command regenerates the corresponding paper figure's data as
 an ASCII table on stdout.
+
+Scenario specs: ``repro scenario list`` names the built-in presets and
+``repro scenario show demo-small`` prints one as JSON; ``repro run
+--scenario spec.json`` solves a saved ``ScenarioSpec`` (solver settings
+come from the spec; legacy ``save_scenario`` files still work, taking
+solver settings from the flags); ``repro batch`` runs many spec files
+through the ``BatchRunner``, building shared scenarios once.
 
 Observability: the ``run``, ``fig4/5/6a/6b``, and ``mission`` commands
 accept ``--trace PATH`` (write a JSONL run manifest + spans + metrics)
@@ -32,7 +42,33 @@ from repro.sim.experiments import (
 from repro.workload.scenarios import SCALES, paper_scenario
 
 
+def add_engine_args(
+    parser: argparse.ArgumentParser,
+    anchor_pool_default: int = DEFAULT_ANCHOR_POOL,
+) -> None:
+    """The shared solver-engine flags (seed, workers, pruning, anchor
+    pool).  Every solving subcommand — run, fig4/5/6a/6b, mission — wires
+    these through this one helper, so the flags stay consistent."""
+    parser.add_argument("--seed", type=int, default=None, help="override seed")
+    parser.add_argument(
+        "--anchor-pool",
+        type=int,
+        default=anchor_pool_default,
+        help="approAlg anchor-candidate pool size (0 = unrestricted)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for approAlg's subset fan-out (default 1)",
+    )
+    parser.add_argument(
+        "--bound-prune", action="store_true",
+        help="skip anchor subsets whose optimistic bound cannot beat the "
+        "incumbent (lossless)",
+    )
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by the figure sweeps."""
     parser.add_argument(
         "--scale",
         choices=sorted(SCALES),
@@ -43,29 +79,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--reps", type=int, default=1, help="repetitions per sweep point"
     )
     parser.add_argument(
-        "--anchor-pool",
-        type=int,
-        default=DEFAULT_ANCHOR_POOL,
-        help="approAlg anchor-candidate pool size (0 = unrestricted)",
-    )
-    parser.add_argument("--seed", type=int, default=None, help="override seed")
-    parser.add_argument(
-        "--workers", type=int, default=1,
-        help="worker processes for approAlg's subset fan-out (default 1)",
-    )
-    parser.add_argument(
-        "--bound-prune", action="store_true",
-        help="skip anchor subsets whose optimistic bound cannot beat the "
-        "incumbent (lossless)",
-    )
-    parser.add_argument(
         "--chart", action="store_true",
         help="also render an ASCII line chart of the series",
     )
-    _add_obs_flags(parser)
+    add_engine_args(parser)
+    add_obs_args(parser)
 
 
-def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+def add_obs_args(parser: argparse.ArgumentParser) -> None:
+    """The shared observability flags (tracing, metrics, live heartbeat)."""
     parser.add_argument(
         "--trace", default=None, metavar="PATH",
         help="enable observability and write a JSONL trace (manifest + "
@@ -210,7 +232,7 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
     from repro.core.exact import exact_optimum_value
     from repro.core.ratio import approximation_ratio as ratio
     from repro.network.validate import validate_deployment
-    from repro.sim.runner import ALGORITHMS, run_algorithm
+    from repro.scenario import DEFAULT_REGISTRY, SolvePipeline
 
     failures = 0
     problem = paper_scenario(num_users=120, num_uavs=4, scale="small", seed=1)
@@ -235,53 +257,81 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
         f"bound {ratio(4, 2):.3f})",
         result.served >= ratio(4, 2) * opt,
     )
-    for name in sorted(ALGORITHMS):
+    pipeline = SolvePipeline()
+    for name in DEFAULT_REGISTRY.names():
         if name == "approAlg":
             continue
         try:
-            rec = run_algorithm(problem, name)
-            check(f"{name} feasible (served {rec.served})", True)
+            state = pipeline.solve(problem, name)
+            check(f"{name} feasible (served {state.served})", True)
         except Exception as exc:  # noqa: BLE001 - selfcheck reports anything
             check(f"{name} raised {type(exc).__name__}: {exc}", False)
     print("selfcheck:", "all good" if failures == 0 else f"{failures} failures")
     return 0 if failures == 0 else 1
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    """Run one algorithm on a scenario file (or a generated scenario) and
-    optionally save the deployment as JSON."""
-    from repro.sim.io import load_scenario, save_deployment
-    from repro.sim.metrics import summarize
-    from repro.sim.runner import ALGORITHMS, run_algorithm
+def _run_spec_from_args(args: argparse.Namespace):
+    """Describe the ``repro run`` flags as a :class:`ScenarioSpec`."""
+    from repro.scenario import ScenarioSpec
 
-    if args.scenario is not None:
-        problem = load_scenario(args.scenario)
-    else:
-        problem = paper_scenario(
-            num_users=args.users,
-            num_uavs=args.uavs,
-            scale=args.scale,
-            seed=args.seed if args.seed is not None else 0,
-        )
-    params: dict = {}
+    algorithm_params: dict = {}
     if args.algorithm == "approAlg":
-        params = {"s": args.s, "gain_mode": "fast"}
+        algorithm_params = {"s": args.s, "gain_mode": "fast"}
         if args.anchor_pool:
-            params["max_anchor_candidates"] = args.anchor_pool
-        if args.workers != 1:
-            params["workers"] = args.workers
-        if args.bound_prune:
-            params["bound_prune"] = True
-    record = run_algorithm(problem, args.algorithm, **params)
+            algorithm_params["max_anchor_candidates"] = args.anchor_pool
+    return ScenarioSpec(
+        name="cli-run",
+        scale=args.scale,
+        num_users=args.users,
+        num_uavs=args.uavs,
+        seed=args.seed if args.seed is not None else 0,
+        algorithm=args.algorithm,
+        algorithm_params=algorithm_params,
+        workers=args.workers,
+        bound_prune=args.bound_prune,
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    """Run one algorithm on a scenario — from flags, a ScenarioSpec JSON,
+    or a legacy scenario file — and optionally save the deployment."""
+    import json
+    from pathlib import Path
+
+    from repro.scenario import ScenarioSpec, SolvePipeline
+    from repro.sim.io import save_deployment
+    from repro.sim.metrics import summarize
+
+    pipeline = SolvePipeline()
+    if args.scenario is not None:
+        data = json.loads(Path(args.scenario).read_text())
+        if data.get("kind") == "scenario-spec":
+            # Declarative spec: scenario AND algorithm/engine options come
+            # from the file; the solver flags on the command line are
+            # ignored in favour of the spec's.
+            state = pipeline.run(ScenarioSpec.from_dict(data))
+        else:
+            # Legacy scenario file: just the problem; algorithm and
+            # engine options still come from the flags.
+            from repro.sim.io import load_scenario
+
+            spec = _run_spec_from_args(args)
+            entry = pipeline.registry.get(args.algorithm)
+            params = dict(spec.algorithm_params)
+            if entry.supports_workers and args.workers != 1:
+                params["workers"] = args.workers
+            if entry.supports_bound_prune and args.bound_prune:
+                params["bound_prune"] = True
+            state = pipeline.solve(
+                load_scenario(args.scenario), args.algorithm, params
+            )
+    else:
+        state = pipeline.run(_run_spec_from_args(args))
+    record, problem, deployment = state.record, state.problem, state.deployment
     print(
-        f"{args.algorithm}: served {record.served}/{problem.num_users} "
+        f"{record.algorithm}: served {record.served}/{problem.num_users} "
         f"users in {record.runtime_s:.2f}s"
     )
-    # Re-run cheaply to obtain the deployment object for metrics/saving
-    # (run_algorithm returns only the record; algorithms are deterministic
-    # for a fixed problem except RandomConnected).
-    algorithm = ALGORITHMS[args.algorithm]
-    deployment = algorithm(problem, **params)
     metrics = summarize(problem, deployment)
     print(
         f"throughput {metrics.throughput_bps / 1e6:.1f} Mbps, utilisation "
@@ -302,6 +352,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_mission(args: argparse.Namespace) -> int:
     """Run a fault-injected mission: plan, inject failures, self-heal."""
     from repro.ops import FaultSchedule, MissionConfig, RecoveryPolicy, run_mission
+    from repro.scenario import ScenarioSpec
     from repro.sim.report import mission_report
     from repro.sim.runner import WatchdogConfig
 
@@ -309,27 +360,39 @@ def _cmd_mission(args: argparse.Namespace) -> int:
         print(f"error: --duration must be positive, got {args.duration}")
         return 2
     seed = args.seed if args.seed is not None else 7
-    problem = paper_scenario(
-        num_users=args.users, num_uavs=args.uavs, scale=args.scale, seed=seed
+    spec = ScenarioSpec(
+        name="cli-mission",
+        scale=args.scale,
+        num_users=args.users,
+        num_uavs=args.uavs,
+        seed=seed,
     )
+    problem = spec.build()
     try:
+        # The fault draw runs on its own derived stream (see
+        # repro.util.rng.derive_seed), so it never perturbs — and is never
+        # perturbed by — the scenario draw for the same root seed.
         schedule = FaultSchedule.random(
             num_uavs=args.uavs,
             num_crashes=args.crashes,
             num_battery=args.battery,
             num_links=args.links,
             window_s=(args.duration * 0.1, args.duration * 0.7),
-            seed=seed,
+            seed=spec.derived_seed("faults"),
         )
     except ValueError as exc:
         print(f"error: {exc}")
         return 2
-    appro_params = {
-        "s": 2, "gain_mode": "fast",
-        "max_anchor_candidates": min(10, problem.num_locations),
-    }
+    pool = _pool(args)
+    appro_params: dict = {"s": 2, "gain_mode": "fast"}
+    if pool is not None:
+        appro_params["max_anchor_candidates"] = min(
+            pool, problem.num_locations
+        )
     if args.workers != 1:
         appro_params["workers"] = args.workers
+    if args.bound_prune:
+        appro_params["bound_prune"] = True
     watchdog = WatchdogConfig(
         budget_s=args.budget,
         params={"approAlg": appro_params},
@@ -345,6 +408,61 @@ def _cmd_mission(args: argparse.Namespace) -> int:
     result = run_mission(problem, schedule, config)
     print(mission_report(problem, result, include_map=not args.no_map))
     return 0 if result.final_valid else 1
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    """Run many ScenarioSpec JSON files through one shared pipeline."""
+    from repro.scenario import BatchRunner, ScenarioSpec, SolvePipeline, SpecError
+
+    specs = []
+    for path in args.specs:
+        try:
+            specs.append(ScenarioSpec.load(path))
+        except (OSError, SpecError, ValueError) as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            return 2
+    runner = BatchRunner(
+        pipeline=SolvePipeline(strict=False), workers=args.workers
+    )
+    result = runner.run(specs)
+    print(result.to_text())
+    failures = [
+        item for item in result.items if item.record.status != "ok"
+    ]
+    for item in failures:
+        print(
+            f"error: spec #{item.index} ({item.spec.name}): "
+            f"{item.record.status}: {item.record.error}",
+            file=sys.stderr,
+        )
+    return 0 if not failures else 1
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    """Inspect the named scenario presets (list, or dump one as JSON)."""
+    from repro.scenario import get_preset, preset_names
+
+    if args.action == "list":
+        for name in preset_names():
+            preset = get_preset(name)
+            print(
+                f"{name:16s} scale={preset.scale:6s} "
+                f"users={preset.to_config().num_users:<5d} "
+                f"uavs={preset.to_config().num_uavs:<3d} "
+                f"seed={preset.seed} algorithm={preset.algorithm}"
+            )
+        return 0
+    if args.preset is None:
+        print("error: 'repro scenario show' needs a preset name "
+              "(see 'repro scenario list')", file=sys.stderr)
+        return 2
+    try:
+        preset = get_preset(args.preset)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    print(preset.to_json())
+    return 0
 
 
 def _cmd_trace_report(args: argparse.Namespace) -> int:
@@ -528,29 +646,43 @@ def main(argv: "list | None" = None) -> int:
         "--algorithm", default="approAlg",
         help="registered algorithm name (default approAlg)",
     )
-    run_cmd.add_argument("--scenario", default=None,
-                         help="scenario JSON (from repro.sim.io)")
+    run_cmd.add_argument(
+        "--scenario", default=None,
+        help="scenario JSON: a ScenarioSpec (kind 'scenario-spec', see "
+        "'repro scenario show') or a legacy repro.sim.io scenario file",
+    )
     run_cmd.add_argument("--save", default=None,
                          help="write the deployment JSON here")
     run_cmd.add_argument("--users", type=int, default=600)
     run_cmd.add_argument("--uavs", type=int, default=8)
     run_cmd.add_argument("--scale", choices=sorted(SCALES), default="bench")
-    run_cmd.add_argument("--seed", type=int, default=None)
     run_cmd.add_argument("--s", type=int, default=2)
-    run_cmd.add_argument("--anchor-pool", type=int, default=10)
-    run_cmd.add_argument(
-        "--workers", type=int, default=1,
-        help="worker processes for approAlg's subset fan-out",
-    )
-    run_cmd.add_argument(
-        "--bound-prune", action="store_true",
-        help="lossless bound-ordered subset skipping for approAlg",
-    )
     run_cmd.add_argument(
         "--report", action="store_true",
         help="print the full operational report (fleet, failures, spectrum)",
     )
-    _add_obs_flags(run_cmd)
+    add_engine_args(run_cmd)
+    add_obs_args(run_cmd)
+
+    batch_cmd = sub.add_parser(
+        "batch",
+        help="run many ScenarioSpec JSON files through one shared pipeline "
+        "(scenario builds and solver contexts are reused across specs)",
+    )
+    batch_cmd.add_argument("specs", nargs="+", metavar="SPEC",
+                           help="ScenarioSpec JSON files")
+    batch_cmd.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size for distinct scenarios (default 1)",
+    )
+    add_obs_args(batch_cmd)
+
+    scenario_cmd = sub.add_parser(
+        "scenario", help="inspect the named scenario presets"
+    )
+    scenario_cmd.add_argument("action", choices=("list", "show"))
+    scenario_cmd.add_argument("preset", nargs="?", default=None,
+                              help="preset name (for 'show')")
 
     mission_cmd = sub.add_parser(
         "mission", help="fault-injected mission with self-healing recovery"
@@ -558,7 +690,6 @@ def main(argv: "list | None" = None) -> int:
     mission_cmd.add_argument("--users", type=int, default=400)
     mission_cmd.add_argument("--uavs", type=int, default=6)
     mission_cmd.add_argument("--scale", choices=sorted(SCALES), default="small")
-    mission_cmd.add_argument("--seed", type=int, default=None)
     mission_cmd.add_argument("--duration", type=float, default=120.0,
                              help="mission length in seconds")
     mission_cmd.add_argument("--crashes", type=int, default=2,
@@ -575,11 +706,8 @@ def main(argv: "list | None" = None) -> int:
                              help="initial retry backoff (s)")
     mission_cmd.add_argument("--no-map", action="store_true",
                              help="skip the final ASCII map")
-    mission_cmd.add_argument(
-        "--workers", type=int, default=1,
-        help="worker processes for each approAlg re-plan",
-    )
-    _add_obs_flags(mission_cmd)
+    add_engine_args(mission_cmd)
+    add_obs_args(mission_cmd)
 
     sub.add_parser("selfcheck", help="quick end-to-end installation check")
 
@@ -649,6 +777,10 @@ def _dispatch_handler(args: argparse.Namespace):
         return _cmd_mission
     if args.command == "run":
         return _cmd_run
+    if args.command == "batch":
+        return _cmd_batch
+    if args.command == "scenario":
+        return _cmd_scenario
     if args.command == "selfcheck":
         return _cmd_selfcheck
     if args.command == "trace-report":

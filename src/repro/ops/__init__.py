@@ -20,7 +20,12 @@ The solver watchdog itself lives with the algorithm registry in
 
 from repro.ops.faults import BATTERY, CRASH, LINK, Fault, FaultSchedule
 from repro.ops.log import MissionEvent, MissionLog
-from repro.ops.mission import MissionConfig, MissionResult, run_mission
+from repro.ops.mission import (
+    MissionConfig,
+    MissionResult,
+    run_mission,
+    run_mission_spec,
+)
 from repro.ops.recovery import (
     DegradeResult,
     RecoveryPolicy,
@@ -42,6 +47,7 @@ __all__ = [
     "MissionConfig",
     "MissionResult",
     "run_mission",
+    "run_mission_spec",
     "DegradeResult",
     "RecoveryPolicy",
     "RepairOutcome",

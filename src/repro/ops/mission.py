@@ -31,6 +31,7 @@ from repro.ops.recovery import (
     plan_repair,
     residual_connected,
 )
+from repro.scenario.spec import ScenarioSpec
 from repro.sim.results import RunRecord
 from repro.sim.runner import solve_with_fallback
 from repro.simnet.events import EventQueue
@@ -201,6 +202,36 @@ def run_mission(
         final_valid=final_valid,
         final_connected=final_connected,
     )
+
+
+def run_mission_spec(
+    spec: ScenarioSpec,
+    schedule: "FaultSchedule | None" = None,
+    config: "MissionConfig | None" = None,
+    num_crashes: int = 2,
+    num_battery: int = 0,
+    num_links: int = 0,
+) -> MissionResult:
+    """Thin adapter: a fault-injected mission from a declarative spec.
+
+    The problem comes from the spec's scenario stream; when no explicit
+    ``schedule`` is given, one is drawn from the spec's derived
+    ``"faults"`` stream (see :func:`repro.util.rng.derive_seed`), so one
+    root seed reproduces both the scenario and the fault timeline — and
+    the fault draw never perturbs the scenario draw.
+    """
+    config = config if config is not None else MissionConfig()
+    problem = spec.build()
+    if schedule is None:
+        schedule = FaultSchedule.random(
+            num_uavs=problem.num_uavs,
+            num_crashes=num_crashes,
+            num_battery=num_battery,
+            num_links=num_links,
+            window_s=(config.duration_s * 0.1, config.duration_s * 0.7),
+            seed=spec.derived_seed("faults"),
+        )
+    return run_mission(problem, schedule, config)
 
 
 def _start_repair_cycle(

@@ -1,0 +1,203 @@
+"""The batch runner: many :class:`ScenarioSpec`\\ s through one pipeline.
+
+This is the "heavy traffic" primitive from the roadmap: hand
+:class:`BatchRunner` a pile of specs and it executes all of them through
+the staged :class:`~repro.scenario.pipeline.SolvePipeline`, exploiting the
+structure batches have in practice — many specs describe the *same*
+physical scenario and differ only in algorithm or engine options (an
+algorithm shoot-out, a parameter grid).  Specs are grouped by
+:meth:`~repro.scenario.spec.ScenarioSpec.scenario_key`; each group builds
+its problem and shared :class:`~repro.core.context.SolverContext` once and
+every spec in the group reuses them, so an 8-spec comparison pays for one
+scenario build instead of eight.
+
+With ``workers > 1`` the groups are distributed over a process pool
+(each worker hydrates specs from JSON and runs the same pipeline); results
+come back in submission order either way, so batch output is
+deterministic and equal to a sequential run of the same specs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro import obs
+from repro.core.context import SolverContext
+from repro.scenario.pipeline import SolvePipeline
+from repro.scenario.spec import ScenarioSpec
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """One spec's outcome, in the batch's submission order."""
+
+    index: int
+    spec: ScenarioSpec
+    record: "object"               # RunRecord
+    deployment: "object | None"    # Deployment (None if the run failed)
+    report: "dict | None"
+
+    @property
+    def served(self) -> int:
+        return self.record.served
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of a :meth:`BatchRunner.run` call."""
+
+    items: tuple                   # BatchItem, ordered by input index
+    wall_s: float
+    groups: int                    # distinct scenarios built
+    context_builds: int            # SolverContexts built (shared per group)
+
+    def records(self) -> list:
+        return [item.record for item in self.items]
+
+    @property
+    def total_served(self) -> int:
+        return sum(item.served for item in self.items)
+
+    def to_text(self) -> str:
+        from repro.util.tables import format_table
+
+        rows = [
+            [item.index, item.spec.name, item.spec.algorithm,
+             item.record.status, item.served,
+             f"{item.record.runtime_s:.3f}"]
+            for item in self.items
+        ]
+        title = (
+            f"batch: {len(self.items)} specs over {self.groups} scenario(s), "
+            f"{self.context_builds} context build(s), {self.wall_s:.2f}s wall"
+        )
+        return format_table(
+            ["#", "spec", "algorithm", "status", "served", "runtime_s"],
+            rows, title=title,
+        )
+
+
+def _group_specs(specs: "list") -> "list":
+    """Group (index, spec) pairs by scenario identity, preserving the
+    first-seen order of groups and the submission order within each."""
+    groups: dict = {}
+    for index, spec in enumerate(specs):
+        groups.setdefault(spec.scenario_key(), []).append((index, spec))
+    return list(groups.values())
+
+
+def _needs_context(group: "list") -> bool:
+    from repro.scenario.registry import DEFAULT_REGISTRY
+
+    return any(
+        spec.algorithm in DEFAULT_REGISTRY
+        and DEFAULT_REGISTRY.get(spec.algorithm).supports_context
+        for _, spec in group
+    )
+
+
+def _run_group(pipeline: SolvePipeline, group: "list") -> "tuple":
+    """Run one scenario group; returns (items, contexts_built)."""
+    first = group[0][1]
+    with obs.span("batch.build", scenario=first.name, specs=len(group)):
+        problem = first.build()
+    context = None
+    built = 0
+    if pipeline.prebuild_context and _needs_context(group):
+        with obs.span("batch.context", scenario=first.name):
+            context = SolverContext.from_problem(problem)
+        built = 1
+    items = []
+    for index, spec in group:
+        state = pipeline.run(spec, problem=problem, context=context)
+        items.append(BatchItem(
+            index=index, spec=spec, record=state.record,
+            deployment=state.deployment, report=state.report,
+        ))
+    return items, built
+
+
+def _run_group_json(payload: "tuple") -> "tuple":
+    """Process-pool entry point: hydrate specs from JSON and run the group
+    with a freshly constructed pipeline (pipelines hold no picklable
+    state worth shipping; workers always use the default registry)."""
+    spec_jsons, strict, prebuild_context = payload
+    pipeline = SolvePipeline(strict=strict, prebuild_context=prebuild_context)
+    group = [(index, ScenarioSpec.from_json(text))
+             for index, text in spec_jsons]
+    return _run_group(pipeline, group)
+
+
+class BatchRunner:
+    """Execute many specs, sharing scenario builds and solver contexts.
+
+    ``workers=1`` (default) runs groups sequentially in-process; larger
+    values distribute whole groups over a process pool.  ``pipeline``
+    defaults to a strict :class:`SolvePipeline` with context prebuilding
+    on — pass ``SolvePipeline(strict=False)`` to collect per-spec failures
+    into the records instead of raising on the first one.
+    """
+
+    def __init__(
+        self,
+        pipeline: "SolvePipeline | None" = None,
+        workers: int = 1,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.pipeline = pipeline if pipeline is not None else SolvePipeline()
+        self.workers = workers
+
+    def run(self, specs: "list | tuple") -> BatchResult:
+        specs = list(specs)
+        for spec in specs:
+            if not isinstance(spec, ScenarioSpec):
+                raise TypeError(
+                    f"BatchRunner.run wants ScenarioSpecs, got {spec!r}"
+                )
+        start = time.perf_counter()
+        groups = _group_specs(specs)
+        obs.counter_inc("batch.specs", len(specs))
+        obs.counter_inc("batch.groups", len(groups))
+        if self.workers > 1 and len(groups) > 1:
+            outcomes = self._run_pooled(groups)
+        else:
+            outcomes = [_run_group(self.pipeline, group) for group in groups]
+        items: list = []
+        context_builds = 0
+        for group_items, built in outcomes:
+            items.extend(group_items)
+            context_builds += built
+        items.sort(key=lambda item: item.index)
+        return BatchResult(
+            items=tuple(items),
+            wall_s=time.perf_counter() - start,
+            groups=len(groups),
+            context_builds=context_builds,
+        )
+
+    def _run_pooled(self, groups: "list") -> "list":
+        from concurrent.futures import ProcessPoolExecutor
+
+        payloads = [
+            (
+                [(index, spec.to_json()) for index, spec in group],
+                self.pipeline.strict,
+                self.pipeline.prebuild_context,
+            )
+            for group in groups
+        ]
+        workers = min(self.workers, len(groups))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_run_group_json, payloads))
+
+
+def run_specs(
+    specs: "list | tuple",
+    workers: int = 1,
+    strict: bool = True,
+) -> BatchResult:
+    """One-call convenience: ``BatchRunner(...).run(specs)``."""
+    pipeline = SolvePipeline(strict=strict)
+    return BatchRunner(pipeline=pipeline, workers=workers).run(specs)

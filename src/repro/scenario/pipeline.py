@@ -1,0 +1,291 @@
+"""The staged solve pipeline: build -> context -> solve -> validate -> report.
+
+:class:`SolvePipeline` is the single path from a described scenario
+(:class:`~repro.scenario.spec.ScenarioSpec`) to a validated solution.
+Each stage is a named, traced, swappable callable over a shared
+:class:`PipelineState`:
+
+``build``
+    instantiate the spec's :class:`~repro.core.problem.ProblemInstance`
+    (skipped when the caller injects a prebuilt problem — the sweep
+    drivers and the batch runner do);
+``context``
+    precompute the shared :class:`~repro.core.context.SolverContext` for
+    solvers that accept one (lossless: the solver would build the
+    identical structure internally), enabling reuse across runs;
+``solve``
+    the timed dispatch through the algorithm registry — behaviourally
+    identical to the legacy ``sim.runner.run_algorithm`` body, emitting
+    the same ``runner.solve`` span and ``runner.solves`` /
+    ``runner.solve_seconds`` metrics so dashboards and traces carry over;
+``validate``
+    re-check the deployment against the problem constraints
+    (connectivity-exempt algorithms are honoured via the registry's
+    ``requires_connected`` flag);
+``report``
+    condense everything into the classic :class:`~repro.sim.results.RunRecord`
+    plus a small summary dict.
+
+Swap a stage with :meth:`SolvePipeline.with_stage` to intercept any step
+(e.g. a caching build, a custom report) without forking the flow.  The
+golden-equivalence test (``tests/test_golden_equivalence.py``) pins the
+pipeline's output bit-identical to the legacy CLI/sweep/mission paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.core.context import SolverContext
+from repro.network.validate import ValidationError, validate_deployment
+from repro.scenario.registry import (
+    DEFAULT_REGISTRY,
+    AlgorithmEntry,
+    AlgorithmRegistry,
+)
+from repro.scenario.spec import ScenarioSpec
+from repro.util.timing import Stopwatch
+
+
+@dataclass
+class PipelineState:
+    """Everything a run accumulates while flowing through the stages."""
+
+    entry: AlgorithmEntry
+    registry: AlgorithmRegistry
+    spec: "ScenarioSpec | None" = None
+    strict: bool = True
+    validate: bool = True
+    prebuild_context: bool = True
+    params: dict = field(default_factory=dict)   # caller-level solve kwargs
+    problem: "object | None" = None
+    context: "SolverContext | None" = None
+    deployment: "object | None" = None
+    elapsed_s: float = 0.0
+    status: str = "pending"
+    error: "str | None" = None
+    record: "object | None" = None        # RunRecord once reported
+    report: "dict | None" = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def served(self) -> int:
+        return self.deployment.served_count if self.deployment else 0
+
+
+# -- the default stages ------------------------------------------------------
+
+
+def build_stage(state: PipelineState) -> PipelineState:
+    """Instantiate the spec's problem unless one was injected."""
+    if state.problem is None:
+        if state.spec is None:
+            raise ValueError(
+                "pipeline needs a ScenarioSpec or an injected problem"
+            )
+        state.problem = state.spec.build()
+    return state
+
+
+def context_stage(state: PipelineState) -> PipelineState:
+    """Precompute the solver context for context-aware algorithms.
+
+    Lossless: solvers build the identical structure internally when no
+    context is passed, so prebuilding only moves the cost into its own
+    traced stage (and lets the batch runner reuse it across specs)."""
+    if (
+        state.context is None
+        and state.prebuild_context
+        and state.entry.supports_context
+    ):
+        state.context = SolverContext.from_problem(state.problem)
+    return state
+
+
+def solve_stage(state: PipelineState) -> PipelineState:
+    """Timed dispatch through the registry entry.
+
+    Must stay behaviourally identical to the legacy
+    ``sim.runner.run_algorithm`` solve body (same metrics, same error
+    capture) — the dispatch-equivalence tests pin this.
+    """
+    params = dict(state.params)
+    if state.context is not None and state.entry.supports_context:
+        params["context"] = state.context
+    obs.counter_inc("runner.solves")
+    watch = Stopwatch()
+    try:
+        with watch, obs.span("runner.solve", algorithm=state.entry.name):
+            state.deployment = state.entry.solve(state.problem, **params)
+        obs.observe("runner.solve_seconds", watch.elapsed)
+        state.status = "ok"
+    except Exception as exc:  # noqa: BLE001 - captured into the record
+        if state.strict:
+            raise
+        state.status = "error"
+        state.error = f"{type(exc).__name__}: {exc}"
+        state.deployment = None
+    state.elapsed_s = watch.elapsed
+    return state
+
+
+def validate_stage(state: PipelineState) -> PipelineState:
+    """Re-validate the deployment against the problem constraints."""
+    if not state.validate or state.status != "ok" or state.deployment is None:
+        return state
+    try:
+        validate_deployment(
+            state.problem.graph,
+            state.problem.fleet,
+            state.deployment,
+            require_connected=state.entry.requires_connected,
+        )
+    except ValidationError as exc:
+        if state.strict:
+            raise
+        state.status = "invalid"
+        state.error = str(exc)
+    return state
+
+
+def report_stage(state: PipelineState) -> PipelineState:
+    """Condense the run into a :class:`RunRecord` + summary dict."""
+    # Imported here, not at module level: the scenario layer sits below
+    # repro.sim, and importing the sim *package* at import time would cycle
+    # back through the sweep drivers that build on this pipeline.
+    from repro.sim.results import RunRecord
+
+    problem = state.problem
+    state.record = RunRecord(
+        algorithm=state.entry.name,
+        served=state.served if state.status in ("ok", "invalid") else 0,
+        runtime_s=state.elapsed_s,
+        num_users=problem.num_users,
+        num_uavs=problem.num_uavs,
+        params=dict(state.params),
+        status=state.status,
+        error=state.error,
+    )
+    state.report = {
+        "algorithm": state.entry.name,
+        "served": state.record.served,
+        "num_users": problem.num_users,
+        "runtime_s": state.elapsed_s,
+        "status": state.status,
+    }
+    return state
+
+
+DEFAULT_STAGES = (
+    ("build", build_stage),
+    ("context", context_stage),
+    ("solve", solve_stage),
+    ("validate", validate_stage),
+    ("report", report_stage),
+)
+
+
+class SolvePipeline:
+    """Run specs (or prebuilt problems) through the staged solve flow.
+
+    ``strict=False`` captures solver errors / invalid deployments into the
+    record (``status`` = ``"error"`` / ``"invalid"``) instead of raising,
+    mirroring the legacy runner.  ``prebuild_context=False`` skips the
+    context stage's precomputation, leaving context-aware solvers to build
+    their own — the sweep drivers use this to keep per-point cost exactly
+    as before.
+    """
+
+    def __init__(
+        self,
+        stages: "tuple | list | None" = None,
+        registry: "AlgorithmRegistry | None" = None,
+        strict: bool = True,
+        prebuild_context: bool = True,
+    ):
+        self.registry = registry if registry is not None else DEFAULT_REGISTRY
+        self.strict = strict
+        self.prebuild_context = prebuild_context
+        self.stages = tuple(stages) if stages is not None else DEFAULT_STAGES
+        names = [name for name, _ in self.stages]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate stage names in {names}")
+
+    def stage_names(self) -> tuple:
+        return tuple(name for name, _ in self.stages)
+
+    def with_stage(self, name: str, fn: "object") -> "SolvePipeline":
+        """A copy of the pipeline with stage ``name`` replaced by ``fn``."""
+        if name not in self.stage_names():
+            raise ValueError(
+                f"unknown stage {name!r}; stages: {', '.join(self.stage_names())}"
+            )
+        stages = tuple(
+            (n, fn if n == name else f) for n, f in self.stages
+        )
+        return SolvePipeline(
+            stages=stages, registry=self.registry, strict=self.strict,
+            prebuild_context=self.prebuild_context,
+        )
+
+    # -- entry points --------------------------------------------------------
+
+    def run(
+        self,
+        spec: ScenarioSpec,
+        problem: "object | None" = None,
+        context: "SolverContext | None" = None,
+    ) -> PipelineState:
+        """Drive one spec through every stage.
+
+        ``problem`` / ``context`` inject prebuilt structure (the batch
+        runner shares them across specs with equal scenario keys); the
+        build/context stages then skip their work.
+        """
+        entry = self.registry.get(spec.algorithm)
+        params = dict(spec.algorithm_params)
+        if entry.supports_workers and spec.workers != 1:
+            params["workers"] = spec.workers
+        if entry.supports_bound_prune and spec.bound_prune:
+            params["bound_prune"] = True
+        state = PipelineState(
+            entry=entry, registry=self.registry, spec=spec,
+            strict=self.strict, validate=spec.validate,
+            prebuild_context=self.prebuild_context, params=params,
+            problem=problem, context=context,
+        )
+        return self._execute(state)
+
+    def solve(
+        self,
+        problem: "object",
+        algorithm: str,
+        params: "dict | None" = None,
+        validate: bool = True,
+        context: "SolverContext | None" = None,
+    ) -> PipelineState:
+        """Drive an already-built problem through the stages.
+
+        This is the adapter the sweep drivers and the paired comparison
+        use — the successor of the legacy ``run_algorithm`` call, with the
+        deployment kept on the returned state instead of discarded.
+        """
+        entry = self.registry.get(algorithm)
+        state = PipelineState(
+            entry=entry, registry=self.registry, spec=None,
+            strict=self.strict, validate=validate,
+            prebuild_context=self.prebuild_context,
+            params=dict(params or {}), problem=problem, context=context,
+        )
+        return self._execute(state)
+
+    def _execute(self, state: PipelineState) -> PipelineState:
+        for name, fn in self.stages:
+            with obs.span(f"pipeline.{name}", algorithm=state.entry.name):
+                result = fn(state)
+            state = result if result is not None else state
+        return state

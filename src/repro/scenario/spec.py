@@ -1,0 +1,344 @@
+"""Declarative scenario descriptions: :class:`ScenarioSpec`.
+
+A spec is the single, serialisable description of one solve: *which*
+scenario (scale preset + overrides, channel environment, workload model,
+fleet mix, seed) and *how* to solve it (algorithm, algorithm parameters,
+engine options).  Every entry point — ``repro run``, the figure sweeps,
+the mission runtime, the batch runner — reduces to building a spec and
+handing it to :class:`repro.scenario.pipeline.SolvePipeline`, so adding a
+scenario knob means touching this file, not five call sites.
+
+The spec composes the lower-level preset tables instead of duplicating
+them: ``scale`` keys into :data:`repro.workload.scenarios.SCALES`,
+``environment`` into :data:`repro.channel.presets.ENVIRONMENTS` and
+``workload`` into :data:`WORKLOADS`.  :data:`PRESETS` holds the named,
+ready-to-run specs that previously lived as scattered constants in the
+CLI and the sweep drivers.
+
+Seed discipline (see :mod:`repro.util.rng`): the spec ``seed`` drives the
+scenario draw directly — ``ScenarioSpec(seed=7).build()`` is bit-identical
+to the historical ``paper_scenario(..., seed=7)`` — and named auxiliary
+streams derive via :meth:`ScenarioSpec.derived_seed`.
+
+JSON round-trip::
+
+    spec = ScenarioSpec(scale="small", num_users=300, seed=42)
+    ScenarioSpec.from_json(spec.to_json()) == spec   # always True
+
+``from_dict`` rejects unknown fields and invalid values with a named
+error, so a typo in a spec file fails loudly instead of silently running
+the default scenario.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields, replace
+from pathlib import Path
+
+from repro.channel.presets import ENVIRONMENTS
+from repro.core.problem import ProblemInstance
+from repro.util.rng import derive_seed
+from repro.workload.fat_tailed import FatTailedWorkload
+from repro.workload.scenarios import SCALES, ScenarioConfig, build_scenario
+from repro.workload.uniform import UniformWorkload
+
+SPEC_FORMAT = 1
+SPEC_KIND = "scenario-spec"
+
+#: Workload models a spec may name (the declarative counterpart of the
+#: workload classes themselves).
+WORKLOADS = {
+    "fat-tailed": FatTailedWorkload,
+    "uniform": UniformWorkload,
+}
+
+
+class SpecError(ValueError):
+    """A scenario spec failed validation (bad field, unknown key, ...)."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SpecError(message)
+
+
+def _check_optional_int(value: object, name: str, minimum: int = 1) -> None:
+    if value is None:
+        return
+    _require(
+        isinstance(value, int) and not isinstance(value, bool)
+        and value >= minimum,
+        f"{name} must be an integer >= {minimum}, got {value!r}",
+    )
+
+
+def _check_optional_number(value: object, name: str) -> None:
+    if value is None:
+        return
+    _require(
+        isinstance(value, (int, float)) and not isinstance(value, bool)
+        and value > 0,
+        f"{name} must be a positive number, got {value!r}",
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declarative scenario + solve description.
+
+    Scenario fields default to ``None`` meaning "whatever the ``scale``
+    preset says"; only explicit overrides are stored, so a spec file reads
+    as its diff against the preset.
+    """
+
+    # -- identity ------------------------------------------------------------
+    name: str = "custom"
+    # -- scenario: area / scale ----------------------------------------------
+    scale: str = "bench"
+    num_users: "int | None" = None
+    num_uavs: "int | None" = None
+    grid_side_m: "float | None" = None
+    altitude_m: "float | None" = None
+    altitude_layers_m: tuple = ()
+    # -- scenario: channel / workload / fleet mix ----------------------------
+    environment: "str | None" = None
+    workload: "str | None" = None
+    workload_params: dict = field(default_factory=dict)
+    capacity_min: "int | None" = None
+    capacity_max: "int | None" = None
+    # -- seeds ---------------------------------------------------------------
+    seed: int = 0
+    # -- algorithm + engine options ------------------------------------------
+    algorithm: str = "approAlg"
+    algorithm_params: dict = field(default_factory=dict)
+    workers: int = 1
+    bound_prune: bool = False
+    validate: bool = True
+
+    # -- schema validation ---------------------------------------------------
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.name, str) and self.name,
+            f"name must be a non-empty string, got {self.name!r}",
+        )
+        _require(
+            self.scale in SCALES,
+            f"unknown scale {self.scale!r}; known: {', '.join(sorted(SCALES))}",
+        )
+        _check_optional_int(self.num_users, "num_users")
+        _check_optional_int(self.num_uavs, "num_uavs")
+        _check_optional_number(self.grid_side_m, "grid_side_m")
+        _check_optional_number(self.altitude_m, "altitude_m")
+        _require(
+            isinstance(self.altitude_layers_m, (tuple, list)),
+            "altitude_layers_m must be a sequence of altitudes, got "
+            f"{self.altitude_layers_m!r}",
+        )
+        object.__setattr__(
+            self, "altitude_layers_m", tuple(self.altitude_layers_m)
+        )
+        for altitude in self.altitude_layers_m:
+            _check_optional_number(altitude, "altitude_layers_m entry")
+        if self.environment is not None:
+            _require(
+                self.environment in ENVIRONMENTS,
+                f"unknown environment {self.environment!r}; known: "
+                f"{', '.join(sorted(ENVIRONMENTS))}",
+            )
+        if self.workload is not None:
+            _require(
+                self.workload in WORKLOADS,
+                f"unknown workload {self.workload!r}; known: "
+                f"{', '.join(sorted(WORKLOADS))}",
+            )
+        _require(
+            isinstance(self.workload_params, dict),
+            f"workload_params must be a dict, got {self.workload_params!r}",
+        )
+        _require(
+            not self.workload_params or self.workload is not None,
+            "workload_params given without a workload model name",
+        )
+        _check_optional_int(self.capacity_min, "capacity_min")
+        _check_optional_int(self.capacity_max, "capacity_max")
+        if self.capacity_min is not None and self.capacity_max is not None:
+            _require(
+                self.capacity_min <= self.capacity_max,
+                f"capacity_min {self.capacity_min} exceeds capacity_max "
+                f"{self.capacity_max}",
+            )
+        _require(
+            isinstance(self.seed, int) and not isinstance(self.seed, bool),
+            f"seed must be an integer, got {self.seed!r}",
+        )
+        _require(
+            isinstance(self.algorithm, str) and self.algorithm,
+            f"algorithm must be a non-empty string, got {self.algorithm!r}",
+        )
+        _require(
+            isinstance(self.algorithm_params, dict),
+            f"algorithm_params must be a dict, got {self.algorithm_params!r}",
+        )
+        _require(
+            isinstance(self.workers, int) and not isinstance(self.workers, bool)
+            and self.workers >= 1,
+            f"workers must be an integer >= 1, got {self.workers!r}",
+        )
+        _require(
+            isinstance(self.bound_prune, bool),
+            f"bound_prune must be a boolean, got {self.bound_prune!r}",
+        )
+        _require(
+            isinstance(self.validate, bool),
+            f"validate must be a boolean, got {self.validate!r}",
+        )
+
+    # -- derived views -------------------------------------------------------
+
+    def with_overrides(self, **kwargs: object) -> "ScenarioSpec":
+        """A copy with the given fields replaced (re-validated)."""
+        return replace(self, **kwargs)
+
+    def to_config(self) -> ScenarioConfig:
+        """Resolve the spec against its scale preset into a
+        :class:`~repro.workload.scenarios.ScenarioConfig`."""
+        overrides: dict = {}
+        for key in (
+            "num_users", "num_uavs", "grid_side_m", "altitude_m",
+            "capacity_min", "capacity_max", "environment",
+        ):
+            value = getattr(self, key)
+            if value is not None:
+                overrides[key] = value
+        if self.altitude_layers_m:
+            overrides["altitude_layers_m"] = self.altitude_layers_m
+        if self.workload is not None:
+            overrides["workload"] = WORKLOADS[self.workload](
+                **self.workload_params
+            )
+        return SCALES[self.scale].with_overrides(**overrides)
+
+    def build(self) -> ProblemInstance:
+        """Instantiate the scenario (bit-identical to the historical
+        ``paper_scenario(..., seed=spec.seed)`` path for the same knobs)."""
+        return build_scenario(self.to_config(), self.seed)
+
+    def derived_seed(self, *labels: str) -> "int | None":
+        """A named auxiliary seed (see :func:`repro.util.rng.derive_seed`)."""
+        return derive_seed(self.seed, *labels)
+
+    def scenario_key(self) -> tuple:
+        """Hashable identity of the *scenario* part of the spec.
+
+        Two specs with equal keys build bit-identical problems, so the
+        batch runner may share one built problem (and solver context)
+        between them even when algorithm/engine options differ.
+        """
+        return (
+            self.scale, self.num_users, self.num_uavs, self.grid_side_m,
+            self.altitude_m, self.altitude_layers_m, self.environment,
+            self.workload,
+            json.dumps(self.workload_params, sort_keys=True, default=repr),
+            self.capacity_min, self.capacity_max, self.seed,
+        )
+
+    # -- JSON round-trip -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready flat representation (format/kind header + fields)."""
+        body = asdict(self)
+        body["altitude_layers_m"] = list(self.altitude_layers_m)
+        return {"format": SPEC_FORMAT, "kind": SPEC_KIND, **body}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        """Inverse of :meth:`to_dict`; rejects unknown/invalid fields."""
+        _require(isinstance(data, dict), f"spec must be an object, got {data!r}")
+        kind = data.get("kind", SPEC_KIND)
+        _require(
+            kind == SPEC_KIND,
+            f"expected a {SPEC_KIND} document, got kind = {kind!r}",
+        )
+        version = data.get("format", SPEC_FORMAT)
+        _require(
+            version == SPEC_FORMAT,
+            f"unsupported spec format {version!r} (this build reads "
+            f"{SPEC_FORMAT})",
+        )
+        known = {f.name for f in fields(cls)}
+        body = {k: v for k, v in data.items() if k not in ("format", "kind")}
+        unknown = sorted(set(body) - known)
+        _require(
+            not unknown,
+            f"unknown spec field(s): {', '.join(unknown)}; known: "
+            f"{', '.join(sorted(known))}",
+        )
+        return cls(**body)
+
+    def to_json(self, indent: "int | None" = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"spec is not valid JSON: {exc}") from None
+        return cls.from_dict(data)
+
+    def save(self, path: "str | Path") -> None:
+        Path(path).write_text(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "ScenarioSpec":
+        return cls.from_json(Path(path).read_text())
+
+
+#: Named ready-to-run specs — the scenario-first successors of the knobs
+#: the CLI subcommands and examples used to hand-build (``repro scenario
+#: show <name>`` dumps any of them as JSON to start a custom spec from).
+PRESETS = {
+    "demo-small": ScenarioSpec(
+        name="demo-small", scale="small", num_users=300, num_uavs=6,
+        seed=42, algorithm="approAlg", algorithm_params={"s": 2},
+    ),
+    "bench-default": ScenarioSpec(
+        name="bench-default", scale="bench", num_users=600, num_uavs=8,
+        seed=0, algorithm="approAlg",
+        algorithm_params={"s": 2, "gain_mode": "fast",
+                          "max_anchor_candidates": 10},
+    ),
+    "mission-small": ScenarioSpec(
+        name="mission-small", scale="small", num_users=400, num_uavs=6,
+        seed=7, algorithm="approAlg",
+        algorithm_params={"s": 2, "gain_mode": "fast",
+                          "max_anchor_candidates": 9},
+    ),
+    "paper-fig4": ScenarioSpec(
+        name="paper-fig4", scale="bench", num_users=3000, num_uavs=20,
+        seed=7, algorithm="approAlg",
+        algorithm_params={"s": 3, "gain_mode": "fast",
+                          "max_anchor_candidates": 10},
+    ),
+    "paper-headline": ScenarioSpec(
+        name="paper-headline", scale="paper", num_users=3000, num_uavs=20,
+        seed=7, algorithm="approAlg",
+        algorithm_params={"s": 3, "gain_mode": "fast",
+                          "max_anchor_candidates": 10},
+    ),
+}
+
+
+def preset_names() -> list:
+    return sorted(PRESETS)
+
+
+def get_preset(name: str) -> ScenarioSpec:
+    """Look up a named preset spec (KeyError lists the known names)."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        known = ", ".join(preset_names())
+        raise KeyError(f"unknown preset {name!r}; known: {known}") from None

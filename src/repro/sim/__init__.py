@@ -11,7 +11,7 @@ from repro.sim.render import ascii_map
 from repro.sim.report import deployment_report
 from repro.sim.results import RunRecord, SweepResult
 from repro.sim.rotation import max_sustainable_mission_s, plan_rotation
-from repro.sim.runner import ALGORITHMS, run_algorithm
+from repro.sim.runner import ALGORITHMS
 
 __all__ = [
     "PairedComparison",
@@ -35,5 +35,4 @@ __all__ = [
     "RunRecord",
     "SweepResult",
     "ALGORITHMS",
-    "run_algorithm",
 ]

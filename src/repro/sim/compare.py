@@ -14,9 +14,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.sim.runner import run_algorithm
+from repro.scenario.pipeline import SolvePipeline
 from repro.util.rng import ensure_rng, spawn_rngs
 from repro.workload.scenarios import paper_scenario
+
+# Context prebuilding off: each paired solve is timed end to end, exactly
+# as the comparison historically measured it.
+_PIPELINE = SolvePipeline(prebuild_context=False)
 
 
 @dataclass
@@ -90,12 +94,8 @@ def compare_algorithms(
         problem = paper_scenario(
             num_users=num_users, num_uavs=num_uavs, scale=scale, seed=child
         )
-        served_a = run_algorithm(
-            problem, algorithm_a, **(params_a or {})
-        ).served
-        served_b = run_algorithm(
-            problem, algorithm_b, **(params_b or {})
-        ).served
+        served_a = _PIPELINE.solve(problem, algorithm_a, params_a).served
+        served_b = _PIPELINE.solve(problem, algorithm_b, params_b).served
         result.served_a.append(served_a)
         result.served_b.append(served_b)
         if served_a > served_b:

@@ -17,10 +17,16 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro import obs
+from repro.scenario.pipeline import SolvePipeline
 from repro.sim.results import SweepResult
-from repro.sim.runner import run_algorithm
 from repro.util.rng import ensure_rng, spawn_rngs
 from repro.workload.scenarios import SCALES, paper_scenario
+
+# One shared pipeline for every sweep point.  ``prebuild_context=False``
+# keeps the per-point cost (and the solve timings feeding Fig. 6(b))
+# exactly as they were before the sweeps moved onto the pipeline: each
+# solver builds its own context, inside its timed solve stage.
+_PIPELINE = SolvePipeline(prebuild_context=False)
 
 PAPER_ALGORITHMS = (
     "approAlg",
@@ -61,7 +67,8 @@ def _run_point(
         obs.counter_inc("sweep.points")
         for name in algorithms:
             params = appro_params if name == "approAlg" else {}
-            result.add(sweep_value, run_algorithm(problem, name, **params))
+            state = _PIPELINE.solve(problem, name, params)
+            result.add(sweep_value, state.record)
 
 
 def _announce_points(count: int) -> None:

@@ -18,44 +18,30 @@ import time
 from dataclasses import dataclass, field
 
 from repro import obs
-from repro.baselines.greedy_assign import greedy_assign
-from repro.baselines.max_throughput import max_throughput
-from repro.baselines.mcs import mcs
-from repro.baselines.motionctrl import motion_ctrl
-from repro.baselines.random_connected import random_connected
-from repro.baselines.unconstrained import unconstrained_greedy
-from repro.core.approx import appro_alg
 from repro.core.problem import ProblemInstance
 from repro.network.deployment import Deployment
 from repro.network.validate import ValidationError, validate_deployment
+from repro.scenario.registry import DEFAULT_REGISTRY
 from repro.sim.results import AttemptRecord, RunRecord
 from repro.util.timing import Stopwatch
 
-
-def _appro(problem: ProblemInstance, **kw: object):
-    return appro_alg(problem, **kw).deployment
-
-
-ALGORITHMS = {
-    "approAlg": _appro,
-    "MCS": mcs,
-    "MotionCtrl": motion_ctrl,
-    "GreedyAssign": greedy_assign,
-    "maxThroughput": max_throughput,
-    "RandomConnected": random_connected,
-    "Unconstrained": unconstrained_greedy,
-}
+# The dispatch tables are *views* of the algorithm registry
+# (:mod:`repro.scenario.registry`), which owns the solver entries and
+# their capability flags.  ALGORITHMS stays a plain mutable dict so tests
+# and callers can still patch one-off solvers into this module without
+# touching the shared registry.
+ALGORITHMS = DEFAULT_REGISTRY.callables()
 
 # The connectivity-free reference point intentionally violates constraint
 # (iii); every other algorithm must produce connected deployments.
-_UNCONNECTED_OK = {"Unconstrained"}
+_UNCONNECTED_OK = DEFAULT_REGISTRY.unconnected_ok()
 
 # Solvers whose inner loop accepts a ``progress`` callback, so the watchdog
 # can abort them mid-run when the wall-clock budget expires.  This covers
 # the parallel engine too: ``appro_alg(workers=N)`` invokes ``progress``
 # from the parent process between completed chunks, and a SolverTimeout
 # raised there cancels the outstanding futures and shuts the pool down.
-_COOPERATIVE = {"approAlg"}
+_COOPERATIVE = DEFAULT_REGISTRY.cooperative()
 
 
 class SolverTimeout(Exception):
@@ -131,7 +117,9 @@ def run_algorithm(
     )
 
 
-DEFAULT_FALLBACK_CHAIN = ("approAlg", "MCS", "GreedyAssign")
+# Watchdog fallback order, derived from the registry's tier flags
+# (approAlg -> MCS -> GreedyAssign with the built-in entries).
+DEFAULT_FALLBACK_CHAIN = DEFAULT_REGISTRY.fallback_chain()
 
 
 @dataclass(frozen=True)

@@ -330,3 +330,84 @@ class TestCli:
         monkeypatch.setattr(cli, "fig4_sweep", stub_sweep)
         assert main(["fig4", "--seed", "123"]) == 0
         assert captured["seed"] == 123
+
+
+class TestScenarioCommands:
+    """The spec-driven commands: scenario list/show, run --scenario on a
+    spec file, and batch."""
+
+    def _spec(self, **overrides):
+        from repro.scenario.spec import ScenarioSpec
+
+        base = dict(
+            name="cli-spec", scale="small", num_users=60, num_uavs=3,
+            seed=4, algorithm="approAlg",
+            algorithm_params={"s": 2, "gain_mode": "fast"},
+        )
+        base.update(overrides)
+        return ScenarioSpec(**base)
+
+    def test_scenario_list(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "demo-small" in out
+        assert "paper-headline" in out
+
+    def test_scenario_show_round_trips(self, capsys):
+        from repro.scenario.spec import ScenarioSpec, get_preset
+
+        assert main(["scenario", "show", "demo-small"]) == 0
+        out = capsys.readouterr().out
+        assert ScenarioSpec.from_json(out) == get_preset("demo-small")
+
+    def test_scenario_show_unknown_exits_two(self, capsys):
+        assert main(["scenario", "show", "galactic"]) == 2
+        err = capsys.readouterr().err
+        assert "demo-small" in err        # lists the known presets
+
+    def test_scenario_show_requires_preset(self, capsys):
+        assert main(["scenario", "show"]) == 2
+
+    def test_run_from_spec_file(self, capsys, tmp_path):
+        path = tmp_path / "spec.json"
+        self._spec(algorithm="MCS", algorithm_params={}).save(path)
+        assert main(["run", "--scenario", str(path)]) == 0
+        out = capsys.readouterr().out
+        # Algorithm comes from the spec, not the CLI default.
+        assert "MCS: served" in out
+
+    def test_run_from_spec_file_matches_flags(self, capsys, tmp_path):
+        """A saved spec reproduces the same run as the equivalent flags."""
+        path = tmp_path / "spec.json"
+        self._spec().save(path)
+        assert main(["run", "--scenario", str(path)]) == 0
+        via_spec = capsys.readouterr().out
+        assert main([
+            "run", "--users", "60", "--uavs", "3", "--scale", "small",
+            "--seed", "4", "--s", "2", "--anchor-pool", "0",
+        ]) == 0
+        via_flags = capsys.readouterr().out
+        assert via_spec.splitlines()[0].rsplit(" in ", 1)[0] == \
+            via_flags.splitlines()[0].rsplit(" in ", 1)[0]
+
+    def test_batch_runs_spec_files(self, capsys, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        self._spec(name="batch-a").save(a)
+        self._spec(name="batch-b", algorithm="MCS",
+                   algorithm_params={}).save(b)
+        assert main(["batch", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "2 specs" in out
+        assert "batch-a" in out and "batch-b" in out
+
+    def test_batch_missing_file_exits_two(self, capsys, tmp_path):
+        assert main(["batch", str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_batch_reports_spec_failure(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        self._spec(name="batch-bad",
+                   algorithm_params={"bogus": True}).save(bad)
+        assert main(["batch", str(bad)]) == 1
+        assert "batch-bad" in capsys.readouterr().err

@@ -1,0 +1,104 @@
+"""Tests for the BatchRunner (grouping, reuse, determinism, pooling)."""
+
+import pytest
+
+from repro.scenario.batch import BatchRunner, run_specs
+from repro.scenario.pipeline import SolvePipeline
+from repro.scenario.spec import ScenarioSpec
+
+BASE = ScenarioSpec(
+    name="batch-test", scale="small", num_users=200, num_uavs=5,
+    seed=17, algorithm="approAlg", algorithm_params={"s": 2},
+)
+
+SHOOTOUT = [
+    BASE,
+    BASE.with_overrides(algorithm="MCS", algorithm_params={}),
+    BASE.with_overrides(algorithm="GreedyAssign", algorithm_params={}),
+    BASE.with_overrides(seed=18, algorithm="MCS", algorithm_params={}),
+    BASE.with_overrides(seed=18, algorithm="maxThroughput",
+                        algorithm_params={}),
+]
+
+
+class TestGrouping:
+    def test_shared_scenarios_built_once(self):
+        result = BatchRunner().run(SHOOTOUT)
+        assert len(result.items) == 5
+        assert result.groups == 2                  # seeds 17 and 18
+        # Only groups containing a context-aware algorithm build a context:
+        # seed 17 has approAlg, seed 18 has none.
+        assert result.context_builds == 1
+
+    def test_items_keep_submission_order(self):
+        result = BatchRunner().run(SHOOTOUT)
+        assert [item.index for item in result.items] == [0, 1, 2, 3, 4]
+        assert [item.spec.algorithm for item in result.items] == [
+            "approAlg", "MCS", "GreedyAssign", "MCS", "maxThroughput"
+        ]
+
+    def test_rejects_non_specs(self):
+        with pytest.raises(TypeError, match="ScenarioSpec"):
+            BatchRunner().run([BASE, "not-a-spec"])
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError, match="workers"):
+            BatchRunner(workers=0)
+
+
+class TestDeterminism:
+    def test_batch_equals_sequential_pipeline_runs(self):
+        """Batch results are identical to running every spec alone."""
+        batch = BatchRunner().run(SHOOTOUT)
+        pipeline = SolvePipeline()
+        for item in batch.items:
+            alone = pipeline.run(item.spec)
+            assert item.record.served == alone.record.served
+            assert item.deployment.placements == alone.deployment.placements
+            assert item.deployment.assignment == alone.deployment.assignment
+
+    def test_batch_is_repeatable(self):
+        first = BatchRunner().run(SHOOTOUT)
+        second = BatchRunner().run(SHOOTOUT)
+        assert [i.served for i in first.items] == [
+            i.served for i in second.items
+        ]
+
+    @pytest.mark.timeout_guard(120)
+    def test_pooled_equals_sequential(self):
+        sequential = BatchRunner(workers=1).run(SHOOTOUT)
+        pooled = BatchRunner(workers=2).run(SHOOTOUT)
+        for a, b in zip(sequential.items, pooled.items):
+            assert a.index == b.index
+            assert a.served == b.served
+            assert a.deployment.placements == b.deployment.placements
+            assert a.deployment.assignment == b.deployment.assignment
+
+
+class TestFailureHandling:
+    def test_strict_false_captures_per_spec_failure(self):
+        # An unknown solver kwarg raises; strict=False keeps the batch
+        # alive and records the failure on that spec alone.
+        bad = BASE.with_overrides(algorithm_params={"bogus": True})
+        runner = BatchRunner(pipeline=SolvePipeline(strict=False))
+        result = runner.run([bad, BASE])
+        statuses = [item.record.status for item in result.items]
+        assert statuses[0] == "error"
+        assert statuses[1] == "ok"
+
+    def test_strict_true_propagates(self):
+        bad = BASE.with_overrides(algorithm_params={"bogus": True})
+        with pytest.raises(TypeError):
+            BatchRunner().run([bad])
+
+
+class TestConvenience:
+    def test_run_specs_helper(self):
+        result = run_specs(SHOOTOUT[:2])
+        assert len(result.items) == 2
+        assert result.total_served == sum(i.served for i in result.items)
+
+    def test_to_text_summarises(self):
+        text = BatchRunner().run(SHOOTOUT[:2]).to_text()
+        assert "2 specs" in text
+        assert "approAlg" in text and "MCS" in text

@@ -1,0 +1,226 @@
+"""Tests for the declarative ScenarioSpec (schema, JSON, presets)."""
+
+import dataclasses
+
+import pytest
+
+from repro.scenario.spec import (
+    PRESETS,
+    ScenarioSpec,
+    SpecError,
+    get_preset,
+    preset_names,
+)
+from repro.workload.scenarios import SCALES, paper_scenario
+
+
+class TestSchemaValidation:
+    def test_defaults_are_valid(self):
+        spec = ScenarioSpec()
+        assert spec.scale == "bench"
+        assert spec.algorithm == "approAlg"
+        assert spec.validate is True
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SpecError, match="unknown scale"):
+            ScenarioSpec(scale="galactic")
+
+    def test_unknown_environment_rejected(self):
+        with pytest.raises(SpecError, match="unknown environment"):
+            ScenarioSpec(environment="underwater")
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SpecError, match="unknown workload"):
+            ScenarioSpec(workload="bursty")
+
+    def test_workload_params_require_workload(self):
+        with pytest.raises(SpecError, match="workload_params"):
+            ScenarioSpec(workload_params={"num_hotspots": 3})
+
+    @pytest.mark.parametrize("field,value", [
+        ("num_users", 0),
+        ("num_users", -5),
+        ("num_users", 2.5),
+        ("num_users", True),
+        ("num_uavs", "eight"),
+        ("grid_side_m", -100.0),
+        ("altitude_m", 0),
+        ("workers", 0),
+        ("seed", "seven"),
+        ("seed", True),
+        ("bound_prune", "yes"),
+        ("validate", 1),
+        ("algorithm_params", ["s", 2]),
+        ("name", ""),
+    ])
+    def test_invalid_field_values_rejected(self, field, value):
+        with pytest.raises(SpecError):
+            ScenarioSpec(**{field: value})
+
+    def test_capacity_bounds_ordered(self):
+        with pytest.raises(SpecError, match="capacity_min"):
+            ScenarioSpec(capacity_min=300, capacity_max=100)
+        ScenarioSpec(capacity_min=100, capacity_max=300)  # fine
+
+    def test_altitude_layers_normalised_to_tuple(self):
+        spec = ScenarioSpec(altitude_layers_m=[200.0, 300.0])
+        assert spec.altitude_layers_m == (200.0, 300.0)
+
+    def test_with_overrides_revalidates(self):
+        spec = ScenarioSpec()
+        with pytest.raises(SpecError):
+            spec.with_overrides(num_users=-1)
+        assert spec.with_overrides(num_users=50).num_users == 50
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ScenarioSpec().seed = 99
+
+
+class TestJsonRoundTrip:
+    def test_default_round_trip(self):
+        spec = ScenarioSpec()
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_fully_loaded_round_trip(self):
+        spec = ScenarioSpec(
+            name="kitchen-sink",
+            scale="small",
+            num_users=250,
+            num_uavs=5,
+            grid_side_m=900.0,
+            altitude_m=250.0,
+            environment="dense-urban",
+            workload="fat-tailed",
+            workload_params={"num_hotspots": 4},
+            capacity_min=50,
+            capacity_max=280,
+            seed=123,
+            algorithm="MCS",
+            algorithm_params={},
+            workers=2,
+            bound_prune=True,
+            validate=False,
+        )
+        again = ScenarioSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.workload_params == {"num_hotspots": 4}
+
+    def test_altitude_layers_round_trip(self):
+        spec = ScenarioSpec(altitude_layers_m=(200.0, 350.0))
+        again = ScenarioSpec.from_json(spec.to_json())
+        assert again.altitude_layers_m == (200.0, 350.0)
+
+    def test_header_present(self):
+        data = ScenarioSpec().to_dict()
+        assert data["kind"] == "scenario-spec"
+        assert data["format"] == 1
+
+    def test_unknown_field_rejected(self):
+        data = ScenarioSpec().to_dict()
+        data["turbo"] = True
+        with pytest.raises(SpecError, match="unknown spec field.*turbo"):
+            ScenarioSpec.from_dict(data)
+
+    def test_wrong_kind_rejected(self):
+        data = ScenarioSpec().to_dict()
+        data["kind"] = "deployment"
+        with pytest.raises(SpecError, match="kind"):
+            ScenarioSpec.from_dict(data)
+
+    def test_wrong_format_rejected(self):
+        data = ScenarioSpec().to_dict()
+        data["format"] = 99
+        with pytest.raises(SpecError, match="format"):
+            ScenarioSpec.from_dict(data)
+
+    def test_invalid_value_rejected_on_load(self):
+        data = ScenarioSpec().to_dict()
+        data["num_users"] = -10
+        with pytest.raises(SpecError):
+            ScenarioSpec.from_dict(data)
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(SpecError, match="not valid JSON"):
+            ScenarioSpec.from_json("{nope")
+
+    def test_save_load_file(self, tmp_path):
+        spec = ScenarioSpec(name="disk", seed=5)
+        path = tmp_path / "spec.json"
+        spec.save(path)
+        assert ScenarioSpec.load(path) == spec
+
+
+class TestDerivedViews:
+    def test_to_config_applies_only_explicit_overrides(self):
+        spec = ScenarioSpec(scale="small", num_users=123)
+        config = spec.to_config()
+        assert config.num_users == 123
+        assert config.num_uavs == SCALES["small"].num_uavs
+
+    def test_build_matches_paper_scenario(self):
+        """The spec's scenario stream is bit-identical to the historical
+        paper_scenario path for the same knobs."""
+        spec = ScenarioSpec(scale="small", num_users=200, num_uavs=5, seed=11)
+        ours = spec.build()
+        legacy = paper_scenario(
+            num_users=200, num_uavs=5, scale="small", seed=11
+        )
+        assert [u.capacity for u in ours.fleet] == [
+            u.capacity for u in legacy.fleet
+        ]
+        assert [
+            (u.position.x, u.position.y) for u in ours.graph.users
+        ] == [
+            (u.position.x, u.position.y) for u in legacy.graph.users
+        ]
+
+    def test_workload_resolved_from_name(self):
+        from repro.workload.uniform import UniformWorkload
+
+        spec = ScenarioSpec(workload="uniform")
+        assert isinstance(spec.to_config().workload, UniformWorkload)
+
+    def test_derived_seed_is_stable_and_labelled(self):
+        spec = ScenarioSpec(seed=7)
+        assert spec.derived_seed("faults") == spec.derived_seed("faults")
+        assert spec.derived_seed("faults") != spec.derived_seed("relocation")
+        assert spec.derived_seed("faults") != 7
+
+    def test_scenario_key_ignores_algorithm(self):
+        a = ScenarioSpec(seed=3, algorithm="approAlg", workers=2)
+        b = ScenarioSpec(seed=3, algorithm="MCS")
+        assert a.scenario_key() == b.scenario_key()
+
+    def test_scenario_key_distinguishes_scenarios(self):
+        assert (
+            ScenarioSpec(seed=3).scenario_key()
+            != ScenarioSpec(seed=4).scenario_key()
+        )
+        assert (
+            ScenarioSpec(num_users=100).scenario_key()
+            != ScenarioSpec(num_users=200).scenario_key()
+        )
+
+
+class TestPresets:
+    def test_all_presets_valid_and_named(self):
+        for name in preset_names():
+            assert get_preset(name).name == name
+
+    def test_preset_round_trips(self):
+        for name in preset_names():
+            spec = get_preset(name)
+            assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_unknown_preset_lists_known(self):
+        with pytest.raises(KeyError, match="demo-small"):
+            get_preset("nope")
+
+    def test_demo_small_builds(self):
+        problem = get_preset("demo-small").build()
+        assert problem.num_users == 300
+        assert problem.num_uavs == 6
+
+    def test_presets_cover_all_scales(self):
+        assert {p.scale for p in PRESETS.values()} == set(SCALES)
