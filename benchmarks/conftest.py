@@ -33,6 +33,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.util.atomic import atomic_write_text
 from repro.util.tables import format_table
 from repro.workload.scenarios import paper_scenario
 
@@ -192,7 +193,9 @@ def perf_trajectory() -> PerfTrajectory:
 def pytest_sessionfinish(session, exitstatus):
     if _trajectory.points:
         existing = _existing_trajectory_points(TRAJECTORY_PATH)
-        TRAJECTORY_PATH.write_text(_trajectory.dump(existing) + "\n")
+        # Atomic flush: an interrupted bench session must not truncate the
+        # accumulated perf history the regression gate reads.
+        atomic_write_text(TRAJECTORY_PATH, _trajectory.dump(existing) + "\n")
         print(f"\nperf trajectory ({len(_trajectory.points)} points "
               f"recorded, {len(existing)} merged) written to "
               f"{TRAJECTORY_PATH}")

@@ -24,6 +24,14 @@ and ``--metrics-out PATH`` (just the metrics snapshot); ``repro
 trace-report PATH`` summarizes a trace and can export Chrome trace format
 (``--chrome``).  Without these flags the observability layer stays off
 and adds no overhead.
+
+Crash safety: ``run``, ``fig4/5/6a/6b``, ``batch`` and ``mission`` accept
+``--checkpoint DIR`` (journal solver and sweep progress into DIR with
+atomic snapshots) and ``--resume`` (pick up where a previous identical
+invocation stopped).  A first Ctrl-C drains gracefully — the solver
+flushes a final checkpoint, the command reports the partial state and
+exits with code 130; a second Ctrl-C aborts immediately.  See
+``docs/RESILIENCE.md``.
 """
 
 from __future__ import annotations
@@ -84,6 +92,23 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
     add_engine_args(parser)
     add_obs_args(parser)
+    add_resilience_args(parser)
+
+
+def add_resilience_args(parser: argparse.ArgumentParser) -> None:
+    """The shared crash-safety flags (durable checkpoints, resume)."""
+    parser.add_argument(
+        "--checkpoint", default=None, metavar="DIR",
+        help="journal progress into DIR (atomic snapshots of completed "
+        "work; solver chunk checkpoints for approAlg) so an interrupted "
+        "run can be resumed with --resume",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume from the --checkpoint DIR of a previous identical "
+        "invocation, skipping work it already finished (a checkpoint "
+        "from different settings is detected and ignored)",
+    )
 
 
 def add_obs_args(parser: argparse.ArgumentParser) -> None:
@@ -134,12 +159,34 @@ def _engine_kwargs(args: argparse.Namespace) -> dict:
     return dict(workers=args.workers, bound_prune=args.bound_prune)
 
 
+def _resilience_kwargs(args: argparse.Namespace) -> dict:
+    return dict(
+        checkpoint_dir=getattr(args, "checkpoint", None),
+        resume=getattr(args, "resume", False),
+    )
+
+
+def _report_interrupt(exc) -> int:
+    """Describe a graceful drain (SolveInterrupted) and exit like SIGINT."""
+    print(f"\ninterrupted: {exc}", file=sys.stderr)
+    if exc.checkpoint_path is not None:
+        print(
+            f"checkpoint flushed to {exc.checkpoint_path} — re-run with "
+            "--resume to continue", file=sys.stderr,
+        )
+    if exc.partial:
+        state = ", ".join(f"{k}={v}" for k, v in sorted(exc.partial.items()))
+        print(f"partial state: {state}", file=sys.stderr)
+    return 130
+
+
 def _cmd_fig4(args: argparse.Namespace) -> int:
     kwargs = dict(
         scale=args.scale,
         repetitions=args.reps,
         max_anchor_candidates=_pool(args),
         **_engine_kwargs(args),
+        **_resilience_kwargs(args),
     )
     if args.seed is not None:
         kwargs["seed"] = args.seed
@@ -155,6 +202,7 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
         repetitions=args.reps,
         max_anchor_candidates=_pool(args),
         **_engine_kwargs(args),
+        **_resilience_kwargs(args),
     )
     if args.seed is not None:
         kwargs["seed"] = args.seed
@@ -170,6 +218,7 @@ def _cmd_fig6(args: argparse.Namespace, metric: str, title: str) -> int:
         repetitions=args.reps,
         max_anchor_candidates=_pool(args),
         **_engine_kwargs(args),
+        **_resilience_kwargs(args),
     )
     if args.seed is not None:
         kwargs["seed"] = args.seed
@@ -302,7 +351,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.sim.io import save_deployment
     from repro.sim.metrics import summarize
 
-    pipeline = SolvePipeline()
+    pipeline = SolvePipeline(**_resilience_kwargs(args))
     if args.scenario is not None:
         data = json.loads(Path(args.scenario).read_text())
         if data.get("kind") == "scenario-spec":
@@ -323,7 +372,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             if entry.supports_bound_prune and args.bound_prune:
                 params["bound_prune"] = True
             state = pipeline.solve(
-                load_scenario(args.scenario), args.algorithm, params
+                load_scenario(args.scenario), args.algorithm, params,
+                checkpoint=pipeline.spec_checkpoint(spec),
             )
     else:
         state = pipeline.run(_run_spec_from_args(args))
@@ -393,6 +443,18 @@ def _cmd_mission(args: argparse.Namespace) -> int:
         appro_params["workers"] = args.workers
     if args.bound_prune:
         appro_params["bound_prune"] = True
+    if args.checkpoint is not None:
+        # One snapshot file per mission; each re-plan solves a different
+        # problem (the surviving fleet), so a stale snapshot is detected
+        # by its run key and simply overwritten.
+        from pathlib import Path
+
+        from repro.core.checkpoint import CheckpointConfig
+
+        appro_params["checkpoint"] = CheckpointConfig(
+            path=Path(args.checkpoint) / "solve-mission.json",
+            resume=args.resume,
+        )
     watchdog = WatchdogConfig(
         budget_s=args.budget,
         params={"approAlg": appro_params},
@@ -422,7 +484,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             print(f"error: {path}: {exc}", file=sys.stderr)
             return 2
     runner = BatchRunner(
-        pipeline=SolvePipeline(strict=False), workers=args.workers
+        pipeline=SolvePipeline(strict=False), workers=args.workers,
+        **_resilience_kwargs(args),
     )
     result = runner.run(specs)
     print(result.to_text())
@@ -663,6 +726,7 @@ def main(argv: "list | None" = None) -> int:
     )
     add_engine_args(run_cmd)
     add_obs_args(run_cmd)
+    add_resilience_args(run_cmd)
 
     batch_cmd = sub.add_parser(
         "batch",
@@ -676,6 +740,7 @@ def main(argv: "list | None" = None) -> int:
         help="process-pool size for distinct scenarios (default 1)",
     )
     add_obs_args(batch_cmd)
+    add_resilience_args(batch_cmd)
 
     scenario_cmd = sub.add_parser(
         "scenario", help="inspect the named scenario presets"
@@ -708,6 +773,7 @@ def main(argv: "list | None" = None) -> int:
                              help="skip the final ASCII map")
     add_engine_args(mission_cmd)
     add_obs_args(mission_cmd)
+    add_resilience_args(mission_cmd)
 
     sub.add_parser("selfcheck", help="quick end-to-end installation check")
 
@@ -744,13 +810,23 @@ def main(argv: "list | None" = None) -> int:
 
     args = parser.parse_args(argv)
     handler = _dispatch_handler(args)
-    if (
+    observed = (
         getattr(args, "trace", None) is not None
         or getattr(args, "metrics_out", None) is not None
         or getattr(args, "live", False)
-    ):
-        return _observed(handler, args)
-    return handler(args)
+    )
+    from repro.util.interrupt import SolveInterrupted, graceful_shutdown
+
+    # First SIGINT/SIGTERM requests a cooperative drain (the solver
+    # flushes a checkpoint and raises SolveInterrupted at the next safe
+    # boundary); a second one aborts the old-fashioned way.
+    with graceful_shutdown():
+        try:
+            if observed:
+                return _observed(handler, args)
+            return handler(args)
+        except SolveInterrupted as exc:
+            return _report_interrupt(exc)
 
 
 def _dispatch_handler(args: argparse.Namespace):

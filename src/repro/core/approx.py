@@ -24,6 +24,29 @@ layers on top of the paper-faithful loop:
   bests merge under the canonical tie-break (served descending, then
   anchors lexicographic) — the same winner the serial loop produces.
 
+On top of those sits the resilience layer (this is what makes long runs
+crash-safe; see ``docs/RESILIENCE.md``):
+
+* the fan-out goes through :class:`repro.core.dispatch.ChunkDispatcher`,
+  so a dead worker breaks only its in-flight chunks — the pool respawns
+  with exponential backoff, lost chunks are re-dispatched, and chunks
+  that keep failing are quarantined into serial in-parent evaluation.
+  Because a failed future never delivered a result and the merge is
+  order-independent, the recovered result is bit-identical to the serial
+  loop no matter what was killed.
+* ``checkpoint=CheckpointConfig(...)`` snapshots progress atomically at
+  chunk/subset boundaries (:mod:`repro.core.checkpoint`); with
+  ``resume=True`` a killed run restores the completed ranges, running
+  counters and best-so-far and finishes to the identical assignment.
+* a :func:`repro.util.interrupt.graceful_shutdown` drain request makes
+  both loops stop at the next boundary, flush a final checkpoint and
+  raise :class:`repro.util.interrupt.SolveInterrupted` with a partial
+  summary instead of dying mid-chunk.
+* ``chaos`` accepts a :class:`repro.ops.chaos.ChaosSpec` (duck-typed —
+  core never imports :mod:`repro.ops`) that injects deterministic worker
+  kills / exceptions / delays at chosen chunk ids, for the fault-
+  tolerance tests and the CI chaos job.
+
 Scaling knobs that trade fidelity for speed (``anchor_candidates`` /
 ``max_anchor_candidates`` restrict the anchor pool to the best-covering
 locations) remain available; benches document when they use them.
@@ -33,7 +56,6 @@ from __future__ import annotations
 
 import math
 import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from itertools import chain, combinations
 
@@ -41,13 +63,22 @@ import numpy as np
 
 from repro import obs
 from repro.core.assignment import optimal_assignment
+from repro.core.checkpoint import (
+    CheckpointConfig,
+    SolveCheckpoint,
+    missing_ranges,
+    solve_run_key,
+)
 from repro.core.connect import connect_and_deploy
 from repro.core.context import SolverContext, prunable_mask, subset_bounds
+from repro.core.dispatch import ChunkDispatcher, FaultPolicy
+from repro.core.dispatch import chunk_slices as _chunk_slices
 from repro.core.greedy import anchored_greedy, pair_greedy
 from repro.core.problem import ProblemInstance
 from repro.core.segments import SegmentPlan, optimal_segments
 from repro.graphs.bfs import UNREACHABLE
 from repro.network.deployment import Deployment
+from repro.util.interrupt import SolveInterrupted, interrupt_requested
 
 
 @dataclass
@@ -59,6 +90,14 @@ class ApproxStats:
     count is zero.  Bound skips depend on visit order, so their split
     against ``subsets_evaluated`` may differ between worker counts — the
     returned solution never does.
+
+    The resilience fields record what fault tolerance had to do:
+    ``retries`` counts failed chunk futures, ``chunks_redispatched`` the
+    re-submissions they caused, ``chunks_quarantined`` the serial
+    in-parent fallbacks, ``pool_respawns`` the executor rebuilds.
+    ``resume_chunks_skipped`` / ``resume_subsets_skipped`` say how much
+    completed work a ``--resume`` restored instead of recomputing, and
+    ``checkpoint_writes`` how many durable snapshots were flushed.
     """
 
     subsets_total: int = 0
@@ -69,6 +108,13 @@ class ApproxStats:
     fallback_used: bool = False
     workers: int = 1
     context_build_s: float = 0.0
+    retries: int = 0
+    chunks_redispatched: int = 0
+    chunks_quarantined: int = 0
+    pool_respawns: int = 0
+    resume_chunks_skipped: int = 0
+    resume_subsets_skipped: int = 0
+    checkpoint_writes: int = 0
 
 
 @dataclass
@@ -230,35 +276,12 @@ def _subset_array(pool: list, s: int) -> np.ndarray:
     return arr.reshape(total, s)
 
 
-# -- process-parallel fan-out ------------------------------------------------
-
-_WORKER_STATE: dict = {}
-
-
-def _worker_init(problem, context, plan, order, eval_kw,
-                 obs_enabled: bool = False) -> None:
-    """Pool initializer: adopt the shipped context so every hop/coverage
-    lookup in this process is a warm-cache hit.  Observability state is
-    reset (forked workers inherit the parent's buffers) and re-enabled
-    only when the parent traces."""
-    obs.worker_init(obs_enabled)
-    context.install_into(problem.graph)
-    _WORKER_STATE.update(
-        problem=problem, context=context, plan=plan, order=order,
-        eval_kw=eval_kw,
-    )
-
-
-def _worker_chunk(subsets: np.ndarray, bounds: "np.ndarray | None"):
-    """Evaluate one chunk of surviving subsets; returns the chunk-local
-    best (or ``None``), (evaluated, infeasible, bound_skipped) counts, and
-    the worker's observability delta (spans + metrics, ``None`` when
-    tracing is off)."""
-    problem = _WORKER_STATE["problem"]
-    context = _WORKER_STATE["context"]
-    plan = _WORKER_STATE["plan"]
-    order = _WORKER_STATE["order"]
-    eval_kw = _WORKER_STATE["eval_kw"]
+def _eval_chunk(problem, context, plan, order, eval_kw,
+                subsets: np.ndarray, bounds: "np.ndarray | None"):
+    """Evaluate one contiguous chunk of subsets: the chunk-local best (or
+    ``None``) plus (evaluated, infeasible, bound_skipped) counts.  Shared
+    by pool workers and the parent-side quarantine fallback, so a
+    quarantined chunk produces exactly what the worker would have."""
     best: "tuple[int, dict, tuple] | None" = None
     evaluated = infeasible = skipped = 0
     for i in range(subsets.shape[0]):
@@ -278,28 +301,95 @@ def _worker_chunk(subsets: np.ndarray, bounds: "np.ndarray | None"):
             candidate = (outcome[0], outcome[1], subset)
             if _better(candidate, best):
                 best = candidate
+    return best, evaluated, infeasible, skipped
+
+
+# -- process-parallel fan-out ------------------------------------------------
+
+_WORKER_STATE: dict = {}
+
+
+def _worker_init(problem, context, plan, order, eval_kw,
+                 obs_enabled: bool = False, chaos=None) -> None:
+    """Pool initializer: adopt the shipped context so every hop/coverage
+    lookup in this process is a warm-cache hit.  Observability state is
+    reset (forked workers inherit the parent's buffers) and re-enabled
+    only when the parent traces.  ``chaos`` (a duck-typed
+    ``repro.ops.chaos.ChaosSpec``) is stashed for per-chunk injection."""
+    obs.worker_init(obs_enabled)
+    context.install_into(problem.graph)
+    _WORKER_STATE.update(
+        problem=problem, context=context, plan=plan, order=order,
+        eval_kw=eval_kw, chaos=chaos,
+    )
+
+
+def _worker_chunk(chunk_id: int, subsets: np.ndarray,
+                  bounds: "np.ndarray | None", attempt: int = 0):
+    """Evaluate one chunk of surviving subsets in a pool worker; returns
+    the chunk-local best (or ``None``), the chunk counts, the worker pid
+    and the worker's observability delta (spans + metrics, ``None`` when
+    tracing is off).  Any configured chaos event for ``(chunk_id,
+    attempt)`` fires *before* evaluation, so a killed chunk never ships a
+    partial result."""
+    chaos = _WORKER_STATE.get("chaos")
+    if chaos is not None:
+        chaos.apply(chunk_id, attempt)
+    best, evaluated, infeasible, skipped = _eval_chunk(
+        _WORKER_STATE["problem"], _WORKER_STATE["context"],
+        _WORKER_STATE["plan"], _WORKER_STATE["order"],
+        _WORKER_STATE["eval_kw"], subsets, bounds,
+    )
     return (best, evaluated, infeasible, skipped, os.getpid(),
             obs.export_obs_state())
 
 
-def _chunk_slices(n: int, workers: int) -> list:
-    """Contiguous chunk bounds: small enough for responsive progress and
-    cooperative aborts, large enough to amortise pickling."""
-    size = max(1, min(64, math.ceil(n / (workers * 4))))
-    return [(lo, min(lo + size, n)) for lo in range(0, n, size)]
+def _drain(ckpt: "SolveCheckpoint | None", stats: ApproxStats,
+           best, s: int, done: int, total: int) -> None:
+    """A graceful-shutdown request reached a chunk/subset boundary: flush
+    a final checkpoint (when configured) and surface the partial run."""
+    path = None
+    if ckpt is not None:
+        ckpt.record_counts(
+            stats.subsets_pruned, stats.subsets_evaluated,
+            stats.subsets_infeasible, stats.subsets_bound_skipped,
+        )
+        ckpt.set_best(best)
+        ckpt.flush()
+        path = ckpt.path
+    obs.counter_inc("approx.interrupted")
+    raise SolveInterrupted(
+        f"solve interrupted at subset {done}/{total} (s={s}); "
+        + (f"checkpoint flushed to {path}" if path is not None
+           else "no checkpoint configured"),
+        checkpoint_path=path,
+        partial={
+            "s": s, "done": int(done), "total": int(total),
+            "best_served": None if best is None else int(best[0]),
+        },
+    )
+
+
+def _restore_level(ckpt: SolveCheckpoint, stats: ApproxStats):
+    """Adopt a resumed level's counters into ``stats``; returns the
+    restored best-so-far."""
+    stats.subsets_pruned = ckpt.counts["pruned"]
+    stats.subsets_evaluated = ckpt.counts["evaluated"]
+    stats.subsets_infeasible = ckpt.counts["infeasible"]
+    stats.subsets_bound_skipped = ckpt.counts["bound_skipped"]
+    stats.resume_chunks_skipped += ckpt.resumed_chunks
+    stats.resume_subsets_skipped += ckpt.resumed_units
+    return ckpt.best
 
 
 def _run_parallel(
     problem, context, plan, order, eval_kw, stats, progress,
-    subsets, prunable, bounds, workers,
+    subsets, prunable, bounds, workers, s,
+    ckpt: "SolveCheckpoint | None" = None, chaos=None,
+    policy: "FaultPolicy | None" = None,
 ):
     total = stats.subsets_total
     stats.subsets_pruned = int(prunable.sum())
-    done = stats.subsets_pruned
-    if done:
-        obs.counter_inc("approx.subsets_done", done)
-    if progress is not None and done:
-        progress(done, total)
     surviving = np.nonzero(~prunable)[0]
     if bounds is not None:
         live = bounds[surviving]
@@ -310,55 +400,114 @@ def _run_parallel(
     live_bounds = None if bounds is None else bounds[surviving]
 
     best: "tuple[int, dict, tuple] | None" = None
-    initargs = (problem, context, plan, order, eval_kw, obs.is_enabled())
-    executor = ProcessPoolExecutor(
-        max_workers=workers, initializer=_worker_init, initargs=initargs
+    done = stats.subsets_pruned
+    if ckpt is not None:
+        ckpt.enter_level(s, "surviving", sub.shape[0])
+        if ckpt.resumed:
+            best = _restore_level(ckpt, stats)
+            stats.subsets_pruned = int(prunable.sum())
+            done = stats.subsets_pruned + ckpt.resumed_units
+    if done:
+        obs.counter_inc("approx.subsets_done", done)
+    if progress is not None and done:
+        progress(done, total)
+
+    # Chunk only the ranges a resume did not already cover; any chunking
+    # of the gaps is fine because completed ranges are stored as arbitrary
+    # half-open intervals, not chunk ids.
+    gaps = ([(0, sub.shape[0])] if ckpt is None
+            else missing_ranges(sub.shape[0], ckpt.completed))
+    chunks: list = []
+    ranges: dict = {}
+    for glo, ghi in gaps:
+        for lo, hi in _chunk_slices(ghi - glo, workers):
+            clo, chi = glo + lo, glo + hi
+            chunk_id = len(chunks)
+            ranges[chunk_id] = (clo, chi)
+            chunk_bounds = (
+                None if live_bounds is None else live_bounds[clo:chi]
+            )
+            chunks.append((chunk_id, (sub[clo:chi], chunk_bounds)))
+    if not chunks:
+        return best
+
+    worker_done: dict = {}
+
+    def handle(chunk_id: int, result) -> None:
+        nonlocal best, done
+        chunk_best, evaluated, infeasible, skipped, pid, payload = result
+        obs.absorb_obs_state(payload)
+        stats.subsets_evaluated += evaluated
+        stats.subsets_infeasible += infeasible
+        stats.subsets_bound_skipped += skipped
+        if chunk_best is not None and _better(chunk_best, best):
+            best = chunk_best
+        lo, hi = ranges[chunk_id]
+        done += hi - lo
+        # Parent-side progress telemetry: the done counter mirrors
+        # the serial loop exactly (both sum to subsets_total), and
+        # per-worker absorption lands in gauges so worker skew is
+        # visible live without perturbing counter equality.
+        obs.counter_inc("approx.subsets_done", hi - lo)
+        worker_done[pid] = worker_done.get(pid, 0) + (hi - lo)
+        obs.gauge_set(f"approx.worker.{pid}.subsets", worker_done[pid])
+        if progress is not None:
+            progress(done, total)
+        if ckpt is not None:
+            ckpt.mark_range(lo, hi)
+            ckpt.record_counts(
+                stats.subsets_pruned, stats.subsets_evaluated,
+                stats.subsets_infeasible, stats.subsets_bound_skipped,
+            )
+            ckpt.set_best(best)
+            ckpt.maybe_flush()
+
+    def serial_eval(chunk_id: int, args):
+        # Quarantine: the chunk exhausted its pool attempts; evaluate it
+        # in the parent, where a genuine solver bug raises as itself.
+        chunk_subsets, chunk_bounds = args
+        chunk_best, evaluated, infeasible, skipped = _eval_chunk(
+            problem, context, plan, order, eval_kw,
+            chunk_subsets, chunk_bounds,
+        )
+        return (chunk_best, evaluated, infeasible, skipped,
+                os.getpid(), None)
+
+    def boundary() -> None:
+        if interrupt_requested():
+            _drain(ckpt, stats, best, s, done, total)
+
+    def on_submit(chunk_id: int, attempt: int) -> None:
+        # Chaos accounting happens parent-side at submission: a killed
+        # worker can never report what was injected into it.
+        if chaos is not None:
+            event = chaos.event_for(chunk_id, attempt)
+            if event is not None:
+                obs.counter_inc(f"chaos.injected.{event.action}")
+
+    initargs = (problem, context, plan, order, eval_kw,
+                obs.is_enabled(), chaos)
+    dispatcher = ChunkDispatcher(
+        _worker_chunk, workers,
+        initializer=_worker_init, initargs=initargs, policy=policy,
     )
     try:
-        futures = {}
-        for lo, hi in _chunk_slices(sub.shape[0], workers):
-            chunk_bounds = None if live_bounds is None else live_bounds[lo:hi]
-            futures[executor.submit(
-                _worker_chunk, sub[lo:hi], chunk_bounds
-            )] = hi - lo
-        pending = set(futures)
-        worker_done: dict = {}
-        while pending:
-            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for fut in finished:
-                chunk_best, evaluated, infeasible, skipped, pid, payload = (
-                    fut.result()
-                )
-                obs.absorb_obs_state(payload)
-                stats.subsets_evaluated += evaluated
-                stats.subsets_infeasible += infeasible
-                stats.subsets_bound_skipped += skipped
-                if chunk_best is not None and _better(chunk_best, best):
-                    best = chunk_best
-                done += futures[fut]
-                # Parent-side progress telemetry: the done counter mirrors
-                # the serial loop exactly (both sum to subsets_total), and
-                # per-worker absorption lands in gauges so worker skew is
-                # visible live without perturbing counter equality.
-                obs.counter_inc("approx.subsets_done", futures[fut])
-                worker_done[pid] = worker_done.get(pid, 0) + futures[fut]
-                obs.gauge_set(
-                    f"approx.worker.{pid}.subsets", worker_done[pid]
-                )
-                if progress is not None:
-                    progress(done, total)
-    except BaseException:
-        for fut in futures:
-            fut.cancel()
-        executor.shutdown(wait=False, cancel_futures=True)
-        raise
-    executor.shutdown(wait=True)
+        dispatcher.run(
+            chunks, handle, serial_eval,
+            boundary=boundary, on_submit=on_submit,
+        )
+    finally:
+        stats.retries += dispatcher.stats.retries
+        stats.chunks_redispatched += dispatcher.stats.chunks_redispatched
+        stats.chunks_quarantined += dispatcher.stats.chunks_quarantined
+        stats.pool_respawns += dispatcher.stats.pool_respawns
     return best
 
 
 def _run_serial(
     problem, context, plan, order, eval_kw, stats, progress,
-    subsets, prunable, bounds,
+    subsets, prunable, bounds, s,
+    ckpt: "SolveCheckpoint | None" = None,
 ):
     total = stats.subsets_total
     best: "tuple[int, dict, tuple] | None" = None
@@ -376,40 +525,97 @@ def _run_serial(
             if _better(candidate, best):
                 best = candidate
 
+    def after(lo: int, hi: int) -> None:
+        if ckpt is not None:
+            ckpt.mark_range(lo, hi, chunk=False)
+            ckpt.record_counts(
+                stats.subsets_pruned, stats.subsets_evaluated,
+                stats.subsets_infeasible, stats.subsets_bound_skipped,
+            )
+            ckpt.set_best(best)
+            ckpt.maybe_flush()
+
     if bounds is None:
         # Paper-faithful lexicographic visit order (bit-identical to the
-        # historical loop, including the progress call series).
-        for i in range(subsets.shape[0]):
-            if prunable[i]:
-                stats.subsets_pruned += 1
-            else:
-                evaluate(tuple(int(x) for x in subsets[i]))
-            obs.counter_inc("approx.subsets_done")
-            if progress is not None:
-                progress(i + 1, total)
+        # historical loop, including the progress call series).  The
+        # checkpoint cursor lives in the *raw* index domain here: every
+        # subset — pruned or evaluated — advances it.
+        done = 0
+        if ckpt is not None:
+            ckpt.enter_level(s, "raw", total)
+            if ckpt.resumed:
+                best = _restore_level(ckpt, stats)
+                done = ckpt.resumed_units
+                if done:
+                    obs.counter_inc("approx.subsets_done", done)
+                    if progress is not None:
+                        progress(done, total)
+        gaps = ([(0, total)] if ckpt is None
+                else missing_ranges(total, ckpt.completed))
+        for glo, ghi in gaps:
+            for i in range(glo, ghi):
+                if interrupt_requested():
+                    _drain(ckpt, stats, best, s, done, total)
+                if prunable[i]:
+                    stats.subsets_pruned += 1
+                else:
+                    evaluate(tuple(int(x) for x in subsets[i]))
+                done += 1
+                obs.counter_inc("approx.subsets_done")
+                if progress is not None:
+                    progress(done, total)
+                after(i, i + 1)
         return best
 
     stats.subsets_pruned = int(prunable.sum())
-    done = stats.subsets_pruned
-    if done:
-        obs.counter_inc("approx.subsets_done", done)
-    if progress is not None and done:
-        progress(done, total)
     surviving = np.nonzero(~prunable)[0]
     keys = tuple(subsets[surviving, col] for col in
                  range(subsets.shape[1] - 1, -1, -1))
     surviving = surviving[np.lexsort(keys + (-bounds[surviving],))]
-    for i in surviving:
-        subset = tuple(int(x) for x in subsets[i])
-        if _bound_skippable(int(bounds[i]), subset, best):
-            stats.subsets_bound_skipped += 1
-        else:
-            evaluate(subset)
-        done += 1
-        obs.counter_inc("approx.subsets_done")
-        if progress is not None:
-            progress(done, total)
+    n = int(surviving.shape[0])
+    done = stats.subsets_pruned
+    if ckpt is not None:
+        ckpt.enter_level(s, "surviving", n)
+        if ckpt.resumed:
+            best = _restore_level(ckpt, stats)
+            stats.subsets_pruned = int(prunable.sum())
+            done = stats.subsets_pruned + ckpt.resumed_units
+    if done:
+        obs.counter_inc("approx.subsets_done", done)
+    if progress is not None and done:
+        progress(done, total)
+    gaps = ([(0, n)] if ckpt is None
+            else missing_ranges(n, ckpt.completed))
+    for glo, ghi in gaps:
+        for pos in range(glo, ghi):
+            if interrupt_requested():
+                _drain(ckpt, stats, best, s, done, total)
+            i = surviving[pos]
+            subset = tuple(int(x) for x in subsets[i])
+            if _bound_skippable(int(bounds[i]), subset, best):
+                stats.subsets_bound_skipped += 1
+            else:
+                evaluate(subset)
+            done += 1
+            obs.counter_inc("approx.subsets_done")
+            if progress is not None:
+                progress(done, total)
+            after(pos, pos + 1)
     return best
+
+
+def _carry_resilience(child: ApproxStats, parent: ApproxStats,
+                      ckpt: "SolveCheckpoint | None") -> None:
+    """Fold a fallback level's fault-tolerance accounting into the stats
+    the caller actually sees (the child result's)."""
+    child.retries += parent.retries
+    child.chunks_redispatched += parent.chunks_redispatched
+    child.chunks_quarantined += parent.chunks_quarantined
+    child.pool_respawns += parent.pool_respawns
+    child.resume_chunks_skipped += parent.resume_chunks_skipped
+    child.resume_subsets_skipped += parent.resume_subsets_skipped
+    if ckpt is not None:
+        child.checkpoint_writes = ckpt.writes
 
 
 def appro_alg(
@@ -424,6 +630,10 @@ def appro_alg(
     workers: int = 1,
     bound_prune: bool = False,
     context: "SolverContext | None" = None,
+    checkpoint: "CheckpointConfig | None" = None,
+    chaos=None,
+    policy: "FaultPolicy | None" = None,
+    _ckpt_state: "SolveCheckpoint | None" = None,
 ) -> ApproxResult:
     """Run Algorithm 2 with parameter ``s`` (paper default 3).
 
@@ -448,12 +658,31 @@ def appro_alg(
     whose results are bit-identical to the historical implementation:
 
     * ``workers`` > 1 fans subset evaluation out over a process pool; the
-      merged result is identical to the serial one.
+      merged result is identical to the serial one, even when workers die
+      mid-sweep (lost chunks are re-dispatched, poison chunks quarantined
+      to serial in-parent evaluation; see :mod:`repro.core.dispatch`).
     * ``bound_prune`` visits subsets in descending optimistic-bound order
       and skips provably non-improving ones (lossless; identical result).
     * ``context`` reuses a prebuilt :class:`SolverContext` (e.g. across
       repeated solves of the same instance); by default one is built and
       its build time recorded in ``stats.context_build_s``.
+
+    Resilience knobs:
+
+    * ``checkpoint`` (:class:`repro.core.checkpoint.CheckpointConfig`)
+      enables durable progress snapshots; with ``checkpoint.resume`` a
+      matching snapshot restores completed work, and the run finishes to
+      the bit-identical final assignment.  A snapshot from *different*
+      work is ignored and overwritten (``checkpoint.mismatches``).
+    * ``chaos`` (:class:`repro.ops.chaos.ChaosSpec`, duck-typed) injects
+      deterministic worker faults — test/ops harness only.
+    * ``policy`` (:class:`repro.core.dispatch.FaultPolicy`) tunes the
+      retry budget and respawn backoff of the parallel fan-out.
+
+    Under a :func:`repro.util.interrupt.graceful_shutdown` drain request
+    the run stops at the next chunk/subset boundary, flushes a final
+    checkpoint and raises :class:`SolveInterrupted` with a partial
+    summary.
     """
     if s < 1:
         raise ValueError(f"s must be a positive integer, got {s}")
@@ -483,6 +712,56 @@ def appro_alg(
             f"{context.num_users} users, {context.num_uavs} UAVs)"
         )
 
+    eval_kw = dict(
+        inner=inner, gain_mode=gain_mode, augment_leftover=augment_leftover
+    )
+    ckpt = _ckpt_state
+    if ckpt is None and checkpoint is not None:
+        # run_key is s-independent: the same checkpoint file carries the
+        # whole run including its s-1 fallback levels.
+        run_key = solve_run_key(
+            problem, pool, eval_kw, bound_prune, checkpoint.key
+        )
+        ckpt = SolveCheckpoint(checkpoint, run_key)
+
+    def recurse_fallback() -> ApproxResult:
+        inner_progress = progress
+        if progress is not None:
+            base = stats.subsets_total
+
+            def inner_progress(done, total, _cb=progress, _base=base):
+                _cb(_base + done, _base + total)
+
+        smaller = appro_alg(
+            problem,
+            s=s - 1,
+            anchor_candidates=anchor_candidates,
+            max_anchor_candidates=max_anchor_candidates,
+            augment_leftover=augment_leftover,
+            gain_mode=gain_mode,
+            inner=inner,
+            progress=inner_progress,
+            workers=workers,
+            bound_prune=bound_prune,
+            context=context,
+            chaos=chaos,
+            policy=policy,
+            _ckpt_state=ckpt,
+        )
+        smaller.stats.fallback_used = True
+        _carry_resilience(smaller.stats, stats, ckpt)
+        return smaller
+
+    if ckpt is not None and ckpt.is_exhausted(s):
+        # A previous (checkpointed) run already proved level s yields no
+        # feasible candidate: fast-forward past the whole enumeration.
+        obs.counter_inc("approx.fallbacks")
+        if s > 1:
+            return recurse_fallback()
+        result = _fallback_single(problem)
+        _carry_resilience(result.stats, stats, ckpt)
+        return result
+
     subsets = _subset_array(pool, s)
     stats.subsets_total = subsets.shape[0]
     # Announce the denominator before enumerating so live progress
@@ -497,21 +776,19 @@ def appro_alg(
         if bound_prune else None
     )
 
-    eval_kw = dict(
-        inner=inner, gain_mode=gain_mode, augment_leftover=augment_leftover
-    )
     surviving_count = int(subsets.shape[0] - prunable.sum())
     with obs.span("approx.enumerate", s=s, subsets=int(stats.subsets_total),
                   workers=workers):
         if workers > 1 and surviving_count >= 2 * workers:
             best = _run_parallel(
                 problem, context, plan, order, eval_kw, stats, progress,
-                subsets, prunable, bounds, workers,
+                subsets, prunable, bounds, workers, s,
+                ckpt=ckpt, chaos=chaos, policy=policy,
             )
         else:
             best = _run_serial(
                 problem, context, plan, order, eval_kw, stats, progress,
-                subsets, prunable, bounds,
+                subsets, prunable, bounds, s, ckpt=ckpt,
             )
     obs.counter_inc("approx.subsets_pruned", stats.subsets_pruned)
     obs.counter_inc("approx.subsets_evaluated", stats.subsets_evaluated)
@@ -521,30 +798,18 @@ def appro_alg(
 
     if best is None:
         obs.counter_inc("approx.fallbacks")
+        if ckpt is not None:
+            ckpt.mark_exhausted(s)
         if s > 1:
-            inner_progress = progress
-            if progress is not None:
-                base = stats.subsets_total
+            return recurse_fallback()
+        result = _fallback_single(problem)
+        _carry_resilience(result.stats, stats, ckpt)
+        return result
 
-                def inner_progress(done, total, _cb=progress, _base=base):
-                    _cb(_base + done, _base + total)
-
-            smaller = appro_alg(
-                problem,
-                s=s - 1,
-                anchor_candidates=anchor_candidates,
-                max_anchor_candidates=max_anchor_candidates,
-                augment_leftover=augment_leftover,
-                gain_mode=gain_mode,
-                inner=inner,
-                progress=inner_progress,
-                workers=workers,
-                bound_prune=bound_prune,
-                context=context,
-            )
-            smaller.stats.fallback_used = True
-            return smaller
-        return _fallback_single(problem)
+    if ckpt is not None:
+        ckpt.set_best(best)
+        ckpt.mark_complete()
+        stats.checkpoint_writes = ckpt.writes
 
     served, placements, anchors = best
     with obs.span("approx.final_assignment"):

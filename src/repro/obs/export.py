@@ -29,6 +29,7 @@ import re
 from pathlib import Path
 
 from repro.obs.metrics import REGISTRY
+from repro.util.atomic import atomic_write_text
 
 _NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
@@ -128,6 +129,6 @@ def write_openmetrics(
 ) -> Path:
     """Write :func:`render_openmetrics` output to ``path``."""
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(render_openmetrics(snapshot, info), encoding="utf-8")
+    # Atomic so a scraper never reads a half-written exposition.
+    atomic_write_text(path, render_openmetrics(snapshot, info))
     return path

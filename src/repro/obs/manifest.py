@@ -21,6 +21,8 @@ import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
+from repro.util.atomic import atomic_write_text
+
 SCHEMA_VERSION = 1
 
 
@@ -105,11 +107,12 @@ def write_trace(
     # Spans finish inner-first; write them in entry order so the file (and
     # every reader of it) sees the call hierarchy top-down.
     records.sort(key=lambda r: r.get("index", 0))
-    with path.open("w", encoding="utf-8") as fh:
-        fh.write(json.dumps({"type": "manifest", **manifest.to_dict()}) + "\n")
-        for record in records:
-            fh.write(json.dumps({"type": "span", **record}) + "\n")
-        fh.write(json.dumps({"type": "metrics", **(metrics or {})}) + "\n")
+    lines = [json.dumps({"type": "manifest", **manifest.to_dict()})]
+    lines += [json.dumps({"type": "span", **record}) for record in records]
+    lines.append(json.dumps({"type": "metrics", **(metrics or {})}))
+    # Atomic (tmp + fsync + rename): a run killed mid-flush leaves either
+    # the previous complete trace or none, never a truncated JSONL.
+    atomic_write_text(path, "\n".join(lines) + "\n")
     return path
 
 
@@ -163,6 +166,5 @@ def chrome_trace(spans: list) -> dict:
 
 def write_chrome_trace(path: "str | Path", spans: list) -> Path:
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(chrome_trace(spans), indent=1))
+    atomic_write_text(path, json.dumps(chrome_trace(spans), indent=1))
     return path

@@ -16,8 +16,15 @@ runtime:
 
 The solver watchdog itself lives with the algorithm registry in
 :mod:`repro.sim.runner` (``solve_with_fallback``).
+
+A fourth piece targets the *solver process* rather than the mission:
+:mod:`repro.ops.chaos` injects deterministic worker kills / exceptions /
+delays into the parallel subset fan-out, exercising the fault-tolerant
+dispatch and checkpoint/resume machinery of :mod:`repro.core.dispatch`
+and :mod:`repro.core.checkpoint` (see ``docs/RESILIENCE.md``).
 """
 
+from repro.ops.chaos import ChaosError, ChaosEvent, ChaosSpec
 from repro.ops.faults import BATTERY, CRASH, LINK, Fault, FaultSchedule
 from repro.ops.log import MissionEvent, MissionLog
 from repro.ops.mission import (
@@ -40,6 +47,9 @@ __all__ = [
     "BATTERY",
     "CRASH",
     "LINK",
+    "ChaosError",
+    "ChaosEvent",
+    "ChaosSpec",
     "Fault",
     "FaultSchedule",
     "MissionEvent",

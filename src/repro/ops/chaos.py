@@ -1,0 +1,168 @@
+"""Seed-deterministic chaos injection for the solver fan-out.
+
+A :class:`ChaosSpec` names *which chunks of the parallel subset sweep
+fail, how, and for how many attempts*:
+
+* ``kill`` — the worker process hard-exits (``os._exit``) mid-chunk,
+  breaking the whole pool exactly like an OOM kill would;
+* ``raise`` — the chunk raises :class:`ChaosError` while the worker
+  survives (a poisoned input / transient bug);
+* ``delay`` — the chunk sleeps before evaluating (a straggler).
+
+Events trigger while ``attempt < attempts``, so ``attempts=1`` models a
+transient fault (the re-dispatch succeeds) and a large ``attempts``
+models a *poison chunk* that the dispatcher must quarantine into serial
+in-parent evaluation.  Because the spec is applied worker-side keyed on
+``(chunk_id, attempt)`` — both deterministic — a chaos run is exactly
+reproducible, and the fault-tolerance tests can assert bit-identical
+results against the undisturbed serial loop.
+
+Wire a spec in with ``appro_alg(..., workers=N, chaos=spec)``.  The
+parent counts what it injects (``chaos.injected.kill`` / ``.raise`` /
+``.delay`` through :mod:`repro.obs`) at submission time, since a killed
+worker can never report back.
+
+This is a test/ops harness: never enable chaos in production runs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+ACTIONS = ("kill", "raise", "delay")
+
+#: Exit status of a chaos-killed worker (visible in pool diagnostics).
+KILL_EXIT_CODE = 23
+
+
+class ChaosError(RuntimeError):
+    """The exception an injected ``raise`` event throws in the worker."""
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One injected fault: ``action`` on ``chunk`` while
+    ``attempt < attempts``."""
+
+    chunk: int
+    action: str
+    attempts: int = 1
+    delay_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ValueError(
+                f"unknown chaos action {self.action!r}; "
+                f"known: {', '.join(ACTIONS)}"
+            )
+        if self.chunk < 0:
+            raise ValueError(f"chunk must be >= 0, got {self.chunk}")
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {self.delay_s}")
+
+    def triggers(self, chunk: int, attempt: int) -> bool:
+        return chunk == self.chunk and attempt < self.attempts
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """A deterministic set of :class:`ChaosEvent`\\ s.
+
+    Picklable by design: the spec ships to pool workers through the
+    initializer and is consulted at the top of every chunk.
+    """
+
+    events: tuple = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        for event in self.events:
+            if not isinstance(event, ChaosEvent):
+                raise TypeError(f"not a ChaosEvent: {event!r}")
+
+    def event_for(self, chunk: int, attempt: int) -> "ChaosEvent | None":
+        """The first event triggering for ``(chunk, attempt)``, if any."""
+        for event in self.events:
+            if event.triggers(chunk, attempt):
+                return event
+        return None
+
+    def apply(self, chunk: int, attempt: int) -> None:
+        """Worker-side: enact the event for this ``(chunk, attempt)``.
+
+        ``kill`` never returns; ``raise`` raises :class:`ChaosError`;
+        ``delay`` sleeps then returns so the chunk evaluates normally.
+        """
+        event = self.event_for(chunk, attempt)
+        if event is None:
+            return
+        if event.action == "kill":
+            os._exit(KILL_EXIT_CODE)
+        if event.action == "raise":
+            raise ChaosError(
+                f"injected failure at chunk {chunk} attempt {attempt}"
+            )
+        time.sleep(event.delay_s)
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def kills(*chunks: int, attempts: int = 1) -> "ChaosSpec":
+        """Kill the worker at each named chunk (transient by default;
+        pass a large ``attempts`` for a poison chunk)."""
+        return ChaosSpec(tuple(
+            ChaosEvent(chunk=c, action="kill", attempts=attempts)
+            for c in chunks
+        ))
+
+    @staticmethod
+    def raises(*chunks: int, attempts: int = 1) -> "ChaosSpec":
+        return ChaosSpec(tuple(
+            ChaosEvent(chunk=c, action="raise", attempts=attempts)
+            for c in chunks
+        ))
+
+    @staticmethod
+    def poison(*chunks: int) -> "ChaosSpec":
+        """Chunks that fail on *every* pool attempt — the dispatcher must
+        quarantine them into serial evaluation to finish."""
+        return ChaosSpec.kills(*chunks, attempts=10 ** 9)
+
+    @staticmethod
+    def random(
+        num_chunks: int,
+        seed: int,
+        kills: int = 1,
+        raises: int = 0,
+        delays: int = 0,
+        attempts: int = 1,
+        delay_s: float = 0.05,
+    ) -> "ChaosSpec":
+        """A seed-deterministic draw of distinct victim chunks."""
+        from repro.util.rng import ensure_rng
+
+        wanted = kills + raises + delays
+        if wanted > num_chunks:
+            raise ValueError(
+                f"cannot draw {wanted} distinct victim chunks from "
+                f"{num_chunks}"
+            )
+        rng = ensure_rng(seed)
+        victims = [
+            int(v) for v in
+            rng.choice(num_chunks, size=wanted, replace=False)
+        ]
+        events = []
+        for action, count in (
+            ("kill", kills), ("raise", raises), ("delay", delays)
+        ):
+            for _ in range(count):
+                events.append(ChaosEvent(
+                    chunk=victims.pop(0), action=action,
+                    attempts=attempts, delay_s=delay_s,
+                ))
+        return ChaosSpec(tuple(events))

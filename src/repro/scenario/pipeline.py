@@ -34,10 +34,14 @@ pipeline's output bit-identical to the legacy CLI/sweep/mission paths.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro import obs
+from repro.core.checkpoint import CheckpointConfig
 from repro.core.context import SolverContext
+from repro.util.ledger import work_fingerprint
 from repro.network.validate import ValidationError, validate_deployment
 from repro.scenario.registry import (
     DEFAULT_REGISTRY,
@@ -160,13 +164,18 @@ def report_stage(state: PipelineState) -> PipelineState:
     from repro.sim.results import RunRecord
 
     problem = state.problem
+    # The checkpoint config is process-local run state, not a result
+    # parameter: keep it out of the durable record.
+    record_params = {
+        k: v for k, v in state.params.items() if k != "checkpoint"
+    }
     state.record = RunRecord(
         algorithm=state.entry.name,
         served=state.served if state.status in ("ok", "invalid") else 0,
         runtime_s=state.elapsed_s,
         num_users=problem.num_users,
         num_uavs=problem.num_uavs,
-        params=dict(state.params),
+        params=record_params,
         status=state.status,
         error=state.error,
     )
@@ -206,10 +215,16 @@ class SolvePipeline:
         registry: "AlgorithmRegistry | None" = None,
         strict: bool = True,
         prebuild_context: bool = True,
+        checkpoint_dir: "str | Path | None" = None,
+        resume: bool = False,
     ):
         self.registry = registry if registry is not None else DEFAULT_REGISTRY
         self.strict = strict
         self.prebuild_context = prebuild_context
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self.resume = resume
         self.stages = tuple(stages) if stages is not None else DEFAULT_STAGES
         names = [name for name, _ in self.stages]
         if len(set(names)) != len(names):
@@ -230,6 +245,34 @@ class SolvePipeline:
         return SolvePipeline(
             stages=stages, registry=self.registry, strict=self.strict,
             prebuild_context=self.prebuild_context,
+            checkpoint_dir=self.checkpoint_dir, resume=self.resume,
+        )
+
+    def spec_checkpoint(self, spec: ScenarioSpec) -> "CheckpointConfig | None":
+        """The :class:`CheckpointConfig` this pipeline gives ``spec``.
+
+        ``None`` unless a ``checkpoint_dir`` is configured and the spec's
+        algorithm supports checkpointing.  The file name and the external
+        fingerprint key both derive from the spec's full solve identity
+        (scenario key + algorithm + params + engine options), so two
+        different specs can never share — or cross-resume — a snapshot.
+        """
+        if self.checkpoint_dir is None:
+            return None
+        if not self.registry.get(spec.algorithm).supports_checkpoint:
+            return None
+        key = work_fingerprint({
+            "scenario_key": list(spec.scenario_key()),
+            "algorithm": spec.algorithm,
+            "algorithm_params": json.dumps(
+                spec.algorithm_params, sort_keys=True, default=repr
+            ),
+            "bound_prune": spec.bound_prune,
+        })
+        return CheckpointConfig(
+            path=self.checkpoint_dir / f"solve-{spec.name}-{key}.json",
+            resume=self.resume,
+            key=key,
         )
 
     # -- entry points --------------------------------------------------------
@@ -252,6 +295,10 @@ class SolvePipeline:
             params["workers"] = spec.workers
         if entry.supports_bound_prune and spec.bound_prune:
             params["bound_prune"] = True
+        if entry.supports_checkpoint and "checkpoint" not in params:
+            config = self.spec_checkpoint(spec)
+            if config is not None:
+                params["checkpoint"] = config
         state = PipelineState(
             entry=entry, registry=self.registry, spec=spec,
             strict=self.strict, validate=spec.validate,
@@ -267,19 +314,26 @@ class SolvePipeline:
         params: "dict | None" = None,
         validate: bool = True,
         context: "SolverContext | None" = None,
+        checkpoint: "CheckpointConfig | None" = None,
     ) -> PipelineState:
         """Drive an already-built problem through the stages.
 
         This is the adapter the sweep drivers and the paired comparison
         use — the successor of the legacy ``run_algorithm`` call, with the
         deployment kept on the returned state instead of discarded.
+        ``checkpoint`` is forwarded to the solver when it supports one
+        (silently dropped otherwise, so sweep drivers can pass it
+        unconditionally).
         """
         entry = self.registry.get(algorithm)
+        params = dict(params or {})
+        if checkpoint is not None and entry.supports_checkpoint:
+            params["checkpoint"] = checkpoint
         state = PipelineState(
             entry=entry, registry=self.registry, spec=None,
             strict=self.strict, validate=validate,
             prebuild_context=self.prebuild_context,
-            params=dict(params or {}), problem=problem, context=context,
+            params=params, problem=problem, context=context,
         )
         return self._execute(state)
 

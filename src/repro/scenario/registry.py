@@ -17,7 +17,7 @@ from there.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.baselines.greedy_assign import greedy_assign
 from repro.baselines.max_throughput import max_throughput
@@ -53,6 +53,7 @@ class AlgorithmEntry:
     supports_workers: bool = False
     supports_bound_prune: bool = False
     supports_context: bool = False
+    supports_checkpoint: bool = False
     cooperative: bool = False
     requires_connected: bool = True
     watchdog_tier: "int | None" = None
@@ -142,7 +143,8 @@ def default_registry() -> AlgorithmRegistry:
             description="Algorithm 2: anchored matroid greedy + MST connect "
             "(the paper's O(sqrt(s/K))-approximation)",
             supports_workers=True, supports_bound_prune=True,
-            supports_context=True, cooperative=True, watchdog_tier=0,
+            supports_context=True, supports_checkpoint=True,
+            cooperative=True, watchdog_tier=0,
         ),
         AlgorithmEntry(
             "MCS", mcs,

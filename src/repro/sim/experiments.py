@@ -15,10 +15,14 @@ sweeps accept overrides to run closer to paper scale when time permits.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro import obs
+from repro.core.checkpoint import CheckpointConfig
 from repro.scenario.pipeline import SolvePipeline
-from repro.sim.results import SweepResult
+from repro.sim.results import RunRecord, SweepResult
+from repro.util.interrupt import SolveInterrupted, interrupt_requested
+from repro.util.ledger import ProgressLedger
 from repro.util.rng import ensure_rng, spawn_rngs
 from repro.workload.scenarios import SCALES, paper_scenario
 
@@ -56,19 +60,96 @@ def _appro_params(
     return params
 
 
+class _SweepJournal:
+    """Crash-safe progress for one sweep: a :class:`ProgressLedger` of
+    finished (point, algorithm) runs plus per-solve chunk checkpoints for
+    checkpoint-capable solvers.
+
+    ``description`` fingerprints the sweep's full parameterization
+    (excluding ``workers`` — a resumed sweep may use a different worker
+    count), so a ledger can never be resumed against a different sweep.
+    """
+
+    def __init__(self, name: str, description: dict,
+                 checkpoint_dir: "str | Path", resume: bool):
+        self.dir = Path(checkpoint_dir)
+        self.resume = resume
+        self.ledger = ProgressLedger(
+            self.dir / f"{name}-ledger.json",
+            {"kind": "sweep", "name": name, **description},
+            resume=resume,
+        )
+        if self.ledger.stale:
+            obs.counter_inc("checkpoint.mismatches")
+        self.point_index = 0
+
+    @staticmethod
+    def create(name: str, description: dict,
+               checkpoint_dir: "str | Path | None",
+               resume: bool) -> "_SweepJournal | None":
+        if checkpoint_dir is None:
+            return None
+        return _SweepJournal(name, description, checkpoint_dir, resume)
+
+    def has(self, key: str) -> bool:
+        return self.resume and key in self.ledger
+
+    def record(self, key: str) -> RunRecord:
+        obs.counter_inc("resume.points_skipped")
+        return RunRecord.from_dict(self.ledger.payload(key))
+
+    def mark(self, key: str, record: RunRecord) -> None:
+        self.ledger.mark(key, record.to_dict())
+
+    def solve_checkpoint(self, key: str) -> CheckpointConfig:
+        safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in key)
+        return CheckpointConfig(
+            path=self.dir / f"solve-{safe}.json",
+            resume=self.resume,
+            key=f"{self.ledger.fingerprint}:{key}",
+        )
+
+
 def _run_point(
     result: SweepResult,
     sweep_value: object,
     problem,
     algorithms: Sequence,
     appro_params: dict,
+    journal: "_SweepJournal | None" = None,
 ) -> None:
+    point = 0
+    if journal is not None:
+        point = journal.point_index
+        journal.point_index += 1
     with obs.span("sweep.point", sweep=result.name, value=str(sweep_value)):
         obs.counter_inc("sweep.points")
         for name in algorithms:
+            key = f"{point}:{sweep_value}:{name}"
+            if journal is not None and journal.has(key):
+                # This (point, algorithm) run already finished before the
+                # crash/interrupt: rehydrate its record from the ledger.
+                result.add(sweep_value, journal.record(key))
+                continue
+            if interrupt_requested():
+                raise SolveInterrupted(
+                    f"sweep {result.name} interrupted at point "
+                    f"{sweep_value!r} ({len(result.records)} runs recorded)",
+                    checkpoint_path=(
+                        None if journal is None else journal.ledger.path
+                    ),
+                    partial={"sweep": result.name, "runs": len(result.records),
+                             "value": str(sweep_value)},
+                )
             params = appro_params if name == "approAlg" else {}
-            state = _PIPELINE.solve(problem, name, params)
+            checkpoint = (
+                journal.solve_checkpoint(key) if journal is not None else None
+            )
+            state = _PIPELINE.solve(problem, name, params,
+                                    checkpoint=checkpoint)
             result.add(sweep_value, state.record)
+            if journal is not None:
+                journal.mark(key, state.record)
 
 
 def _announce_points(count: int) -> None:
@@ -122,6 +203,8 @@ def fig4_sweep(
     gain_mode: str = "fast",
     workers: int = 1,
     bound_prune: bool = False,
+    checkpoint_dir: "str | Path | None" = None,
+    resume: bool = False,
 ) -> SweepResult:
     """Fig. 4: served users vs K.
 
@@ -134,6 +217,13 @@ def fig4_sweep(
 
     ks = _feasible_ks(list(ks), scale)
     result = SweepResult(name="fig4", sweep_param="K")
+    journal = _SweepJournal.create("fig4", {
+        "ks": list(ks), "num_users": num_users, "s": s, "scale": scale,
+        "seed": seed, "repetitions": repetitions,
+        "algorithms": list(algorithms),
+        "max_anchor_candidates": max_anchor_candidates,
+        "gain_mode": gain_mode, "bound_prune": bound_prune,
+    }, checkpoint_dir, resume)
     _announce_points(len(ks) * repetitions)
     for rep_rng in spawn_rngs(seed, repetitions):
         base = paper_scenario(
@@ -145,7 +235,7 @@ def fig4_sweep(
                 min(s, k), max_anchor_candidates, gain_mode,
                 workers, bound_prune,
             )
-            _run_point(result, k, problem, algorithms, appro)
+            _run_point(result, k, problem, algorithms, appro, journal)
     return result
 
 
@@ -161,10 +251,19 @@ def fig5_sweep(
     gain_mode: str = "fast",
     workers: int = 1,
     bound_prune: bool = False,
+    checkpoint_dir: "str | Path | None" = None,
+    resume: bool = False,
 ) -> SweepResult:
     """Fig. 5: served users vs n."""
     ns = list(ns)
     result = SweepResult(name="fig5", sweep_param="n")
+    journal = _SweepJournal.create("fig5", {
+        "ns": list(ns), "num_uavs": num_uavs, "s": s, "scale": scale,
+        "seed": seed, "repetitions": repetitions,
+        "algorithms": list(algorithms),
+        "max_anchor_candidates": max_anchor_candidates,
+        "gain_mode": gain_mode, "bound_prune": bound_prune,
+    }, checkpoint_dir, resume)
     _announce_points(len(ns) * repetitions)
     appro = _appro_params(
         s, max_anchor_candidates, gain_mode, workers, bound_prune
@@ -175,7 +274,7 @@ def fig5_sweep(
             problem = paper_scenario(
                 num_users=n, num_uavs=num_uavs, scale=scale, seed=rng
             )
-            _run_point(result, n, problem, algorithms, appro)
+            _run_point(result, n, problem, algorithms, appro, journal)
     return result
 
 
@@ -188,6 +287,8 @@ def capacity_spread_sweep(
     seed: int = 29,
     max_anchor_candidates: "int | None" = 8,
     gain_mode: str = "fast",
+    checkpoint_dir: "str | Path | None" = None,
+    resume: bool = False,
 ) -> SweepResult:
     """Extended evaluation (ours): served users vs the heterogeneity
     spread ``[C_min, C_max]`` at (roughly) fixed mean capacity.  Isolates
@@ -198,6 +299,12 @@ def capacity_spread_sweep(
 
     spreads = list(spreads)
     result = SweepResult(name="capacity-spread", sweep_param="C range")
+    journal = _SweepJournal.create("capacity-spread", {
+        "spreads": [list(sp) for sp in spreads], "num_users": num_users,
+        "num_uavs": num_uavs, "s": s, "scale": scale, "seed": seed,
+        "max_anchor_candidates": max_anchor_candidates,
+        "gain_mode": gain_mode,
+    }, checkpoint_dir, resume)
     _announce_points(len(spreads))
     base = paper_scenario(num_users=num_users, num_uavs=num_uavs,
                           scale=scale, seed=seed)
@@ -207,7 +314,8 @@ def capacity_spread_sweep(
             num_uavs, capacity_min=lo, capacity_max=hi, seed=seed
         )
         problem = ProblemInstance(graph=base.graph, fleet=fleet)
-        _run_point(result, f"[{lo},{hi}]", problem, ("approAlg",), appro)
+        _run_point(result, f"[{lo},{hi}]", problem, ("approAlg",), appro,
+                   journal)
     return result
 
 
@@ -222,6 +330,8 @@ def environment_sweep(
     seed: int = 23,
     max_anchor_candidates: "int | None" = 8,
     gain_mode: str = "fast",
+    checkpoint_dir: "str | Path | None" = None,
+    resume: bool = False,
 ) -> SweepResult:
     """Extended evaluation (ours): served users vs propagation
     environment.  A demanding ``min_rate_bps`` (default video-grade) makes
@@ -231,6 +341,13 @@ def environment_sweep(
 
     environments = list(environments)
     result = SweepResult(name="environment", sweep_param="environment")
+    journal = _SweepJournal.create("environment", {
+        "environments": list(environments), "num_users": num_users,
+        "num_uavs": num_uavs, "min_rate_bps": min_rate_bps, "s": s,
+        "scale": scale, "seed": seed,
+        "max_anchor_candidates": max_anchor_candidates,
+        "gain_mode": gain_mode,
+    }, checkpoint_dir, resume)
     _announce_points(len(environments))
     appro = _appro_params(s, max_anchor_candidates, gain_mode)
     for env in environments:
@@ -241,7 +358,7 @@ def environment_sweep(
             workload=FatTailedWorkload(min_rate_bps=min_rate_bps),
         )
         problem = build_scenario(config, seed=seed)
-        _run_point(result, env, problem, ("approAlg",), appro)
+        _run_point(result, env, problem, ("approAlg",), appro, journal)
     return result
 
 
@@ -257,6 +374,8 @@ def fig6_sweep(
     gain_mode: str = "fast",
     workers: int = 1,
     bound_prune: bool = False,
+    checkpoint_dir: "str | Path | None" = None,
+    resume: bool = False,
 ) -> SweepResult:
     """Fig. 6: served users (a) and running time (b) vs s.
 
@@ -266,6 +385,13 @@ def fig6_sweep(
     """
     ss = list(ss)
     result = SweepResult(name="fig6", sweep_param="s")
+    journal = _SweepJournal.create("fig6", {
+        "ss": list(ss), "num_users": num_users, "num_uavs": num_uavs,
+        "scale": scale, "seed": seed, "repetitions": repetitions,
+        "algorithms": list(algorithms),
+        "max_anchor_candidates": max_anchor_candidates,
+        "gain_mode": gain_mode, "bound_prune": bound_prune,
+    }, checkpoint_dir, resume)
     _announce_points(len(ss) * repetitions)
     rng = ensure_rng(seed)
     for rep_rng in spawn_rngs(rng, repetitions):
@@ -276,5 +402,5 @@ def fig6_sweep(
             appro = _appro_params(
                 s, max_anchor_candidates, gain_mode, workers, bound_prune
             )
-            _run_point(result, s, problem, algorithms, appro)
+            _run_point(result, s, problem, algorithms, appro, journal)
     return result

@@ -38,6 +38,53 @@ class RunRecord:
     def ok(self) -> bool:
         return self.status == "ok"
 
+    def to_dict(self) -> dict:
+        """JSON-ready representation (progress-ledger / resume payload)."""
+        return {
+            "algorithm": self.algorithm,
+            "served": self.served,
+            "runtime_s": self.runtime_s,
+            "num_users": self.num_users,
+            "num_uavs": self.num_uavs,
+            "params": _json_safe_params(self.params),
+            "status": self.status,
+            "error": self.error,
+            "attempts": [a.to_dict() for a in self.attempts],
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "RunRecord":
+        return RunRecord(
+            algorithm=data["algorithm"],
+            served=int(data["served"]),
+            runtime_s=float(data["runtime_s"]),
+            num_users=int(data["num_users"]),
+            num_uavs=int(data["num_uavs"]),
+            params=dict(data.get("params", {})),
+            status=data.get("status", "ok"),
+            error=data.get("error"),
+            attempts=tuple(
+                AttemptRecord.from_dict(a) for a in data.get("attempts", ())
+            ),
+        )
+
+
+def _json_safe_params(params: dict) -> dict:
+    """Solve params restricted to JSON-representable values (a prebuilt
+    context or checkpoint object is process-local state, not a result)."""
+    out: dict = {}
+    for key, value in params.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        elif isinstance(value, (list, tuple)):
+            out[key] = [v for v in value
+                        if isinstance(v, (str, int, float, bool))]
+        elif isinstance(value, dict):
+            out[key] = _json_safe_params(value)
+        else:
+            out[key] = repr(value)
+    return out
+
 
 @dataclass(frozen=True)
 class AttemptRecord:
@@ -47,6 +94,23 @@ class AttemptRecord:
     elapsed_s: float
     status: str            # "ok" | "timeout" | "error" | "invalid"
     error: "str | None" = None
+
+    def to_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "elapsed_s": self.elapsed_s,
+            "status": self.status,
+            "error": self.error,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "AttemptRecord":
+        return AttemptRecord(
+            algorithm=data["algorithm"],
+            elapsed_s=float(data["elapsed_s"]),
+            status=data["status"],
+            error=data.get("error"),
+        )
 
 
 @dataclass

@@ -1,0 +1,73 @@
+"""Crash-safe file writes: tmp file + fsync + atomic rename.
+
+Every durable artifact the repo produces (checkpoints, run manifests,
+OpenMetrics textfiles, the ``BENCH_approx.json`` perf trajectory) goes
+through :func:`atomic_write_text` / :func:`atomic_write_json` so a crash
+— worker death, OOM kill, operator SIGKILL — can never leave a truncated
+or half-written file behind.  The reader either sees the previous
+complete version or the new complete version, nothing in between.
+
+The protocol is the classic POSIX one:
+
+1. write the full payload to ``<name>.<pid>.<counter>.tmp`` in the
+   *same directory* (``os.replace`` is only atomic within a filesystem);
+2. flush and ``fsync`` the file descriptor so the bytes are durable
+   before the rename can make them visible;
+3. ``os.replace`` onto the destination (atomic on POSIX and Windows).
+
+On any failure the tmp file is removed and the destination untouched.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+from pathlib import Path
+
+_COUNTER = itertools.count()
+
+
+def atomic_write_text(
+    path: "str | Path",
+    text: str,
+    encoding: str = "utf-8",
+    fsync: bool = True,
+) -> Path:
+    """Atomically replace ``path``'s contents with ``text``.
+
+    ``fsync=False`` skips the durability barrier (still atomic against
+    concurrent readers, but a machine crash may lose the write) — only
+    worth it for high-frequency, low-value artifacts.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(
+        f"{path.name}.{os.getpid()}.{next(_COUNTER)}.tmp"
+    )
+    try:
+        with tmp.open("w", encoding=encoding) as fh:
+            fh.write(text)
+            fh.flush()
+            if fsync:
+                os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_json(
+    path: "str | Path",
+    payload: object,
+    indent: "int | None" = 2,
+    fsync: bool = True,
+    **dump_kw: object,
+) -> Path:
+    """Atomically write ``payload`` as JSON (trailing newline included)."""
+    text = json.dumps(payload, indent=indent, **dump_kw)
+    return atomic_write_text(path, text + "\n", fsync=fsync)

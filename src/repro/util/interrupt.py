@@ -1,0 +1,107 @@
+"""Graceful interruption: a cooperative SIGINT/SIGTERM drain flag.
+
+Long solves and sweeps must not die with a traceback on Ctrl-C — they
+should finish the chunk in flight, flush a checkpoint, and report the
+partial result.  The pieces:
+
+* :func:`graceful_shutdown` — a context manager that installs
+  SIGINT/SIGTERM handlers which merely *set a flag*.  A second SIGINT
+  falls through to the default ``KeyboardInterrupt`` so an operator can
+  always force a hard abort.
+* :func:`interrupt_requested` — the flag, checked by the solvers at
+  chunk/subset boundaries (one boolean read; free when no handler is
+  installed).
+* :class:`SolveInterrupted` — raised by a drain point after it has
+  flushed its checkpoint; carries the checkpoint path and a partial
+  summary so callers can report instead of crash.
+
+The handlers only install in the main thread of the main interpreter
+(``signal.signal`` refuses anywhere else); elsewhere the context manager
+degrades to a no-op flag holder, which keeps library callers and
+worker processes safe.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+
+_EVENT = threading.Event()
+_DEPTH = 0
+_LOCK = threading.Lock()
+
+
+class SolveInterrupted(RuntimeError):
+    """A run drained gracefully at an interrupt request.
+
+    ``checkpoint_path`` names the flushed checkpoint (``None`` when the
+    interrupted stage had no checkpointing configured); ``partial`` is a
+    small stage-specific summary dict of the progress achieved.
+    """
+
+    def __init__(
+        self,
+        message: str = "interrupted",
+        checkpoint_path: "object | None" = None,
+        partial: "dict | None" = None,
+    ):
+        super().__init__(message)
+        self.checkpoint_path = checkpoint_path
+        self.partial = dict(partial or {})
+
+
+def interrupt_requested() -> bool:
+    """True once a graceful shutdown has been requested."""
+    return _EVENT.is_set()
+
+
+def request_interrupt() -> None:
+    """Programmatically request a graceful drain (what the signal handler
+    does; also the test hook)."""
+    _EVENT.set()
+
+
+def clear_interrupt() -> None:
+    """Reset the flag (between independent runs in one process)."""
+    _EVENT.clear()
+
+
+def _handler(signum: int, frame: object) -> None:
+    if _EVENT.is_set() and signum == signal.SIGINT:
+        # Second Ctrl-C: the operator wants out *now*.
+        raise KeyboardInterrupt
+    _EVENT.set()
+
+
+@contextmanager
+def graceful_shutdown():
+    """Install the drain handlers for the dynamic extent of the block.
+
+    Re-entrant: nested uses keep the outermost handlers installed.  On
+    exit the previous handlers are restored and the flag cleared (only
+    when leaving the outermost block).
+    """
+    global _DEPTH
+    previous: list = []
+    with _LOCK:
+        _DEPTH += 1
+        outermost = _DEPTH == 1
+    if outermost and threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous.append((signum, signal.signal(signum, _handler)))
+            except (ValueError, OSError):  # non-main interpreter, etc.
+                pass
+    try:
+        yield
+    finally:
+        for signum, old in previous:
+            try:
+                signal.signal(signum, old)
+            except (ValueError, OSError):
+                pass
+        with _LOCK:
+            _DEPTH -= 1
+            if _DEPTH == 0:
+                _EVENT.clear()

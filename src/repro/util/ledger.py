@@ -1,0 +1,106 @@
+"""A durable ledger of completed work units for coarse-grained resume.
+
+The chunk-level :mod:`repro.core.checkpoint` makes a *single* solve
+resumable; the sweep drivers and the batch runner need something
+coarser — "which sweep points / which specs already finished, and what
+did they produce".  :class:`ProgressLedger` is that journal: a single
+JSON file mapping unit keys to their recorded payloads, written
+atomically (:mod:`repro.util.atomic`) after every completed unit, and
+guarded by a *fingerprint* of the work description so a ledger can never
+be resumed against a different sweep or batch.
+
+Schema (``LEDGER_FORMAT`` bumps on any change)::
+
+    {"kind": "progress-ledger", "format": 1,
+     "fingerprint": "<sha256 of the work description>",
+     "done": {"<unit key>": <payload>, ...}}
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.util.atomic import atomic_write_json
+
+LEDGER_KIND = "progress-ledger"
+LEDGER_FORMAT = 1
+
+
+class LedgerError(ValueError):
+    """The ledger file is unreadable or not a ledger at all."""
+
+
+def work_fingerprint(description: object) -> str:
+    """A stable hash of a JSON-able work description."""
+    text = json.dumps(description, sort_keys=True, default=repr)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+class ProgressLedger:
+    """Completed-unit journal keyed on a fingerprinted work description.
+
+    ``resume=True`` loads any matching existing file; a fingerprint
+    mismatch discards the stale ledger (counted by the caller) rather
+    than resuming the wrong work.  ``resume=False`` always starts empty
+    and overwrites.
+    """
+
+    def __init__(
+        self,
+        path: "str | Path",
+        description: object,
+        resume: bool = False,
+    ):
+        self.path = Path(path)
+        self.fingerprint = work_fingerprint(description)
+        self.done: dict = {}
+        self.stale = False          # an existing file did not match
+        if resume and self.path.exists():
+            data = self._load()
+            if data.get("fingerprint") == self.fingerprint:
+                self.done = dict(data.get("done", {}))
+            else:
+                self.stale = True
+
+    def _load(self) -> dict:
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise LedgerError(
+                f"cannot read progress ledger {self.path}: {exc}"
+            ) from exc
+        if not isinstance(data, dict) or data.get("kind") != LEDGER_KIND:
+            raise LedgerError(
+                f"{self.path} is not a progress ledger"
+            )
+        if data.get("format") != LEDGER_FORMAT:
+            raise LedgerError(
+                f"{self.path}: unsupported ledger format "
+                f"{data.get('format')!r} (this build reads {LEDGER_FORMAT})"
+            )
+        return data
+
+    def __contains__(self, key: str) -> bool:
+        return str(key) in self.done
+
+    def __len__(self) -> int:
+        return len(self.done)
+
+    def payload(self, key: str) -> object:
+        return self.done[str(key)]
+
+    def mark(self, key: str, payload: object, flush: bool = True) -> None:
+        """Record ``key`` as done and (by default) flush durably."""
+        self.done[str(key)] = payload
+        if flush:
+            self.flush()
+
+    def flush(self) -> None:
+        atomic_write_json(self.path, {
+            "kind": LEDGER_KIND,
+            "format": LEDGER_FORMAT,
+            "fingerprint": self.fingerprint,
+            "done": self.done,
+        })

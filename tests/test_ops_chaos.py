@@ -1,0 +1,92 @@
+"""The chaos harness: deterministic, picklable, correctly targeted."""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+import pytest
+
+from repro.ops.chaos import ChaosError, ChaosEvent, ChaosSpec
+
+
+def test_event_validation():
+    with pytest.raises(ValueError, match="unknown chaos action"):
+        ChaosEvent(chunk=0, action="explode")
+    with pytest.raises(ValueError, match="chunk"):
+        ChaosEvent(chunk=-1, action="kill")
+    with pytest.raises(ValueError, match="attempts"):
+        ChaosEvent(chunk=0, action="kill", attempts=0)
+    with pytest.raises(ValueError, match="delay_s"):
+        ChaosEvent(chunk=0, action="delay", delay_s=-0.1)
+
+
+def test_event_triggers_while_attempt_below_budget():
+    event = ChaosEvent(chunk=3, action="raise", attempts=2)
+    assert event.triggers(3, 0)
+    assert event.triggers(3, 1)
+    assert not event.triggers(3, 2), "re-dispatch past the budget succeeds"
+    assert not event.triggers(4, 0), "other chunks are untouched"
+
+
+def test_spec_event_for_picks_first_match():
+    spec = ChaosSpec((
+        ChaosEvent(chunk=1, action="raise"),
+        ChaosEvent(chunk=1, action="delay"),
+    ))
+    assert spec.event_for(1, 0).action == "raise"
+    assert spec.event_for(1, 1) is None
+    assert spec.event_for(0, 0) is None
+
+
+def test_spec_apply_raise_and_delay():
+    spec = ChaosSpec((
+        ChaosEvent(chunk=0, action="raise"),
+        ChaosEvent(chunk=1, action="delay", delay_s=0.01),
+    ))
+    with pytest.raises(ChaosError, match="chunk 0"):
+        spec.apply(0, 0)
+    start = time.perf_counter()
+    spec.apply(1, 0)           # sleeps, then returns normally
+    assert time.perf_counter() - start >= 0.01
+    spec.apply(2, 0)           # no event: a no-op
+
+
+def test_spec_rejects_non_events():
+    with pytest.raises(TypeError, match="not a ChaosEvent"):
+        ChaosSpec(("kill chunk 3",))
+
+
+def test_constructors():
+    kills = ChaosSpec.kills(2, 5)
+    assert [e.chunk for e in kills.events] == [2, 5]
+    assert all(e.action == "kill" and e.attempts == 1 for e in kills.events)
+    raises = ChaosSpec.raises(1, attempts=3)
+    assert raises.events[0].action == "raise"
+    assert raises.events[0].attempts == 3
+    poison = ChaosSpec.poison(7)
+    assert poison.event_for(7, 10 ** 6) is not None, "poison never heals"
+
+
+def test_random_is_seed_deterministic_with_distinct_victims():
+    a = ChaosSpec.random(num_chunks=20, seed=9, kills=2, raises=2, delays=1)
+    b = ChaosSpec.random(num_chunks=20, seed=9, kills=2, raises=2, delays=1)
+    assert a == b
+    victims = [e.chunk for e in a.events]
+    assert len(set(victims)) == len(victims)
+    assert all(0 <= v < 20 for v in victims)
+    assert [e.action for e in a.events] == [
+        "kill", "kill", "raise", "raise", "delay"
+    ]
+    c = ChaosSpec.random(num_chunks=20, seed=10, kills=2, raises=2, delays=1)
+    assert c != a, "different seed, different draw (overwhelmingly likely)"
+
+
+def test_random_overdraw_rejected():
+    with pytest.raises(ValueError, match="distinct victim"):
+        ChaosSpec.random(num_chunks=3, seed=1, kills=2, raises=2)
+
+
+def test_spec_is_picklable():
+    spec = ChaosSpec.random(num_chunks=10, seed=4, kills=1, raises=1)
+    assert pickle.loads(pickle.dumps(spec)) == spec

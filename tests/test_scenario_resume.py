@@ -1,0 +1,95 @@
+"""Resume at the orchestration layers: batch ledger, sweep journal,
+pipeline checkpoint identity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.scenario import BatchRunner, ScenarioSpec, SolvePipeline
+from repro.sim.experiments import fig5_sweep
+
+
+def _specs(n=3):
+    return [
+        ScenarioSpec(
+            name=f"spec{i}", scale="small", num_users=60 + 10 * i,
+            num_uavs=3, seed=i, algorithm="approAlg",
+            algorithm_params={"s": 2, "gain_mode": "fast"},
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.fixture
+def counters():
+    obs.reset()
+    obs.enable()
+    yield lambda: obs.metrics_snapshot().get("counters", {})
+    obs.disable()
+    obs.reset()
+
+
+def test_batch_resume_skips_recorded_specs(tmp_path, counters):
+    specs = _specs()
+    first = BatchRunner(checkpoint_dir=tmp_path).run(specs)
+    assert (tmp_path / "batch-ledger.json").exists()
+
+    second = BatchRunner(checkpoint_dir=tmp_path, resume=True).run(specs)
+    assert second.specs_skipped == len(specs)
+    assert all(item.resumed for item in second.items)
+    assert [i.served for i in second.items] == [i.served for i in first.items]
+    assert [i.record.status for i in second.items] == ["ok"] * len(specs)
+    assert counters().get("resume.specs_skipped", 0) == len(specs)
+
+
+def test_batch_different_spec_list_never_cross_resumes(tmp_path):
+    BatchRunner(checkpoint_dir=tmp_path).run(_specs(2))
+    result = BatchRunner(checkpoint_dir=tmp_path, resume=True).run(_specs(3))
+    assert result.specs_skipped == 0, (
+        "the ledger is fingerprinted on the full spec list; a different "
+        "batch must start fresh"
+    )
+
+
+def test_batch_without_resume_recomputes(tmp_path):
+    specs = _specs(2)
+    BatchRunner(checkpoint_dir=tmp_path).run(specs)
+    again = BatchRunner(checkpoint_dir=tmp_path).run(specs)
+    assert again.specs_skipped == 0
+
+
+def test_sweep_resume_skips_points(tmp_path, counters):
+    kwargs = dict(ns=(40, 60), num_uavs=4, scale="small",
+                  checkpoint_dir=tmp_path)
+    first = fig5_sweep(**kwargs)
+    second = fig5_sweep(**kwargs, resume=True)
+    key = lambda result: [            # noqa: E731 - tiny local projection
+        (v, rec.algorithm, rec.served) for v, rec in result.records
+    ]
+    assert key(second) == key(first)
+    assert counters().get("resume.points_skipped", 0) == len(first.records)
+
+
+def test_pipeline_spec_checkpoint_identity(tmp_path):
+    pipeline = SolvePipeline(checkpoint_dir=tmp_path)
+    a, b, c = _specs(3)[0], _specs(3)[0], _specs(3)[1]
+    config_a = pipeline.spec_checkpoint(a)
+    assert config_a is not None
+    assert pipeline.spec_checkpoint(b).key == config_a.key
+    assert pipeline.spec_checkpoint(c).key != config_a.key
+    # Non-checkpointable algorithms get no config.
+    mcs = ScenarioSpec(
+        name="mcs", scale="small", num_users=60, num_uavs=3, seed=0,
+        algorithm="MCS",
+    )
+    assert pipeline.spec_checkpoint(mcs) is None
+    # No checkpoint_dir, no config.
+    assert SolvePipeline().spec_checkpoint(a) is None
+
+
+def test_pipeline_checkpoint_stays_out_of_the_record(tmp_path):
+    pipeline = SolvePipeline(checkpoint_dir=tmp_path)
+    state = pipeline.run(_specs(1)[0])
+    assert state.ok
+    assert "checkpoint" not in state.record.params

@@ -1,0 +1,61 @@
+"""Atomic write protocol: all-or-nothing replacement, no tmp litter."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.util.atomic import atomic_write_json, atomic_write_text
+
+
+def _no_tmp_litter(directory) -> None:
+    leftovers = [p for p in directory.iterdir() if p.suffix == ".tmp"]
+    assert leftovers == [], f"tmp files left behind: {leftovers}"
+
+
+def test_write_text_creates_file(tmp_path):
+    path = tmp_path / "out.txt"
+    returned = atomic_write_text(path, "hello\n")
+    assert returned == path
+    assert path.read_text() == "hello\n"
+    _no_tmp_litter(tmp_path)
+
+
+def test_write_text_replaces_existing(tmp_path):
+    path = tmp_path / "out.txt"
+    path.write_text("old")
+    atomic_write_text(path, "new")
+    assert path.read_text() == "new"
+    _no_tmp_litter(tmp_path)
+
+
+def test_write_text_creates_parent_dirs(tmp_path):
+    path = tmp_path / "a" / "b" / "out.txt"
+    atomic_write_text(path, "deep")
+    assert path.read_text() == "deep"
+
+
+def test_write_json_round_trips_with_trailing_newline(tmp_path):
+    path = tmp_path / "out.json"
+    payload = {"b": [1, 2, 3], "a": {"nested": True}}
+    atomic_write_json(path, payload)
+    text = path.read_text()
+    assert text.endswith("\n")
+    assert json.loads(text) == payload
+    _no_tmp_litter(tmp_path)
+
+
+def test_failed_write_leaves_destination_intact(tmp_path):
+    path = tmp_path / "out.json"
+    atomic_write_json(path, {"version": 1})
+    with pytest.raises(TypeError):
+        atomic_write_json(path, {"bad": object()})
+    assert json.loads(path.read_text()) == {"version": 1}
+    _no_tmp_litter(tmp_path)
+
+
+def test_fsync_false_still_writes(tmp_path):
+    path = tmp_path / "out.txt"
+    atomic_write_text(path, "fast", fsync=False)
+    assert path.read_text() == "fast"

@@ -1,0 +1,69 @@
+"""The progress ledger: fingerprinted, atomic, resume-safe."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.util.ledger import (
+    LedgerError,
+    ProgressLedger,
+    work_fingerprint,
+)
+
+
+def test_fingerprint_is_deterministic_and_order_insensitive():
+    a = work_fingerprint({"x": 1, "y": [2, 3]})
+    b = work_fingerprint({"y": [2, 3], "x": 1})
+    assert a == b
+    assert a != work_fingerprint({"x": 1, "y": [2, 4]})
+    assert len(a) == 16
+
+
+def test_mark_and_reload(tmp_path):
+    path = tmp_path / "ledger.json"
+    ledger = ProgressLedger(path, {"job": "demo"})
+    assert len(ledger) == 0
+    ledger.mark("a", {"served": 10})
+    ledger.mark("b", None)
+
+    reloaded = ProgressLedger(path, {"job": "demo"}, resume=True)
+    assert len(reloaded) == 2
+    assert "a" in reloaded
+    assert "c" not in reloaded
+    assert reloaded.payload("a") == {"served": 10}
+    assert not reloaded.stale
+
+
+def test_different_description_is_stale_and_restarts(tmp_path):
+    path = tmp_path / "ledger.json"
+    ProgressLedger(path, {"job": "demo"}).mark("a", 1)
+    other = ProgressLedger(path, {"job": "different"}, resume=True)
+    assert other.stale
+    assert len(other) == 0, "a stale ledger must never resume entries"
+
+
+def test_without_resume_existing_entries_are_ignored(tmp_path):
+    path = tmp_path / "ledger.json"
+    ProgressLedger(path, {"job": "demo"}).mark("a", 1)
+    fresh = ProgressLedger(path, {"job": "demo"}, resume=False)
+    assert len(fresh) == 0
+
+
+def test_deferred_flush(tmp_path):
+    path = tmp_path / "ledger.json"
+    ledger = ProgressLedger(path, {"job": "demo"})
+    ledger.mark("a", 1, flush=False)
+    assert not path.exists() or "a" not in json.loads(
+        path.read_text()
+    ).get("done", {})
+    ledger.flush()
+    assert "a" in json.loads(path.read_text())["done"]
+
+
+def test_foreign_file_raises(tmp_path):
+    path = tmp_path / "ledger.json"
+    path.write_text(json.dumps({"kind": "not-a-ledger"}))
+    with pytest.raises(LedgerError):
+        ProgressLedger(path, {"job": "demo"}, resume=True)
