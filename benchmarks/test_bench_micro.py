@@ -142,6 +142,60 @@ def test_solver_context_build(benchmark, scenario_cache, perf_trajectory):
     )
 
 
+def test_bound_pass_kernel(benchmark, scenario_cache, perf_trajectory):
+    """The vectorised admissible-bound pass (`subset_bounds`): upper
+    bounds for every anchor subset of a sweep in one array pass.  Its
+    mean time lands in the trajectory as ``bound_pass_ms`` so a
+    regression localises to this kernel instead of end-to-end wall."""
+    from itertools import combinations
+
+    from repro.core.context import SolverContext, subset_bounds
+
+    problem = scenario_cache(2000, 10)
+    context = SolverContext.from_problem(problem)
+    subsets = np.array(
+        list(combinations(range(problem.num_locations), 2)), dtype=np.int64
+    )
+
+    bounds = benchmark(
+        lambda: subset_bounds(context, subsets, problem.num_uavs)
+    )
+    assert bounds.shape == (len(subsets),)
+    assert (bounds >= 0).all()
+    perf_trajectory.record(
+        "micro:kernels", "bound-pass", 0, benchmark.stats.stats.mean,
+        bound_pass_ms=round(benchmark.stats.stats.mean * 1000.0, 3),
+    )
+
+
+def test_gain_matrix_kernel(benchmark, scenario_cache, perf_trajectory):
+    """The batched greedy gain kernel (`direct_gain_bounds`): one masked
+    popcount ranking every candidate location against a half-loaded
+    assignment.  Recorded as ``gain_matrix_ms``."""
+    from repro.core.context import SolverContext
+
+    problem = scenario_cache(2000, 10)
+    context = SolverContext.from_problem(problem)
+    uav = problem.fleet[0]
+    eng = IncrementalAssignment(problem.num_users)
+    for v in range(0, problem.num_locations, 2):
+        eng.open(v, problem.graph.coverable_users(v, uav), 120)
+    rows = context.coverage_rows(0)
+
+    gains = benchmark(lambda: eng.direct_gain_bounds(rows, uav.capacity))
+    scalar = [
+        eng.direct_gain_bound(
+            problem.graph.coverable_users(v, uav), uav.capacity
+        )
+        for v in range(problem.num_locations)
+    ]
+    assert gains.tolist() == scalar
+    perf_trajectory.record(
+        "micro:kernels", "gain-matrix", 0, benchmark.stats.stats.mean,
+        gain_matrix_ms=round(benchmark.stats.stats.mean * 1000.0, 3),
+    )
+
+
 def test_exact_assignment_dinic(benchmark, scenario_cache):
     problem = scenario_cache(2000, 10)
     placements = {k: k for k in range(problem.num_uavs)}

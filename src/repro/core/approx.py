@@ -76,6 +76,7 @@ from repro.core.dispatch import chunk_slices as _chunk_slices
 from repro.core.greedy import anchored_greedy, pair_greedy
 from repro.core.problem import ProblemInstance
 from repro.core.segments import SegmentPlan, optimal_segments
+from repro.flow.bipartite import IncrementalAssignment
 from repro.graphs.bfs import UNREACHABLE
 from repro.network.deployment import Deployment
 from repro.util.interrupt import SolveInterrupted, interrupt_requested
@@ -213,31 +214,43 @@ def _evaluate_subset(
     gain_mode: str,
     augment_leftover: bool,
     context: "SolverContext | None",
+    engine: "IncrementalAssignment | None" = None,
 ) -> "tuple[int, dict] | None":
     """Greedy + connect for one anchor subset; ``(served, placements)`` or
-    ``None`` when the connected subgraph would exceed ``K`` UAVs."""
-    with obs.span("approx.subset", anchors=list(subset)):
-        with obs.span("approx.greedy"):
-            if inner == "pairs":
-                greedy = pair_greedy(problem, list(subset), plan,
-                                     context=context)
-            else:
-                greedy = anchored_greedy(
-                    problem, list(subset), plan, order,
-                    gain_mode=gain_mode, context=context,
+    ``None`` when the connected subgraph would exceed ``K`` UAVs.
+
+    ``engine`` optionally supplies a warm flow engine shared across the
+    sweep: the evaluation runs inside a :meth:`~repro.flow.bipartite.
+    IncrementalAssignment.fork` scope that is rolled back afterwards, so
+    adjacent subsets reuse one engine instead of rebuilding it."""
+    if engine is not None:
+        engine.fork()
+    try:
+        with obs.span("approx.subset", anchors=list(subset)):
+            with obs.span("approx.greedy"):
+                if inner == "pairs":
+                    greedy = pair_greedy(problem, list(subset), plan,
+                                         context=context, engine=engine)
+                else:
+                    greedy = anchored_greedy(
+                        problem, list(subset), plan, order,
+                        gain_mode=gain_mode, context=context, engine=engine,
+                    )
+            with obs.span("approx.connect"):
+                solution = connect_and_deploy(
+                    problem,
+                    greedy,
+                    order,
+                    augment_leftover=augment_leftover,
+                    gain_mode=gain_mode,
+                    context=context,
                 )
-        with obs.span("approx.connect"):
-            solution = connect_and_deploy(
-                problem,
-                greedy,
-                order,
-                augment_leftover=augment_leftover,
-                gain_mode=gain_mode,
-                context=context,
-            )
-    if solution is None:
-        return None
-    return solution.served, solution.placements
+        if solution is None:
+            return None
+        return solution.served, solution.placements
+    finally:
+        if engine is not None:
+            engine.rollback_fork()
 
 
 def _better(candidate: "tuple[int, dict, tuple]",
@@ -284,6 +297,7 @@ def _eval_chunk(problem, context, plan, order, eval_kw,
     quarantined chunk produces exactly what the worker would have."""
     best: "tuple[int, dict, tuple] | None" = None
     evaluated = infeasible = skipped = 0
+    engine = IncrementalAssignment(problem.num_users)
     for i in range(subsets.shape[0]):
         subset = tuple(int(x) for x in subsets[i])
         if bounds is not None and _bound_skippable(
@@ -293,7 +307,8 @@ def _eval_chunk(problem, context, plan, order, eval_kw,
             continue
         evaluated += 1
         outcome = _evaluate_subset(
-            problem, subset, plan, order, context=context, **eval_kw
+            problem, subset, plan, order, context=context, engine=engine,
+            **eval_kw
         )
         if outcome is None:
             infeasible += 1
@@ -511,12 +526,14 @@ def _run_serial(
 ):
     total = stats.subsets_total
     best: "tuple[int, dict, tuple] | None" = None
+    engine = IncrementalAssignment(problem.num_users)
 
     def evaluate(subset: tuple) -> None:
         nonlocal best
         stats.subsets_evaluated += 1
         outcome = _evaluate_subset(
-            problem, subset, plan, order, context=context, **eval_kw
+            problem, subset, plan, order, context=context, engine=engine,
+            **eval_kw
         )
         if outcome is None:
             stats.subsets_infeasible += 1

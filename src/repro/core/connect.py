@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.greedy import GreedyResult
 from repro.core.problem import ProblemInstance
 
@@ -73,25 +75,35 @@ def connect_and_deploy(
 
     engine = greedy.engine
     fast = gain_mode == "fast"
+    batched = fast and context is not None
     pending = list(relays)
     for k in remaining[: len(relays)]:
         uav = fleet[k]
-        best_gain = -1
-        best_loc = pending[0]
-        for loc in pending:
-            if fast:
-                gain = engine.direct_gain_bound(
-                    graph.coverable_array(loc, uav), uav.capacity
-                )
-            else:
-                gain = engine.try_open(
-                    (k, loc), graph.coverable_users(loc, uav), uav.capacity
-                )
-                engine.rollback()
-            if gain > best_gain:
-                best_gain, best_loc = gain, loc
+        if batched:
+            # One masked popcount ranks every pending relay; argmax
+            # returns the first maximum, which is exactly where the scalar
+            # strict-improvement scan lands.
+            gains = engine.direct_gain_bounds(
+                context.coverage_rows(k)[np.asarray(pending)], uav.capacity
+            )
+            best_loc = pending[int(np.argmax(gains))]
+        else:
+            best_gain = -1
+            best_loc = pending[0]
+            for loc in pending:
+                if fast:
+                    gain = engine.direct_gain_bound(
+                        graph.coverable_array(loc, uav), uav.capacity
+                    )
+                else:
+                    gain = engine.try_open(
+                        (k, loc), graph.coverable_array(loc, uav), uav.capacity
+                    )
+                    engine.rollback()
+                if gain > best_gain:
+                    best_gain, best_loc = gain, loc
         engine.open(
-            (k, best_loc), graph.coverable_users(best_loc, uav), uav.capacity
+            (k, best_loc), graph.coverable_array(best_loc, uav), uav.capacity
         )
         placements[k] = best_loc
         pending.remove(best_loc)
@@ -110,32 +122,43 @@ def connect_and_deploy(
                 break
             uav = fleet[k]
             counts = None if context is None else context.counts_for_uav(k)
-            best_gain = 0
-            best_loc = -1
-            for loc in sorted(frontier):
-                count = (
-                    int(counts[loc]) if counts is not None
-                    else len(graph.coverable_users(loc, uav))
+            if batched:
+                # Batched form of the scan below: the static pre-filter is
+                # subsumed (every frontier gain lands in one reduction) and
+                # first-argmax-if-positive equals the scalar winner.
+                locs = np.asarray(sorted(frontier))
+                gains = engine.direct_gain_bounds(
+                    context.coverage_rows(k)[locs], uav.capacity
                 )
-                if min(uav.capacity, count) <= best_gain:
-                    continue
-                if fast:
-                    gain = engine.direct_gain_bound(
-                        graph.coverable_array(loc, uav), uav.capacity
+                pos = int(np.argmax(gains))
+                best_loc = int(locs[pos]) if int(gains[pos]) > 0 else -1
+            else:
+                best_gain = 0
+                best_loc = -1
+                for loc in sorted(frontier):
+                    count = (
+                        int(counts[loc]) if counts is not None
+                        else len(graph.coverable_users(loc, uav))
                     )
-                else:
-                    gain = engine.try_open(
-                        (k, loc), graph.coverable_users(loc, uav),
-                        uav.capacity,
-                    )
-                    engine.rollback()
-                if gain > best_gain:
-                    best_gain, best_loc = gain, loc
+                    if min(uav.capacity, count) <= best_gain:
+                        continue
+                    if fast:
+                        gain = engine.direct_gain_bound(
+                            graph.coverable_array(loc, uav), uav.capacity
+                        )
+                    else:
+                        gain = engine.try_open(
+                            (k, loc), graph.coverable_array(loc, uav),
+                            uav.capacity,
+                        )
+                        engine.rollback()
+                    if gain > best_gain:
+                        best_gain, best_loc = gain, loc
             if best_loc < 0:
                 break  # nothing adjacent helps; stop deploying
             engine.open(
                 (k, best_loc),
-                graph.coverable_users(best_loc, fleet[k]),
+                graph.coverable_array(best_loc, fleet[k]),
                 fleet[k].capacity,
             )
             placements[k] = best_loc

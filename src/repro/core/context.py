@@ -123,21 +123,33 @@ class SolverContext:
     def hops_between(self, a: int, b: int) -> int:
         return int(self.hop_matrix[a, b])
 
-    def hops_to_set(self, sources: list) -> list:
-        """Hop distance from each location to the nearest of ``sources``;
-        identical to :meth:`CoverageGraph.hops_to_set` but a masked matrix
-        min instead of a multi-source BFS."""
+    def hops_to_set_array(self, sources: list) -> np.ndarray:
+        """Hop distance from each location to the nearest of ``sources``
+        as an int64 array; identical to :meth:`CoverageGraph.hops_to_set`
+        but a masked matrix min instead of a multi-source BFS."""
         rows = self.hop_matrix[np.asarray(list(sources), dtype=np.int64)]
         masked = np.where(rows == UNREACHABLE, _INT16_INF, rows)
         nearest = masked.min(axis=0).astype(np.int64)
         nearest[nearest == int(_INT16_INF)] = UNREACHABLE
-        return nearest.tolist()
+        return nearest
+
+    def hops_to_set(self, sources: list) -> list:
+        """List form of :meth:`hops_to_set_array` (the graph-API shape)."""
+        return self.hops_to_set_array(sources).tolist()
 
     # -- coverage ------------------------------------------------------------
 
     def counts_for_uav(self, uav_index: int) -> np.ndarray:
         """Per-location coverage counts under UAV ``uav_index``'s radio."""
         return self.coverage_counts[self.fleet_radio_index[uav_index]]
+
+    def coverage_rows(self, uav_index: int) -> np.ndarray:
+        """The ``(m, words)`` packed coverage matrix under UAV
+        ``uav_index``'s radio — one row per candidate location, ready for
+        batched masked-popcount scoring (e.g.
+        :meth:`repro.flow.bipartite.IncrementalAssignment.direct_gain_bounds`).
+        A view, not a copy."""
+        return self.coverage_bits[self.fleet_radio_index[uav_index]]
 
     def coverage_count(self, loc_index: int, uav_index: int) -> int:
         return int(self.counts_for_uav(uav_index)[loc_index])
@@ -152,6 +164,26 @@ class SolverContext:
             rows[np.asarray(loc_indices, dtype=np.int64)], axis=0
         )
         return popcount(union)
+
+    def union_coverage_counts(
+        self, loc_matrix: np.ndarray, uav_index: int
+    ) -> np.ndarray:
+        """Batched :meth:`union_coverage_count`: for an ``(n, t)`` matrix
+        of location indices, the distinct coverable users of each row's
+        union under one UAV's radio, as one stacked bitset OR-reduce plus
+        :func:`repro.util.bits.popcount_rows`.  Row order is irrelevant
+        (unions commute)."""
+        locs = np.asarray(loc_matrix, dtype=np.int64)
+        if locs.size == 0:
+            return np.zeros(locs.shape[0], dtype=np.int64)
+        rows = self.coverage_bits[self.fleet_radio_index[uav_index]]
+        out = np.empty(locs.shape[0], dtype=np.int64)
+        for lo in range(0, locs.shape[0], _UNION_CHUNK):
+            stacked = rows[locs[lo:lo + _UNION_CHUNK]]     # (c, t, words)
+            out[lo:lo + stacked.shape[0]] = popcount_rows(
+                np.bitwise_or.reduce(stacked, axis=1)
+            )
+        return out
 
     def coverable_users(self, loc_index: int, uav_index: int) -> list:
         """Decode one coverage bitset back to the sorted user-index list."""
@@ -182,6 +214,11 @@ _CHUNK = 8192
 # Sub-chunk for the union-coverage OR-reduce, whose (chunk, m, words)
 # temporary would otherwise dominate memory at paper scale.
 _UNION_CHUNK = 512
+# The union pass of ``subset_bounds`` prefers a float32 matmul over the
+# unpacked (m, num_users) coverage matrix — exact, since the products are
+# location counts far below 2**24 — but falls back to the byte-OR path
+# when that matrix would not comfortably fit in memory.
+_MATMUL_CELLS = 64_000_000
 
 
 def prunable_mask(
@@ -241,6 +278,21 @@ def subset_bounds(
         any_bits = np.bitwise_or.reduce(bits, axis=0)      # (m, words)
     else:
         any_bits = np.zeros((m, bits.shape[2]), dtype=np.uint8)
+    # Matmul form of the union popcount: (occupiable @ unpacked)[i, u] is
+    # the number of occupiable locations covering user u, so the union
+    # size is the count of nonzero columns per row — one sgemm instead of
+    # a masked byte OR-reduce.  Exact (counts are integers < 2**24);
+    # gated on the unpacked matrix fitting comfortably in memory.
+    use_matmul = m * context.num_users <= _MATMUL_CELLS
+    if use_matmul:
+        unpacked = (
+            np.unpackbits(any_bits, axis=1)[:, : context.num_users]
+            .astype(np.float32)
+        )
+        # Keep the (rows, num_users) float32 product bounded too.
+        matmul_rows = max(1, min(
+            _UNION_CHUNK * 16, 32_000_000 // max(1, context.num_users)
+        ))
     out = np.zeros(n, dtype=np.int64)
     hop = context.hop_matrix
     inf = np.int64(1) << 30
@@ -270,14 +322,22 @@ def subset_bounds(
         bound = np.minimum(top, caps[None, :]).sum(axis=1)
         c = chunk.shape[0]
         union_pop = np.empty(c, dtype=np.int64)
-        for sub in range(0, c, _UNION_CHUNK):
-            occ = occupiable[sub:sub + _UNION_CHUNK]
-            masked = np.where(
-                occ[:, :, None], any_bits[None, :, :], np.uint8(0)
-            )
-            union_pop[sub:sub + occ.shape[0]] = popcount_rows(
-                np.bitwise_or.reduce(masked, axis=1)
-            )
+        if use_matmul:
+            for sub in range(0, c, matmul_rows):
+                occ = occupiable[sub:sub + matmul_rows]
+                prod = occ.astype(np.float32) @ unpacked
+                union_pop[sub:sub + occ.shape[0]] = np.count_nonzero(
+                    prod, axis=1
+                )
+        else:
+            for sub in range(0, c, _UNION_CHUNK):
+                occ = occupiable[sub:sub + _UNION_CHUNK]
+                masked = np.where(
+                    occ[:, :, None], any_bits[None, :, :], np.uint8(0)
+                )
+                union_pop[sub:sub + occ.shape[0]] = popcount_rows(
+                    np.bitwise_or.reduce(masked, axis=1)
+                )
         bound = np.minimum(bound, union_pop)
         out[lo:lo + c] = np.minimum(bound, context.num_users)
     return out

@@ -44,6 +44,10 @@ from dataclasses import dataclass
 
 from repro import obs
 
+#: Minimum subsets a chunk should carry before the sweep is split finer
+#: than one chunk per worker (see :func:`chunk_slices`).
+MIN_CHUNK_WORK = 8
+
 
 def chunk_slices(n: int, workers: int) -> list:
     """Contiguous half-open chunk bounds over ``[0, n)``.
@@ -57,11 +61,19 @@ def chunk_slices(n: int, workers: int) -> list:
     * at least ``min(n, workers)`` chunks, so a small sweep still
       occupies every worker instead of serialising behind one;
     * chunk size capped at 64 for responsive progress, cooperative
-      aborts, and bounded checkpoint loss.
+      aborts, and bounded checkpoint loss;
+    * a minimum-work floor: beyond ``workers`` chunks, extra splits are
+      only taken while each chunk keeps at least ``MIN_CHUNK_WORK``
+      subsets, so tiny sweeps are not shredded into per-item chunks
+      whose pool round-trip (pickle + IPC) costs more than the solve.
     """
     if n <= 0 or workers < 1:
         return []
-    size = max(1, min(64, n // max(workers, 1), math.ceil(n / (workers * 4))))
+    # Aim for ~4 chunks per worker (load balancing against uneven chunk
+    # cost) but never split so far that chunks drop below the work floor;
+    # always emit at least one chunk per worker.
+    target = max(workers, min(workers * 4, n // MIN_CHUNK_WORK))
+    size = max(1, min(64, n // max(workers, 1), math.ceil(n / target)))
     return [(lo, min(lo + size, n)) for lo in range(0, n, size)]
 
 

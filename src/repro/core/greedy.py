@@ -12,7 +12,16 @@ Performance notes (results are identical to the naive implementation):
   so candidates are scanned in decreasing bound order and the scan stops
   once the bound falls to the best exact gain already found;
 * in the first iteration the gain is exactly ``min(capacity, |coverable|)``
-  (no other stations to interact with), so no flow computation is needed.
+  (no other stations to interact with), so no flow computation is needed;
+* with a :class:`~repro.core.context.SolverContext` the whole inner loop is
+  numpy-native: matroid feasibility is one comparison against the hop
+  array (:meth:`IncrementalHopFilter.max_addable_hop`), candidate gains
+  are one masked popcount over the context's packed coverage matrix
+  (:meth:`IncrementalAssignment.direct_gain_bounds`), and in exact mode
+  the batched direct bounds additionally pre-shrink the scan: any
+  candidate whose static bound is below the best batched *lower* bound
+  can never be scanned before the cutoff fires, so it is dropped without
+  changing a single oracle call.
 
 Zero-gain ties are broken in favour of anchors, then lowest location index
 (determinism).  The counting bounds ``Q_h`` guarantee all ``s`` anchors are
@@ -22,6 +31,8 @@ in the solution at termination; this is asserted.
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro import obs
 from repro.core.problem import ProblemInstance
@@ -39,6 +50,19 @@ class GreedyResult:
     served: int              # users served by the chosen stations
 
 
+def _pick_max(cand: np.ndarray, gains: np.ndarray,
+              cand_anchor: np.ndarray) -> "tuple[int, int]":
+    """Vectorised winner rule over ascending candidate indices: among the
+    max-gain candidates prefer anchors, then the lowest location index —
+    exactly what the scalar scan's ``gain > best or (tie and anchor)``
+    update converges to."""
+    best_gain = int(gains.max())
+    ties = gains == best_gain
+    tie_anchor = ties & cand_anchor
+    pick = tie_anchor if tie_anchor.any() else ties
+    return int(cand[pick][0]), best_gain
+
+
 def anchored_greedy(
     problem: ProblemInstance,
     anchors: list,
@@ -46,6 +70,7 @@ def anchored_greedy(
     order: "list | None" = None,
     gain_mode: str = "exact",
     context: "object | None" = None,
+    engine: "IncrementalAssignment | None" = None,
 ) -> GreedyResult:
     """Run the greedy for anchor set ``anchors`` under segment plan ``plan``.
 
@@ -65,7 +90,14 @@ def anchored_greedy(
 
     ``context`` (a :class:`repro.core.context.SolverContext`) supplies hop
     rows and coverage counts from its precomputed arrays — same values as
-    the graph lookups, so results are identical either way.
+    the graph lookups, so results are identical either way — and switches
+    the candidate loop to its batched numpy form.
+
+    ``engine`` optionally supplies a warm :class:`IncrementalAssignment`
+    with no open stations — typically one the caller has :meth:`~
+    repro.flow.bipartite.IncrementalAssignment.fork`-ed so the subset
+    sweep reuses a single engine.  All stations this greedy opens are
+    committed into the caller's fork scope.
     """
     if gain_mode not in ("exact", "fast"):
         raise ValueError(f"gain_mode must be 'exact' or 'fast', got {gain_mode!r}")
@@ -86,7 +118,16 @@ def anchored_greedy(
     matroid = HopCountingMatroid(hops, plan.q_bounds())
     hop_filter = IncrementalHopFilter(matroid)
     universe = sorted(matroid.ground_set())
-    engine = IncrementalAssignment(graph.num_users)
+    if engine is None:
+        engine = IncrementalAssignment(graph.num_users)
+
+    if context is not None:
+        universe_arr = np.asarray(universe, dtype=np.int64)
+        uhops = np.asarray(hops, dtype=np.int64)[universe_arr]
+        anchor_flags = np.isin(
+            universe_arr, np.fromiter(anchor_set, dtype=np.int64)
+        )
+        avail = np.ones(universe_arr.size, dtype=bool)
 
     chosen: list = []
     used_locations: set = set()
@@ -94,66 +135,82 @@ def anchored_greedy(
     for k_pos in range(rounds):
         k = order[k_pos]
         uav = fleet[k]
-        counts = None if context is None else context.counts_for_uav(k)
-        candidates = [
-            v for v in universe
-            if v not in used_locations and hop_filter.can_add(v)
-        ]
-        if not candidates:
-            break
-
         first_iteration = not chosen
-        best_gain = -1
-        best_v = -1
-        best_is_anchor = False
-        if first_iteration or gain_mode == "fast":
-            # With no open stations, min(capacity, |cover|) is the exact
-            # gain; in fast mode the direct bound is the selection score.
-            for v in candidates:
-                if first_iteration:
-                    count = (
-                        int(counts[v]) if counts is not None
-                        else len(graph.coverable_users(v, uav))
-                    )
-                    gain = min(uav.capacity, count)
-                else:
-                    gain = engine.direct_gain_bound(
-                        graph.coverable_array(v, uav), uav.capacity
-                    )
-                is_anchor = v in anchor_set
-                if gain > best_gain or (
-                    gain == best_gain and is_anchor and not best_is_anchor
-                ):
-                    best_gain, best_v, best_is_anchor = gain, v, is_anchor
+
+        if context is not None:
+            # Numpy-native round: feasibility is one hop comparison,
+            # gains one batched reduction over the coverage matrix.
+            cand_mask = avail & (uhops <= hop_filter.max_addable_hop())
+            if not cand_mask.any():
+                break
+            cand = universe_arr[cand_mask]
+            cand_anchor = anchor_flags[cand_mask]
+            static = np.minimum(
+                uav.capacity,
+                context.counts_for_uav(k)[cand].astype(np.int64),
+            )
+            if first_iteration:
+                # With no open stations the static bound is the exact gain.
+                best_v, _ = _pick_max(cand, static, cand_anchor)
+            elif gain_mode == "fast":
+                gains = engine.direct_gain_bounds(
+                    context.coverage_rows(k)[cand], uav.capacity
+                )
+                best_v, _ = _pick_max(cand, gains, cand_anchor)
+            else:
+                # Exact mode: the batched direct bounds are *lower* bounds,
+                # so any candidate whose static upper bound falls below the
+                # best of them would only ever be reached after the scan
+                # cutoff fires — dropping it changes nothing, including the
+                # oracle-call count.
+                lower = engine.direct_gain_bounds(
+                    context.coverage_rows(k)[cand], uav.capacity
+                )
+                keep = static >= int(lower.max())
+                best_v = _exact_scan(
+                    engine, graph, uav, k, anchor_set,
+                    static[keep].tolist(), cand[keep].tolist(),
+                )
+            avail[np.searchsorted(universe_arr, best_v)] = False
         else:
-            # Rank by the capacity-capped coverage bound; the coverage list
-            # itself is only fetched for candidates that survive the scan
-            # cutoff below.
-            scored = []
-            for v in candidates:
-                count = (
-                    int(counts[v]) if counts is not None
-                    else len(graph.coverable_users(v, uav))
+            candidates = [
+                v for v in universe
+                if v not in used_locations and hop_filter.can_add(v)
+            ]
+            if not candidates:
+                break
+            if first_iteration or gain_mode == "fast":
+                # With no open stations, min(capacity, |cover|) is the exact
+                # gain; in fast mode the direct bound is the selection score.
+                best_gain = -1
+                best_v = -1
+                best_is_anchor = False
+                for v in candidates:
+                    if first_iteration:
+                        gain = min(
+                            uav.capacity, len(graph.coverable_users(v, uav))
+                        )
+                    else:
+                        gain = engine.direct_gain_bound(
+                            graph.coverable_array(v, uav), uav.capacity
+                        )
+                    is_anchor = v in anchor_set
+                    if gain > best_gain or (
+                        gain == best_gain and is_anchor and not best_is_anchor
+                    ):
+                        best_gain, best_v, best_is_anchor = gain, v, is_anchor
+            else:
+                static = [
+                    min(uav.capacity, len(graph.coverable_users(v, uav)))
+                    for v in candidates
+                ]
+                best_v = _exact_scan(
+                    engine, graph, uav, k, anchor_set, static, candidates
                 )
-                scored.append((min(uav.capacity, count), v))
-            scored.sort(key=lambda t: (-t[0], t[1]))
-            for bound, v in scored:
-                if bound < best_gain or (bound == best_gain and best_is_anchor):
-                    break  # no remaining candidate can strictly improve
-                obs.counter_inc("greedy.oracle_calls")
-                gain = engine.try_open(
-                    (k, v), graph.coverable_users(v, uav), uav.capacity
-                )
-                engine.rollback()
-                is_anchor = v in anchor_set
-                if gain > best_gain or (
-                    gain == best_gain and is_anchor and not best_is_anchor
-                ):
-                    best_gain, best_v, best_is_anchor = gain, v, is_anchor
 
         assert best_v >= 0
         engine.open(
-            (k, best_v), graph.coverable_users(best_v, fleet[k]), fleet[k].capacity
+            (k, best_v), graph.coverable_array(best_v, fleet[k]), fleet[k].capacity
         )
         hop_filter.add(best_v)
         used_locations.add(best_v)
@@ -169,11 +226,45 @@ def anchored_greedy(
     return GreedyResult(chosen=chosen, engine=engine, served=engine.served_count)
 
 
+def _exact_scan(
+    engine: IncrementalAssignment,
+    graph,
+    uav,
+    k: int,
+    anchor_set: set,
+    static_bounds: list,
+    candidates: list,
+) -> int:
+    """Bound-ordered exact-gain scan: try candidates in decreasing
+    ``min(capacity, |cover|)`` order, stopping once the bound can no longer
+    strictly improve (or tie in the anchors' favour).  The coverage list
+    itself is only fetched for candidates that survive the cutoff."""
+    scored = sorted(zip(static_bounds, candidates), key=lambda t: (-t[0], t[1]))
+    best_gain = -1
+    best_v = -1
+    best_is_anchor = False
+    for bound, v in scored:
+        if bound < best_gain or (bound == best_gain and best_is_anchor):
+            break  # no remaining candidate can strictly improve
+        obs.counter_inc("greedy.oracle_calls")
+        gain = engine.try_open(
+            (k, v), graph.coverable_array(v, uav), uav.capacity
+        )
+        engine.rollback()
+        is_anchor = v in anchor_set
+        if gain > best_gain or (
+            gain == best_gain and is_anchor and not best_is_anchor
+        ):
+            best_gain, best_v, best_is_anchor = gain, v, is_anchor
+    return best_v
+
+
 def pair_greedy(
     problem: ProblemInstance,
     anchors: list,
     plan: SegmentPlan,
     context: "object | None" = None,
+    engine: "IncrementalAssignment | None" = None,
 ) -> GreedyResult:
     """Textbook FNW greedy over the full ``X × V`` ground set.
 
@@ -186,7 +277,8 @@ def pair_greedy(
 
     Gains are exact (try/rollback); the ``min(capacity, |cover|)`` bound
     prunes the pair scan.  Zero-gain ties prefer anchor locations so the
-    anchors always enter the solution.
+    anchors always enter the solution.  ``engine`` works as in
+    :func:`anchored_greedy`.
     """
     graph = problem.graph
     fleet = problem.fleet
@@ -202,7 +294,8 @@ def pair_greedy(
     matroid = HopCountingMatroid(hops, plan.q_bounds())
     hop_filter = IncrementalHopFilter(matroid)
     universe = sorted(matroid.ground_set())
-    engine = IncrementalAssignment(graph.num_users)
+    if engine is None:
+        engine = IncrementalAssignment(graph.num_users)
 
     chosen: list = []
     used_uavs: set = set()
@@ -234,7 +327,7 @@ def pair_greedy(
             if chosen:
                 obs.counter_inc("greedy.oracle_calls")
                 gain = engine.try_open(
-                    (k, v), graph.coverable_users(v, fleet[k]),
+                    (k, v), graph.coverable_array(v, fleet[k]),
                     fleet[k].capacity,
                 )
                 engine.rollback()
@@ -247,7 +340,7 @@ def pair_greedy(
                 best = (gain, k, v, is_anchor)
         _gain, k, v, _ = best
         assert k >= 0 and v >= 0
-        engine.open((k, v), graph.coverable_users(v, fleet[k]),
+        engine.open((k, v), graph.coverable_array(v, fleet[k]),
                     fleet[k].capacity)
         hop_filter.add(v)
         used_uavs.add(k)

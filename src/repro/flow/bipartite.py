@@ -2,26 +2,50 @@
 
 Algorithm 2 evaluates the marginal gain of deploying UAV ``k`` at every
 feasible location before committing one.  Re-solving the Section II-D flow
-network from scratch for each candidate costs O(K n^2) per evaluation; this
-engine instead maintains a maximum assignment and, for a tentative new
-station, augments it in two phases:
+network from scratch for each evaluation costs O(K n^2); this engine
+instead maintains a maximum assignment and, for a tentative new station,
+augments it in two phases:
 
-1. *direct phase* — one pass over the station's coverable users, assigning
-   the unassigned ones until capacity;
-2. *chain phase* — Kuhn-style alternating-path DFS for each remaining unit
+1. *direct phase* — grab unassigned covered users until capacity, as one
+   bitset subtraction plus a batched array update;
+2. *chain phase* — one alternating-path augmentation per remaining unit
    of capacity, stopping at the first failure.
 
-The result is an *exact* maximum assignment after every open: each
-augmentation increases the max flow by exactly one, and a failed chain
-search proves no further augmentation through the new station exists (this
-is Kuhn's algorithm on the capacity-expanded bipartite graph; processing
-order is irrelevant to the final value).  ``try_open``/``rollback`` journal
-all mutations so thousands of candidate evaluations reuse one engine.
+The chain phase ships two interchangeable search strategies:
 
-Performance notes: visited marks use a stamp array (no per-augmentation
-allocation), and an ``assigned_mask`` numpy view supports O(|cover|)
-vectorised gain *bounds* (:meth:`direct_gain_bound`) for the greedy's
-candidate ranking.
+* ``chain="bfs"`` (default) — a layered breadth-first search over user
+  *bitsets*.  Each open station keeps its cover and its currently
+  assigned users as arbitrary-precision integer bitsets (bit ``u`` =
+  user ``u``), so expanding a station is one word-parallel AND against
+  the not-yet-visited mask, the free-user test is another, and owner
+  discovery intersects the reached set with each station's assigned
+  bitset — a handful of machine-word loops per layer instead of a Python
+  walk over thousands of users.  Reached stations remember the *witness*
+  user through which they were reached, which reconstructs the
+  alternating path for reassignment.  (Python ints beat packed numpy
+  arrays here: at a few thousand users a bitset AND is ~100ns with no
+  per-call dispatch overhead.)
+* ``chain="dfs"`` — the original Kuhn-style scalar DFS, kept as the
+  serial reference implementation: differential tests pin the BFS
+  engine's served counts against it (both maintain exact maximum
+  assignments; only *which* equal-value assignment is realised differs).
+
+Either way the result is an *exact* maximum assignment after every open:
+each augmentation increases the max flow by exactly one, and a failed
+search proves no further augmentation through the new station exists.
+
+``try_open``/``rollback`` journal all mutations so thousands of candidate
+evaluations reuse one engine.  On top of that, :meth:`fork` opens a
+*warm-start scope*: it snapshots the committed state (flat-array copies,
+O(num_users)) so :meth:`rollback_fork` restores the forked state exactly
+no matter how many stations were opened in between.  The subset sweep
+uses this to evaluate adjacent anchor subsets on one engine instead of
+rebuilding it from scratch per subset.
+
+Batched scoring: :meth:`direct_gain_bounds` evaluates the direct-phase
+lower bound for a whole candidate matrix of packed cover bitsets
+(:mod:`repro.util.bits` layout) in one masked popcount — the greedy's
+per-round candidate ranking.
 """
 
 from __future__ import annotations
@@ -31,6 +55,13 @@ from collections.abc import Hashable, Sequence
 import numpy as np
 
 from repro import obs
+from repro.util.bits import popcount_rows
+
+# Bit-reversal per byte: maps the little-endian bytes of an LSB-first
+# integer bitset onto numpy's MSB-first packbits layout.
+_BYTE_REVERSE = np.array(
+    [int(f"{b:08b}"[::-1], 2) for b in range(256)], dtype=np.uint8
+)
 
 
 class IncrementalAssignment:
@@ -40,22 +71,48 @@ class IncrementalAssignment:
     keys (Algorithm 2 uses ``(uav_index, location_index)``).  Each user may
     be assigned to at most one station that covers it; each station serves
     at most its capacity.
+
+    ``chain`` selects the augmentation strategy (see the module docstring);
+    ``None`` resolves to :attr:`DEFAULT_CHAIN`.
     """
 
-    def __init__(self, num_users: int) -> None:
+    #: Class-level default for the chain strategy.  The bench harness flips
+    #: this to ``"dfs"`` to time the scalar reference loop.
+    DEFAULT_CHAIN = "bfs"
+
+    def __init__(self, num_users: int, chain: "str | None" = None) -> None:
         if num_users < 0:
             raise ValueError(f"num_users must be non-negative, got {num_users}")
+        if chain is None:
+            chain = type(self).DEFAULT_CHAIN
+        if chain not in ("bfs", "dfs"):
+            raise ValueError(f"chain must be 'bfs' or 'dfs', got {chain!r}")
         self.num_users = num_users
-        self._assigned_to: list = [None] * num_users
+        self._chain = chain
+        self._assigned_id = np.full(num_users, -1, dtype=np.int64)
         self._assigned_mask = np.zeros(num_users, dtype=bool)
-        self._visit_stamp: list = [0] * num_users
+        self._assigned_int = 0        # bitset of assigned users (bit u = user u)
+        # Station storage, slot-indexed in open order.  The pending station
+        # is always the newest slot, so rollback pops from the tail.
+        self._names: list = []        # slot -> station key
+        self._slots: dict = {}        # station key -> slot
+        self._cover_arrs: list = []   # slot -> np.int64 cover array
+        self._cover_ints: list = []   # slot -> cover bitset (bfs mode)
+        self._slot_ints: list = []    # slot -> assigned-user bitset (bfs mode)
+        self._caps: list = []
+        self._loads: list = []
+        # Scalar-reference (dfs) bookkeeping only.
+        self._cover_lists: list = []
+        self._assigned_list: list = (
+            [-1] * num_users if chain == "dfs" else []
+        )
+        self._visit_stamp: list = [0] * num_users if chain == "dfs" else []
         self._stamp = 0
-        self._covers: dict = {}
-        self._capacity: dict = {}
-        self._load: dict = {}
         self._served = 0
         self._pending: "Hashable | None" = None
         self._journal: list = []
+        self._fork_state: "tuple | None" = None
+        self._cover_int_cache: dict = {}
 
     # -- read API ---------------------------------------------------------
 
@@ -65,20 +122,21 @@ class IncrementalAssignment:
         return self._served
 
     def station_of(self, user: int) -> "Hashable | None":
-        return self._assigned_to[user]
+        slot = int(self._assigned_id[user])
+        return None if slot < 0 else self._names[slot]
 
     def load_of(self, station: Hashable) -> int:
-        return self._load[station]
+        return self._loads[self._slots[station]]
 
     def stations(self) -> list:
-        return list(self._covers)
+        return list(self._names)
 
     def assignment(self) -> dict:
         """Mapping station -> sorted list of assigned users."""
-        out: dict = {station: [] for station in self._covers}
-        for user, station in enumerate(self._assigned_to):
-            if station is not None:
-                out[station].append(user)
+        out: dict = {station: [] for station in self._names}
+        names = self._names
+        for u in np.nonzero(self._assigned_mask)[0]:
+            out[names[self._assigned_id[u]]].append(int(u))
         return out
 
     def direct_gain_bound(self, covered_users: "Sequence | np.ndarray",
@@ -93,10 +151,94 @@ class IncrementalAssignment:
         free = int(cover.size - np.count_nonzero(self._assigned_mask[cover]))
         return min(capacity, free)
 
+    def direct_gain_bounds(
+        self, cover_bits: np.ndarray, capacities: "int | np.ndarray"
+    ) -> np.ndarray:
+        """Batched :meth:`direct_gain_bound` over a matrix of packed cover
+        bitsets (shape ``(..., words)``, :func:`numpy.packbits` layout —
+        e.g. rows of :attr:`repro.core.context.SolverContext.coverage_bits`).
+
+        One masked popcount ranks a whole candidate set at once — the
+        greedy's per-round gain matrix.  Values equal calling
+        :meth:`direct_gain_bound` per row."""
+        bits = np.asarray(cover_bits, dtype=np.uint8)
+        # The packed free-user row comes straight from the assigned-int
+        # bitset: its little-endian bytes, bit-reversed per byte, are
+        # exactly ``np.packbits(assigned_mask)``.  Surplus pad bits end up
+        # set in the inverse but every cover row is zero there.
+        nbytes = (self.num_users + 7) >> 3
+        raw = np.frombuffer(
+            self._assigned_int.to_bytes(nbytes, "little"), dtype=np.uint8
+        )
+        free_bits = ~_BYTE_REVERSE[raw]
+        avail = popcount_rows(bits & free_bits)
+        return np.minimum(np.asarray(capacities, dtype=np.int64), avail)
+
+    # -- warm-start scope -------------------------------------------------
+
+    def fork(self) -> None:
+        """Open a warm-start scope: snapshot the committed state so that
+        :meth:`rollback_fork` restores exactly it, whatever stations are
+        opened and however users are reassigned in between.  One scope at
+        a time; the scope must start with no pending station.
+
+        The snapshot is O(num_users) flat-array copies plus shallow list
+        copies of the per-station scalars — a few microseconds — so a
+        subset sweep forks/rolls back per subset instead of rebuilding
+        the engine (or replaying a mutation journal) each time."""
+        if self._pending is not None:
+            raise RuntimeError("cannot fork with a pending station")
+        if self._fork_state is not None:
+            raise RuntimeError("a fork is already active")
+        self._fork_state = (
+            self._assigned_id.copy(),
+            self._assigned_mask.copy(),
+            self._assigned_int,
+            list(self._slot_ints),
+            list(self._loads),
+            len(self._names),
+            self._served,
+            list(self._assigned_list) if self._chain == "dfs" else None,
+        )
+
+    def rollback_fork(self) -> None:
+        """Restore the exact state captured by :meth:`fork`.  A
+        still-pending station is rolled back first."""
+        if self._fork_state is None:
+            raise RuntimeError("no active fork to roll back")
+        if self._pending is not None:
+            self.rollback()
+        (aid, amask, aint, sints, loads, nslots, served,
+         alist) = self._fork_state
+        self._fork_state = None
+        np.copyto(self._assigned_id, aid)
+        np.copyto(self._assigned_mask, amask)
+        self._assigned_int = aint
+        self._slot_ints = sints
+        self._loads = loads
+        self._served = served
+        for name in self._names[nslots:]:
+            del self._slots[name]
+        del self._names[nslots:]
+        del self._cover_arrs[nslots:]
+        del self._caps[nslots:]
+        if self._chain == "dfs":
+            self._assigned_list = alist
+            del self._cover_lists[nslots:]
+        else:
+            del self._cover_ints[nslots:]
+
+    def release_fork(self) -> None:
+        """Close the warm-start scope keeping all its mutations."""
+        if self._fork_state is None:
+            raise RuntimeError("no active fork to release")
+        self._fork_state = None
+
     # -- mutation API -----------------------------------------------------
 
     def try_open(
-        self, station: Hashable, covered_users: Sequence, capacity: int
+        self, station: Hashable, covered_users: "Sequence | np.ndarray",
+        capacity: int
     ) -> int:
         """Tentatively open ``station`` and return the exact gain in served
         users.  Must be followed by :meth:`commit` or :meth:`rollback`.
@@ -105,34 +247,48 @@ class IncrementalAssignment:
             raise RuntimeError(
                 f"station {self._pending!r} is pending; commit or rollback first"
             )
-        if station in self._covers:
+        if station in self._slots:
             raise ValueError(f"station {station!r} already open")
         if capacity < 0:
             raise ValueError(f"capacity must be non-negative, got {capacity}")
-        cover = list(covered_users)
-        for u in cover:
-            if not (0 <= u < self.num_users):
-                raise IndexError(f"user {u} outside [0, {self.num_users})")
+        cover = np.asarray(covered_users, dtype=np.int64)
+        if cover.ndim != 1:
+            raise ValueError("covered_users must be one-dimensional")
 
-        self._pending = station
-        self._journal = []
-        self._covers[station] = cover
-        self._capacity[station] = capacity
-        self._load[station] = 0
-
-        gain = 0
-        # Direct phase: grab unassigned covered users.
-        for u in cover:
-            if gain == capacity:
-                break
-            if self._assigned_to[u] is None:
-                self._record_and_assign(u, station)
-                self._served += 1
-                gain += 1
+        if self._chain == "dfs":
+            self._validate_cover(cover)
+            slot = self._push_station(station, cover, capacity)
+            self._cover_lists.append([int(u) for u in cover])
+            gain = self._open_direct_scalar(slot, capacity)
+            augment = self._augment_dfs
+        else:
+            # Cover bitsets recur across a sweep (same location, same
+            # radio), so memoise the index-array -> int conversion; a
+            # cache hit also proves the indices were validated before.
+            key = cover.tobytes()
+            cint = self._cover_int_cache.get(key)
+            if cint is None:
+                self._validate_cover(cover)
+                cint = self._users_to_int(cover)
+                self._cover_int_cache[key] = cint
+            slot = self._push_station(station, cover, capacity)
+            self._cover_ints.append(cint)
+            self._slot_ints.append(0)
+            gain = self._open_direct_batch(slot, capacity)
+            augment = self._augment_bfs
         direct = gain
         # Chain phase: alternating-path augmentations for the remainder.
+        # Successive augmentations of one open usually work along the same
+        # station chain, so each successful search leaves its chain behind
+        # and the next round first revalidates it with a couple of bitset
+        # ANDs (fresh witness users) before paying for a full search.
+        chain: "list | None" = None
         while gain < capacity:
-            if not self._augment_from(station):
+            if chain is not None and self._replay_chain(chain):
+                gain += 1
+                continue
+            chain = [] if self._chain == "bfs" else None
+            if not augment(slot, chain):
                 break
             gain += 1
         obs.counter_inc("flow.try_opens")
@@ -151,23 +307,20 @@ class IncrementalAssignment:
         """Undo the pending station entirely."""
         if self._pending is None:
             raise RuntimeError("no pending station to roll back")
-        for user, old_station in reversed(self._journal):
-            current = self._assigned_to[user]
-            self._load[current] -= 1
-            self._assigned_to[user] = old_station
-            if old_station is not None:
-                self._load[old_station] += 1
+        for entry in reversed(self._journal):
+            if entry[0] == "direct":
+                self._undo_direct(entry[1], entry[2], entry[3])
             else:
-                self._assigned_mask[user] = False
-                self._served -= 1
+                self._undo(entry[0], entry[1])
         station = self._pending
-        del self._covers[station]
-        del self._capacity[station]
-        del self._load[station]
         self._pending = None
         self._journal = []
+        self._pop_station(station)
 
-    def open(self, station: Hashable, covered_users: Sequence, capacity: int) -> int:
+    def open(
+        self, station: Hashable, covered_users: "Sequence | np.ndarray",
+        capacity: int
+    ) -> int:
         """Open a station permanently; returns the gain."""
         gain = self.try_open(station, covered_users, capacity)
         self.commit()
@@ -175,9 +328,211 @@ class IncrementalAssignment:
 
     # -- internals --------------------------------------------------------
 
-    def _augment_from(self, root: Hashable) -> bool:
+    def _validate_cover(self, cover: np.ndarray) -> None:
+        if cover.size:
+            bad = (cover < 0) | (cover >= self.num_users)
+            if bad.any():
+                u = int(cover[bad][0])
+                raise IndexError(f"user {u} outside [0, {self.num_users})")
+
+    def _push_station(self, station: Hashable, cover: np.ndarray,
+                      capacity: int) -> int:
+        slot = len(self._names)
+        self._pending = station
+        self._journal = []
+        self._names.append(station)
+        self._slots[station] = slot
+        self._cover_arrs.append(cover)
+        self._caps.append(capacity)
+        self._loads.append(0)
+        return slot
+
+    def _users_to_int(self, users: np.ndarray) -> int:
+        """User-index array -> integer bitset (bit ``u`` = user ``u``)."""
+        mask = np.zeros(self.num_users, dtype=bool)
+        if users.size:
+            mask[users] = True
+        return int.from_bytes(
+            np.packbits(mask, bitorder="little").tobytes(), "little"
+        )
+
+    def _int_to_mask(self, bitset: int) -> np.ndarray:
+        """Integer bitset -> boolean user mask."""
+        nbytes = (self.num_users + 7) >> 3
+        raw = np.frombuffer(bitset.to_bytes(nbytes, "little"), dtype=np.uint8)
+        return np.unpackbits(
+            raw, count=self.num_users, bitorder="little"
+        ).view(bool)
+
+    def _int_to_users(self, bitset: int) -> np.ndarray:
+        """Integer bitset -> sorted user-index array."""
+        return np.nonzero(self._int_to_mask(bitset))[0]
+
+    def _open_direct_batch(self, slot: int, capacity: int) -> int:
+        """Direct phase as one bitset subtraction: every free covered user
+        up to capacity, lowest user indices first."""
+        if capacity == 0:
+            return 0
+        take = self._cover_ints[slot] & ~self._assigned_int
+        if not take:
+            return 0
+        k = take.bit_count()
+        if k > capacity:
+            take = self._users_to_int(self._int_to_users(take)[:capacity])
+            k = capacity
+        mask = self._int_to_mask(take)
+        self._journal.append(("direct", slot, take, k))
+        self._assigned_id[mask] = slot
+        self._assigned_mask |= mask
+        self._assigned_int |= take
+        self._slot_ints[slot] |= take
+        self._loads[slot] += k
+        self._served += k
+        return k
+
+    def _open_direct_scalar(self, slot: int, capacity: int) -> int:
+        """Scalar-reference direct phase: first ``capacity`` unassigned
+        users in cover order."""
+        assigned = self._assigned_list
+        gain = 0
+        for u in self._cover_lists[slot]:
+            if gain == capacity:
+                break
+            if assigned[u] < 0:
+                self._record_and_assign(u, slot)
+                self._served += 1
+                gain += 1
+        return gain
+
+    def _augment_bfs(self, root: int, chain: "list | None" = None) -> bool:
         """One unit of augmentation ending at ``root`` (which has spare
-        capacity), via Kuhn-style alternating-path DFS.
+        capacity), via layered BFS over user bitsets.
+
+        A layer holds stations reachable by an alternating path from
+        ``root``.  Expanding station ``st`` masks its cover bitset against
+        the users already visited; a surviving *free* user completes an
+        augmenting path, while surviving assigned users hand reachability
+        to their owner stations (``reach & slot_bitset`` per station, each
+        remembering ``st`` and a witness user).  A failed search proves no
+        augmentation through ``root`` exists — same exact maximum as the
+        scalar DFS reference; only which equal-value assignment is
+        realised may differ.
+        """
+        covers = self._cover_ints
+        slot_ints = self._slot_ints
+        assigned = self._assigned_int
+        num_slots = len(covers)
+        journal = self._journal
+        aid = self._assigned_id
+        loads = self._loads
+        parent_station: dict = {}
+        parent_user: dict = {}
+        seen = {root}
+        seen_union = slot_ints[root]
+        visited = 0
+        frontier = [root]
+        while frontier:
+            nxt: list = []
+            for st in frontier:
+                reach = covers[st] & ~visited
+                if not reach:
+                    continue
+                free = reach & ~assigned
+                if free:
+                    # Unwind: the free user joins st, then each station up
+                    # the parent chain takes its witness user from its
+                    # child (inlined _record_and_assign — this is the
+                    # hottest path in the whole solver).
+                    user = (free & -free).bit_length() - 1
+                    journal.append((user, -1))
+                    slot_ints[st] |= 1 << user
+                    self._assigned_int |= 1 << user
+                    self._assigned_mask[user] = True
+                    aid[user] = st
+                    loads[st] += 1
+                    if chain is not None:
+                        chain.append(st)
+                    while st != root:
+                        u = parent_user[st]
+                        ps = parent_station[st]
+                        journal.append((u, st))
+                        bit = 1 << u
+                        slot_ints[ps] |= bit
+                        slot_ints[st] &= ~bit
+                        loads[st] -= 1
+                        loads[ps] += 1
+                        aid[u] = ps
+                        st = ps
+                        if chain is not None:
+                            chain.append(st)
+                    self._served += 1
+                    return True
+                visited |= reach
+                # Owner discovery is the expensive part (one AND per open
+                # station); skip it entirely when every reached user
+                # belongs to an already-seen station.
+                if not reach & ~seen_union:
+                    continue
+                for owner in range(num_slots):
+                    if owner in seen:
+                        continue
+                    hit = reach & slot_ints[owner]
+                    if hit:
+                        seen.add(owner)
+                        seen_union |= slot_ints[owner]
+                        parent_station[owner] = st
+                        parent_user[owner] = (hit & -hit).bit_length() - 1
+                        nxt.append(owner)
+            frontier = nxt
+        return False
+
+    def _replay_chain(self, chain: list) -> bool:
+        """Revalidate the station chain left by the previous augmentation
+        (``chain[0]`` = leaf where the free user joined, ``chain[-1]`` =
+        the root with spare capacity) and re-augment along it with fresh
+        witness users: one AND per link instead of a full search.  Returns
+        ``False`` with the state untouched when any link lost its witness
+        or the leaf has no free covered user left.  Every replayed path is
+        a valid alternating chain, so the exact maximum is unaffected —
+        the closing failed full search still certifies maximality.
+        """
+        covers = self._cover_ints
+        slot_ints = self._slot_ints
+        leaf = chain[0]
+        free = covers[leaf] & ~self._assigned_int
+        if not free:
+            return False
+        wits = []
+        for i in range(len(chain) - 1):
+            hit = covers[chain[i + 1]] & slot_ints[chain[i]]
+            if not hit:
+                return False
+            wits.append((hit & -hit).bit_length() - 1)
+        journal = self._journal
+        aid = self._assigned_id
+        loads = self._loads
+        user = (free & -free).bit_length() - 1
+        journal.append((user, -1))
+        slot_ints[leaf] |= 1 << user
+        self._assigned_int |= 1 << user
+        self._assigned_mask[user] = True
+        aid[user] = leaf
+        loads[leaf] += 1
+        for i, u in enumerate(wits):
+            child = chain[i]
+            parent = chain[i + 1]
+            journal.append((u, child))
+            bit = 1 << u
+            slot_ints[parent] |= bit
+            slot_ints[child] &= ~bit
+            loads[child] -= 1
+            loads[parent] += 1
+            aid[u] = parent
+        self._served += 1
+        return True
+
+    def _augment_dfs(self, root: int, chain: "list | None" = None) -> bool:
+        """The scalar reference: Kuhn-style alternating-path DFS.
 
         A path is root -> u1 (covered by root, assigned to T1) -> T1 -> u2
         (covered by T1, assigned to T2) -> ... -> uk unassigned; augmenting
@@ -188,14 +543,14 @@ class IncrementalAssignment:
         self._stamp += 1
         stamp = self._stamp
         visit = self._visit_stamp
-        assigned_to = self._assigned_to
-        covers = self._covers
+        assigned_to = self._assigned_list
+        covers = self._cover_lists
 
-        # Iterative DFS with both sides marked per augmentation:
-        # users via the stamp array, stations via ``explored``.  A station
-        # is explored at most once — by the time it is popped its entire
-        # cover is stamped, so re-exploring it can never find anything new
-        # (standard Kuhn left-vertex marking).  Total work is O(E).
+        # Iterative DFS with both sides marked per augmentation: users via
+        # the stamp array, stations via ``explored``.  A station is explored
+        # at most once — by the time it is popped its entire cover is
+        # stamped, so re-exploring it can never find anything new (standard
+        # Kuhn left-vertex marking).  Total work is O(E).
         #
         # A frame is [station, scan_index, claim_user]: ``claim_user`` is
         # the user (currently assigned to ``station``) that the *parent*
@@ -215,7 +570,7 @@ class IncrementalAssignment:
                     continue
                 visit[u] = stamp
                 owner = assigned_to[u]
-                if owner is None:
+                if owner < 0:
                     # Success: u joins this station; unwind the chain, each
                     # parent taking its claimed user from its child.
                     frame[1] = idx
@@ -237,13 +592,65 @@ class IncrementalAssignment:
                 frames.pop()
         return False
 
-    def _record_and_assign(self, user: int, station: Hashable) -> None:
-        old = self._assigned_to[user]
+    def _record_and_assign(self, user: int, slot: int) -> None:
+        old = int(self._assigned_id[user])
         if self._pending is not None:
             self._journal.append((user, old))
-        if old is not None:
-            self._load[old] -= 1
+        if self._chain == "dfs":
+            self._assigned_list[user] = slot
+        else:
+            bit = 1 << user
+            self._slot_ints[slot] |= bit
+            if old >= 0:
+                self._slot_ints[old] &= ~bit
+            else:
+                self._assigned_int |= bit
+        if old >= 0:
+            self._loads[old] -= 1
         else:
             self._assigned_mask[user] = True
-        self._assigned_to[user] = station
-        self._load[station] += 1
+        self._assigned_id[user] = slot
+        self._loads[slot] += 1
+
+    def _undo(self, user: int, old: int) -> None:
+        cur = int(self._assigned_id[user])
+        self._loads[cur] -= 1
+        self._assigned_id[user] = old
+        if self._chain == "dfs":
+            self._assigned_list[user] = old
+        else:
+            bit = 1 << user
+            self._slot_ints[cur] &= ~bit
+            if old >= 0:
+                self._slot_ints[old] |= bit
+            else:
+                self._assigned_int &= ~bit
+        if old >= 0:
+            self._loads[old] += 1
+        else:
+            self._assigned_mask[user] = False
+            self._served -= 1
+
+    def _undo_direct(self, slot: int, bitset: int, k: int) -> None:
+        mask = self._int_to_mask(bitset)
+        self._assigned_id[mask] = -1
+        self._assigned_mask &= ~mask
+        self._assigned_int &= ~bitset
+        self._slot_ints[slot] &= ~bitset
+        self._loads[slot] -= k
+        self._served -= k
+
+    def _pop_station(self, station: Hashable) -> None:
+        slot = self._slots.pop(station)
+        assert slot == len(self._names) - 1, (
+            "only the newest station can be removed"
+        )
+        self._names.pop()
+        self._cover_arrs.pop()
+        self._caps.pop()
+        self._loads.pop()
+        if self._chain == "dfs":
+            self._cover_lists.pop()
+        else:
+            self._cover_ints.pop()
+            self._slot_ints.pop()

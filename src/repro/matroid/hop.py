@@ -111,6 +111,24 @@ class IncrementalHopFilter:
         q = self._m.q_bounds
         return all(self._counts[h] + 1 <= q[h] for h in range(d + 1))
 
+    def max_addable_hop(self) -> int:
+        """Largest hop distance ``d`` such that any unselected ground node
+        at distance ``d`` is currently addable, or ``-1`` if nothing is.
+
+        The ``can_add`` predicate checks a *prefix* of thresholds
+        (``h <= d_v``), so over the ground set it is monotone in ``d_v``:
+        ``can_add(v)`` holds iff ``hop_of(v) <= max_addable_hop()``.  This
+        turns per-candidate feasibility into one vectorised comparison
+        against the hop array."""
+        q = self._m.q_bounds
+        counts = self._counts
+        d = -1
+        for h in range(len(q)):
+            if counts[h] + 1 > q[h]:
+                break
+            d = h
+        return d
+
     def add(self, v: int) -> None:
         if not self.can_add(v):
             raise ValueError(f"adding node {v} violates the hop matroid")

@@ -73,6 +73,7 @@ class CoverageGraph:
         self.location_graph = self._build_location_graph()
         self._coverage_cache: dict = {}
         self._hop_cache: dict = {}
+        self._steiner_cache: dict = {}
         self._hop_matrix: "np.ndarray | None" = None
 
     # -- construction -------------------------------------------------------
@@ -258,10 +259,21 @@ class CoverageGraph:
         """Section III-E connection step: MST over hop metric, expanded to
         shortest paths.  Returns (node set of G_j, expanded tree edges).
         Hop rows come from the per-instance cache, so repeated calls across
-        anchor subsets stop re-running BFS per terminal."""
-        return steiner_connect(
-            self.location_graph, terminals, hop_rows=self.hops_from
-        )
+        anchor subsets stop re-running BFS per terminal; whole results are
+        additionally memoised per exact terminal sequence — different
+        anchor subsets often converge on the same greedy deployment.
+        (Keyed by sequence, not set: MST tie-breaks may be order-
+        sensitive.)  Callers must treat the returned set/list as
+        read-only (they all do: the connect step copies before
+        mutating)."""
+        key = tuple(terminals)
+        cached = self._steiner_cache.get(key)
+        if cached is None:
+            cached = steiner_connect(
+                self.location_graph, terminals, hop_rows=self.hops_from
+            )
+            self._steiner_cache[key] = cached
+        return cached
 
     def reachable_from(self, loc_index: int) -> list:
         """All locations in the same connected component as ``loc_index``."""

@@ -260,3 +260,37 @@ class TestHeterogeneityAwareness:
         appro = appro_alg(small_scenario, s=2, gain_mode="fast")
         rnd = random_connected(small_scenario, seed=0)
         assert appro.served >= rnd.served_count
+
+
+class TestContextEquivalence:
+    """The vectorised context path (batched bounds, warm-start engine) must
+    reproduce the scalar no-context path bit-for-bit: same served count,
+    same placements, for both gain modes."""
+
+    @pytest.mark.parametrize("gain_mode", ["exact", "fast"])
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_context_matches_scalar_path(self, gain_mode, seed):
+        from repro.core.context import SolverContext
+
+        problem = random_tiny_problem(seed)
+        scalar = appro_alg(problem, s=2, gain_mode=gain_mode)
+        ctx = SolverContext.from_problem(problem)
+        vectorised = appro_alg(problem, s=2, gain_mode=gain_mode, context=ctx)
+        assert vectorised.served == scalar.served
+        assert vectorised.anchors == scalar.anchors
+        assert (vectorised.deployment.placements
+                == scalar.deployment.placements)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=6, deadline=None)
+    def test_bound_prune_with_context_unchanged(self, seed):
+        from repro.core.context import SolverContext
+
+        problem = random_tiny_problem(seed)
+        plain = appro_alg(problem, s=2)
+        ctx = SolverContext.from_problem(problem)
+        pruned = appro_alg(problem, s=2, bound_prune=True, context=ctx)
+        assert pruned.served == plain.served
+        assert pruned.anchors == plain.anchors
+        assert pruned.deployment.placements == plain.deployment.placements

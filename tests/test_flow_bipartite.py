@@ -200,3 +200,119 @@ class TestInvariants:
             assert not (set(users) & seen_users)
             seen_users |= set(users)
         assert len(seen_users) == eng.served_count
+
+
+def engine_state(eng: IncrementalAssignment) -> tuple:
+    """Full observable state, for exact snapshot comparisons."""
+    return (
+        eng.served_count,
+        eng.stations(),
+        eng.assignment(),
+        [eng.load_of(s) for s in eng.stations()],
+        [eng.station_of(u) for u in range(eng.num_users)],
+    )
+
+
+class TestForkRollback:
+    def test_rollback_restores_exact_state(self):
+        eng = IncrementalAssignment(6)
+        eng.open("a", [0, 1, 2], 2)
+        before = engine_state(eng)
+        eng.fork()
+        eng.open("b", [0, 1, 3], 2)   # forces chain reassignments
+        eng.open("c", [2, 4, 5], 3)
+        assert eng.served_count > 4 - 1
+        eng.rollback_fork()
+        assert engine_state(eng) == before
+
+    def test_release_keeps_mutations(self):
+        eng = IncrementalAssignment(4)
+        eng.fork()
+        eng.open("a", [0, 1], 2)
+        eng.release_fork()
+        assert eng.served_count == 2
+        eng.fork()  # scope reusable after release
+        eng.rollback_fork()
+        assert eng.served_count == 2
+
+    def test_rollback_fork_clears_pending_first(self):
+        eng = IncrementalAssignment(4)
+        eng.fork()
+        eng.try_open("a", [0, 1], 2)
+        eng.rollback_fork()
+        assert eng.served_count == 0
+        assert eng.stations() == []
+
+    def test_fork_discipline(self):
+        eng = IncrementalAssignment(3)
+        with pytest.raises(RuntimeError):
+            eng.rollback_fork()
+        with pytest.raises(RuntimeError):
+            eng.release_fork()
+        eng.fork()
+        with pytest.raises(RuntimeError):
+            eng.fork()
+        eng.try_open("a", [0], 1)
+        with pytest.raises(RuntimeError):
+            eng.fork()
+        eng.commit()
+        eng.release_fork()
+
+    @pytest.mark.parametrize("chain", ["bfs", "dfs"])
+    @given(st.integers(0, 100_000), st.integers(1, 24), st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_fork_cycle_is_lossless(self, chain, seed, num_users, n_st):
+        """fork -> arbitrary opens -> rollback_fork is an exact no-op, and
+        the engine afterwards behaves identically to one that never
+        forked (same committed instance appended)."""
+        stations = random_instance(seed, num_users, n_st)
+        half = len(stations) // 2
+        eng = IncrementalAssignment(num_users, chain=chain)
+        for i, (covers, cap) in enumerate(stations[:half]):
+            eng.open(i, covers, cap)
+        before = engine_state(eng)
+        eng.fork()
+        for i, (covers, cap) in enumerate(stations[half:]):
+            eng.open(("fork", i), covers, cap)
+        eng.rollback_fork()
+        assert engine_state(eng) == before
+        # Post-rollback opens still reach the exact optimum.
+        for i, (covers, cap) in enumerate(stations[half:]):
+            eng.open(("again", i), covers, cap)
+        assert eng.served_count == dinic_value(num_users, stations)
+
+
+class TestChainModes:
+    @given(st.integers(0, 100_000), st.integers(1, 24), st.integers(1, 7))
+    @settings(max_examples=40, deadline=None)
+    def test_bfs_and_dfs_values_agree(self, seed, num_users, n_st):
+        """The vectorised BFS engine and the scalar Kuhn DFS reference
+        realise the same maximum after every open (values, not
+        necessarily the same witness assignment)."""
+        stations = random_instance(seed, num_users, n_st)
+        bfs = IncrementalAssignment(num_users, chain="bfs")
+        dfs = IncrementalAssignment(num_users, chain="dfs")
+        for i, (covers, cap) in enumerate(stations):
+            g_bfs = bfs.open(i, covers, cap)
+            g_dfs = dfs.open(i, covers, cap)
+            assert bfs.served_count == dfs.served_count
+            assert g_bfs == g_dfs
+        assert bfs.served_count == dinic_value(num_users, stations)
+
+    def test_chain_replay_stress(self):
+        """A wide last station after many tight ones forces long runs of
+        chain augmentations — the replay fast path — and must still land
+        on the independent max-flow value."""
+        rng = np.random.default_rng(42)
+        num_users = 120
+        stations = []
+        for _ in range(10):
+            covers = sorted(
+                int(u) for u in rng.choice(num_users, size=30, replace=False)
+            )
+            stations.append((covers, 8))
+        stations.append((list(range(num_users)), 60))
+        eng = IncrementalAssignment(num_users)
+        for i, (covers, cap) in enumerate(stations):
+            eng.open(i, covers, cap)
+        assert eng.served_count == dinic_value(num_users, stations)

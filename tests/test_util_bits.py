@@ -1,0 +1,82 @@
+"""Packed-bitset helpers, including the pre-numpy-2.0 popcount fallback.
+
+``repro.util.bits._bit_counts`` dispatches per call on
+``hasattr(np, "bitwise_count")``, so deleting the attribute under
+``monkeypatch`` exercises the 8-bit lookup-table path on any numpy —
+exactly what a numpy < 2.0 install would run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.bits import (
+    _POPCOUNT_TABLE,
+    pack_indices,
+    popcount,
+    popcount_rows,
+    unpack_indices,
+)
+
+
+def _delete_hw_popcount(monkeypatch):
+    if hasattr(np, "bitwise_count"):
+        monkeypatch.delattr(np, "bitwise_count")
+
+
+class TestPopcountFallback:
+    def test_table_is_exact(self):
+        assert _POPCOUNT_TABLE.dtype == np.uint8
+        assert [int(x) for x in _POPCOUNT_TABLE] == [
+            bin(i).count("1") for i in range(256)
+        ]
+
+    def test_fallback_popcount_matches_python(self, monkeypatch):
+        _delete_hw_popcount(monkeypatch)
+        rng = np.random.default_rng(7)
+        packed = rng.integers(0, 256, size=137, dtype=np.uint8)
+        expected = sum(bin(int(b)).count("1") for b in packed)
+        assert popcount(packed) == expected
+
+    def test_fallback_rows_match_hardware_path(self, monkeypatch):
+        if not hasattr(np, "bitwise_count"):
+            pytest.skip("no hardware popcount on this numpy")
+        rng = np.random.default_rng(11)
+        packed = rng.integers(0, 256, size=(23, 17), dtype=np.uint8)
+        hw = popcount_rows(packed)
+        _delete_hw_popcount(monkeypatch)
+        table = popcount_rows(packed)
+        assert table.dtype == np.int64
+        np.testing.assert_array_equal(hw, table)
+
+    def test_fallback_handles_empty_and_zero(self, monkeypatch):
+        _delete_hw_popcount(monkeypatch)
+        assert popcount(np.zeros(0, dtype=np.uint8)) == 0
+        assert popcount(np.zeros(5, dtype=np.uint8)) == 0
+        np.testing.assert_array_equal(
+            popcount_rows(np.zeros((3, 4), dtype=np.uint8)), [0, 0, 0]
+        )
+
+    def test_runtime_switch_is_per_call(self, monkeypatch):
+        """The dispatch happens inside each call, so the same process can
+        use the hardware path before and the table after removal."""
+        packed = np.array([255, 1, 16], dtype=np.uint8)
+        before = popcount(packed)
+        _delete_hw_popcount(monkeypatch)
+        assert popcount(packed) == before == 10
+
+
+class TestPackRoundtrip:
+    def test_roundtrip_under_fallback(self, monkeypatch):
+        _delete_hw_popcount(monkeypatch)
+        rng = np.random.default_rng(3)
+        for n in (1, 7, 8, 9, 63, 300):
+            idx = np.flatnonzero(rng.random(n) < 0.4)
+            packed = pack_indices(idx, n)
+            assert unpack_indices(packed, n) == idx.tolist()
+            assert popcount(packed) == idx.size
+
+    def test_popcount_rows_rejects_scalar(self):
+        with pytest.raises(ValueError):
+            popcount_rows(np.uint8(3))
