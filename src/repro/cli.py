@@ -341,24 +341,54 @@ def _run_spec_from_args(args: argparse.Namespace):
     )
 
 
+def _scale_overrides(args: argparse.Namespace) -> dict:
+    """The aggregation/tiling flags as ScenarioSpec overrides — applied
+    on top of whatever spec ``repro run`` resolved (flags, preset, or
+    file), so ``--tiles 2x2`` works with any of them."""
+    overrides: dict = {}
+    if getattr(args, "aggregate", None) is not None:
+        overrides["aggregation"] = args.aggregate
+    if getattr(args, "cell_size", None) is not None:
+        overrides["aggregation"] = "cells"
+        overrides["cell_size_m"] = args.cell_size
+    if getattr(args, "tiles", None) is not None:
+        overrides["tiles"] = args.tiles
+    if getattr(args, "tile_overlap", None) is not None:
+        overrides["tile_overlap_m"] = args.tile_overlap
+    return overrides
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    """Run one algorithm on a scenario — from flags, a ScenarioSpec JSON,
-    or a legacy scenario file — and optionally save the deployment."""
+    """Run one algorithm on a scenario — from flags, a named preset, a
+    ScenarioSpec JSON, or a legacy scenario file — and optionally save
+    the deployment and/or record a perf-trajectory point."""
     import json
     from pathlib import Path
 
-    from repro.scenario import ScenarioSpec, SolvePipeline
+    from repro.network.deployment import CellDeployment
+    from repro.scenario import ScenarioSpec, SolvePipeline, SpecError, get_preset
     from repro.sim.io import save_deployment
     from repro.sim.metrics import summarize
 
     pipeline = SolvePipeline(**_resilience_kwargs(args))
-    if args.scenario is not None:
+    spec: "ScenarioSpec | None" = None
+    state = None
+    if args.scenario is not None and not Path(args.scenario).exists():
+        # Not a file: try the named presets (repro scenario list).
+        try:
+            spec = get_preset(args.scenario)
+        except KeyError as exc:
+            print(f"error: {args.scenario}: not a spec file, and "
+                  f"{exc.args[0]}", file=sys.stderr)
+            return 2
+    elif args.scenario is not None:
         data = json.loads(Path(args.scenario).read_text())
         if data.get("kind") == "scenario-spec":
             # Declarative spec: scenario AND algorithm/engine options come
             # from the file; the solver flags on the command line are
-            # ignored in favour of the spec's.
-            state = pipeline.run(ScenarioSpec.from_dict(data))
+            # ignored in favour of the spec's (except the aggregation and
+            # tiling overrides, which compose with any spec).
+            spec = ScenarioSpec.from_dict(data)
         else:
             # Legacy scenario file: just the problem; algorithm and
             # engine options still come from the flags.
@@ -375,20 +405,65 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 load_scenario(args.scenario), args.algorithm, params,
                 checkpoint=pipeline.spec_checkpoint(spec),
             )
+            spec = None
     else:
-        state = pipeline.run(_run_spec_from_args(args))
+        spec = _run_spec_from_args(args)
+    if state is None:
+        overrides = _scale_overrides(args)
+        try:
+            if overrides:
+                spec = spec.with_overrides(**overrides)
+            state = pipeline.run(spec)
+        except SpecError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     record, problem, deployment = state.record, state.problem, state.deployment
     print(
-        f"{record.algorithm}: served {record.served}/{problem.num_users} "
+        f"{record.algorithm}: served {record.served}/{record.num_users} "
         f"users in {record.runtime_s:.2f}s"
     )
-    metrics = summarize(problem, deployment)
-    print(
-        f"throughput {metrics.throughput_bps / 1e6:.1f} Mbps, utilisation "
-        f"{metrics.capacity_utilisation:.0%}, fairness "
-        f"{metrics.load_fairness:.2f}"
-    )
+    if isinstance(deployment, CellDeployment):
+        # Demand-cell solves have no per-user assignment to summarize;
+        # report the aggregated shape instead.
+        report = state.report or {}
+        cells = len(getattr(problem.graph, "cells", ()))
+        line = (
+            f"{cells} demand cells, {deployment.num_deployed} UAVs deployed"
+        )
+        if report.get("tiles"):
+            line += (
+                f", tiles {report['tiles']} "
+                f"({report.get('tiles_solved', 0)} solved, "
+                f"{report.get('relays_added', 0)} relays"
+                + (", degraded" if report.get("degraded") else "")
+                + ")"
+            )
+        print(line)
+    else:
+        metrics = summarize(problem, deployment)
+        print(
+            f"throughput {metrics.throughput_bps / 1e6:.1f} Mbps, utilisation "
+            f"{metrics.capacity_utilisation:.0%}, fairness "
+            f"{metrics.load_fairness:.2f}"
+        )
+    if args.record_bench:
+        from repro.obs.bench import record_trajectory_point
+
+        label = spec.name if spec is not None else "legacy"
+        out = record_trajectory_point(
+            scenario=f"run:{label}",
+            algorithm=record.algorithm,
+            served=record.served,
+            wall_s=record.runtime_s,
+            workers=spec.workers if spec is not None else args.workers,
+            scale=spec.scale if spec is not None else args.scale,
+        )
+        print(f"perf point run:{label} recorded in {out}")
     if args.save is not None:
+        if isinstance(deployment, CellDeployment):
+            print("error: --save does not support demand-cell deployments "
+                  "(no per-user assignment to serialize)", file=sys.stderr)
+            return 2
         save_deployment(args.save, deployment)
         print(f"deployment written to {args.save}")
     if args.report:
@@ -712,7 +787,35 @@ def main(argv: "list | None" = None) -> int:
     run_cmd.add_argument(
         "--scenario", default=None,
         help="scenario JSON: a ScenarioSpec (kind 'scenario-spec', see "
-        "'repro scenario show') or a legacy repro.sim.io scenario file",
+        "'repro scenario show'), a preset name ('repro scenario list'), "
+        "or a legacy repro.sim.io scenario file",
+    )
+    run_cmd.add_argument(
+        "--aggregate", choices=("users", "cells"), default=None,
+        help="solve over individual users (default) or aggregated demand "
+        "cells (see docs/SCALE.md)",
+    )
+    run_cmd.add_argument(
+        "--cell-size", type=float, default=None, dest="cell_size",
+        metavar="METRES",
+        help="demand-cell edge length (implies --aggregate cells; omit "
+        "for singleton cells)",
+    )
+    run_cmd.add_argument(
+        "--tiles", default=None, metavar="NxM",
+        help="shard the area into an NxM tile grid, solve tiles "
+        "independently and stitch (see docs/SCALE.md)",
+    )
+    run_cmd.add_argument(
+        "--tile-overlap", type=float, default=None, dest="tile_overlap",
+        metavar="METRES",
+        help="how far each tile's candidate locations reach past its "
+        "core bounds (default 0)",
+    )
+    run_cmd.add_argument(
+        "--record-bench", action="store_true",
+        help="merge this run's served/wall-time into BENCH_approx.json "
+        "(same schema and key semantics as the bench suite)",
     )
     run_cmd.add_argument("--save", default=None,
                          help="write the deployment JSON here")

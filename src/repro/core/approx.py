@@ -62,7 +62,7 @@ from itertools import chain, combinations
 import numpy as np
 
 from repro import obs
-from repro.core.assignment import optimal_assignment
+from repro.core.assignment import optimal_assignment, optimal_cell_assignment
 from repro.core.checkpoint import (
     CheckpointConfig,
     SolveCheckpoint,
@@ -76,7 +76,7 @@ from repro.core.dispatch import chunk_slices as _chunk_slices
 from repro.core.greedy import anchored_greedy, pair_greedy
 from repro.core.problem import ProblemInstance
 from repro.core.segments import SegmentPlan, optimal_segments
-from repro.flow.bipartite import IncrementalAssignment
+from repro.flow.bipartite import new_engine_for
 from repro.graphs.bfs import UNREACHABLE
 from repro.network.deployment import Deployment
 from repro.util.interrupt import SolveInterrupted, interrupt_requested
@@ -154,9 +154,21 @@ def _anchor_pool(
         # the largest-capacity UAV's radio), ties to lower index.
         strongest = problem.fleet[problem.capacity_order()[0]]
         graph = problem.graph
-        pool.sort(key=lambda v: (-graph.coverage_count(v, strongest), v))
+        pool.sort(key=lambda v: (-graph.coverage_weight(v, strongest), v))
         pool = sorted(pool[:max_anchor_candidates])
     return pool
+
+
+def _final_assignment(graph, fleet, placements: dict):
+    """The exact max-flow final assignment (line 25), dispatched on the
+    graph kind: demand-cell graphs with a demand > 1 need the capacitated
+    cell-arc network; per-user and singleton-cell graphs keep the unit
+    network (singleton cells behave exactly like users, preserving the
+    bit-identity of the aggregated degenerate path)."""
+    demands = getattr(graph, "cell_demands", None)
+    if demands is not None and demands.size and int(demands.max()) > 1:
+        return optimal_cell_assignment(graph, fleet, placements)
+    return optimal_assignment(graph, fleet, placements)
 
 
 def _prunable(problem: ProblemInstance, subset: tuple) -> bool:
@@ -187,9 +199,9 @@ def _fallback_single(problem: ProblemInstance) -> ApproxResult:
     strongest = problem.fleet[order[0]]
     best_loc = max(
         range(problem.num_locations),
-        key=lambda v: (graph.coverage_count(v, strongest), -v),
+        key=lambda v: (graph.coverage_weight(v, strongest), -v),
     )
-    deployment = optimal_assignment(
+    deployment = _final_assignment(
         graph, problem.fleet, {order[0]: best_loc}
     )
     stats = ApproxStats(fallback_used=True)
@@ -297,7 +309,7 @@ def _eval_chunk(problem, context, plan, order, eval_kw,
     quarantined chunk produces exactly what the worker would have."""
     best: "tuple[int, dict, tuple] | None" = None
     evaluated = infeasible = skipped = 0
-    engine = IncrementalAssignment(problem.num_users)
+    engine = new_engine_for(problem.graph)
     for i in range(subsets.shape[0]):
         subset = tuple(int(x) for x in subsets[i])
         if bounds is not None and _bound_skippable(
@@ -526,7 +538,7 @@ def _run_serial(
 ):
     total = stats.subsets_total
     best: "tuple[int, dict, tuple] | None" = None
-    engine = IncrementalAssignment(problem.num_users)
+    engine = new_engine_for(problem.graph)
 
     def evaluate(subset: tuple) -> None:
         nonlocal best
@@ -830,7 +842,7 @@ def appro_alg(
 
     served, placements, anchors = best
     with obs.span("approx.final_assignment"):
-        deployment = optimal_assignment(
+        deployment = _final_assignment(
             problem.graph, problem.fleet, placements
         )
     assert deployment.served_count == served, (

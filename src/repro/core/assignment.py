@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.flow.dinic import Dinic
 from repro.network.coverage import CoverageGraph
-from repro.network.deployment import Deployment
+from repro.network.deployment import CellDeployment, Deployment
 
 
 def optimal_assignment(
@@ -65,6 +65,59 @@ def optimal_assignment(
                 )
             assignment[u] = k
     return Deployment(placements=dict(placements), assignment=assignment)
+
+
+def optimal_cell_assignment(
+    graph: CoverageGraph, fleet: list, placements: dict
+) -> CellDeployment:
+    """Maximise served *units* over a demand-cell graph for fixed
+    placements — the aggregated counterpart of :func:`optimal_assignment`.
+
+    The flow network swaps the unit user arcs for capacitated cell arcs:
+    ``source -(demand_c)-> cell c -(demand_c)-> station -(C_k)-> sink``.
+    The max-flow value is the number of members served; saturation per
+    cell may be split across stations, which :class:`CellDeployment`
+    represents as a flow.
+    """
+    deployed = sorted(placements.items())
+    for k, loc in deployed:
+        if not (0 <= k < len(fleet)):
+            raise IndexError(f"UAV index {k} outside fleet of {len(fleet)}")
+        if not (0 <= loc < graph.num_locations):
+            raise IndexError(
+                f"location {loc} outside [0, {graph.num_locations})"
+            )
+
+    demands = graph.cell_demands
+    d = len(demands)
+    num_stations = len(deployed)
+    if num_stations == 0 or d == 0:
+        return CellDeployment(placements=dict(placements), flows={})
+
+    # Node ids: 0 = source, 1..d = cells, d+1..d+stations, last = sink.
+    source = 0
+    sink = d + num_stations + 1
+    solver = Dinic(sink + 1)
+    for c in range(d):
+        solver.add_edge(source, 1 + c, int(demands[c]))
+
+    cell_station_arcs: list = []  # (arc_id, cell, uav_index)
+    for st, (k, loc) in enumerate(deployed):
+        uav = fleet[k]
+        station_node = d + 1 + st
+        for c in graph.coverable_users(loc, uav):
+            arc = solver.add_edge(1 + c, station_node, int(demands[c]))
+            cell_station_arcs.append((arc, c, k))
+        solver.add_edge(station_node, sink, uav.capacity)
+
+    solver.max_flow(source, sink)
+
+    flows: dict = {}
+    for arc, c, k in cell_station_arcs:
+        units = solver.flow_on(arc)
+        if units > 0:
+            flows[(c, k)] = units
+    return CellDeployment(placements=dict(placements), flows=flows)
 
 
 def max_served(graph: CoverageGraph, fleet: list, placements: dict) -> int:

@@ -138,7 +138,7 @@ def connect_and_deploy(
                 for loc in sorted(frontier):
                     count = (
                         int(counts[loc]) if counts is not None
-                        else len(graph.coverable_users(loc, uav))
+                        else graph.coverage_weight(loc, uav)
                     )
                     if min(uav.capacity, count) <= best_gain:
                         continue

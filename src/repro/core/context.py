@@ -49,6 +49,11 @@ class SolverContext:
     capacities: tuple           # uav index -> service capacity
     num_users: int
     build_seconds: float = 0.0
+    #: Per-cell integer demands for aggregated (demand-cell) problems with
+    #: at least one demand > 1; ``None`` on per-user and singleton-cell
+    #: problems, whose build path is untouched.  When set, the count
+    #: arrays above hold demand-weighted sums instead of popcounts.
+    demands: "tuple | None" = None
 
     # -- construction --------------------------------------------------------
 
@@ -81,7 +86,29 @@ class SolverContext:
             uav = representative[key]
             for v in range(m):
                 bits[r, v, :] = graph.coverable_bits(v, uav)
-        counts = popcount_rows(bits).astype(np.int32)
+        demands_arr = getattr(graph, "cell_demands", None)
+        if (
+            demands_arr is not None and demands_arr.size
+            and int(demands_arr.max()) > 1
+        ):
+            # Demand-cell graph: weight every count by cell demand, so
+            # the greedy's static bounds and the subset bounds stay
+            # admissible in served *units*.  Singleton-cell graphs (all
+            # demands 1) deliberately fall through to the per-user path —
+            # weighted sums equal popcounts there, and the identical code
+            # path is what the bit-identity oracle relies on.
+            demands = tuple(int(x) for x in demands_arr)
+            weights = np.asarray(demands_arr, dtype=np.int64)
+            unpacked = np.unpackbits(
+                bits.reshape(-1, words), axis=1, count=graph.num_users
+            )
+            counts = (
+                (unpacked.astype(np.int64) @ weights)
+                .reshape(len(radio_keys), m).astype(np.int32)
+            )
+        else:
+            demands = None
+            counts = popcount_rows(bits).astype(np.int32)
         best = (
             counts.max(axis=0)
             if counts.size
@@ -97,6 +124,7 @@ class SolverContext:
             capacities=tuple(uav.capacity for uav in problem.fleet),
             num_users=graph.num_users,
             build_seconds=time.perf_counter() - start,
+            demands=demands,
         )
 
     def matches(self, problem: ProblemInstance) -> bool:
@@ -273,6 +301,16 @@ def subset_bounds(
     caps = np.sort(np.asarray(context.capacities, dtype=np.int64))[::-1]
     top_k = min(num_uavs, m)
     caps = caps[:top_k]
+    # Demand-cell contexts bound in served *units*: best_counts are
+    # already demand-weighted, the union pass weights each covered cell
+    # by its demand, and the global cap is the total demand.
+    demand_vec = (
+        None if context.demands is None
+        else np.asarray(context.demands, dtype=np.int64)
+    )
+    total_units = (
+        context.num_users if demand_vec is None else int(demand_vec.sum())
+    )
     bits = context.coverage_bits
     if bits.shape[0]:
         any_bits = np.bitwise_or.reduce(bits, axis=0)      # (m, words)
@@ -326,18 +364,31 @@ def subset_bounds(
             for sub in range(0, c, matmul_rows):
                 occ = occupiable[sub:sub + matmul_rows]
                 prod = occ.astype(np.float32) @ unpacked
-                union_pop[sub:sub + occ.shape[0]] = np.count_nonzero(
-                    prod, axis=1
-                )
+                if demand_vec is None:
+                    union_pop[sub:sub + occ.shape[0]] = np.count_nonzero(
+                        prod, axis=1
+                    )
+                else:
+                    union_pop[sub:sub + occ.shape[0]] = (
+                        (prod > 0).astype(np.int64) @ demand_vec
+                    )
         else:
             for sub in range(0, c, _UNION_CHUNK):
                 occ = occupiable[sub:sub + _UNION_CHUNK]
                 masked = np.where(
                     occ[:, :, None], any_bits[None, :, :], np.uint8(0)
                 )
-                union_pop[sub:sub + occ.shape[0]] = popcount_rows(
-                    np.bitwise_or.reduce(masked, axis=1)
-                )
+                union_bits = np.bitwise_or.reduce(masked, axis=1)
+                if demand_vec is None:
+                    union_pop[sub:sub + occ.shape[0]] = popcount_rows(
+                        union_bits
+                    )
+                else:
+                    union_pop[sub:sub + occ.shape[0]] = (
+                        np.unpackbits(
+                            union_bits, axis=1, count=context.num_users
+                        ).astype(np.int64) @ demand_vec
+                    )
         bound = np.minimum(bound, union_pop)
-        out[lo:lo + c] = np.minimum(bound, context.num_users)
+        out[lo:lo + c] = np.minimum(bound, total_units)
     return out

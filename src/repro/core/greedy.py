@@ -37,7 +37,7 @@ import numpy as np
 from repro import obs
 from repro.core.problem import ProblemInstance
 from repro.core.segments import SegmentPlan
-from repro.flow.bipartite import IncrementalAssignment
+from repro.flow.bipartite import IncrementalAssignment, new_engine_for
 from repro.matroid.hop import HopCountingMatroid, IncrementalHopFilter
 
 
@@ -119,7 +119,7 @@ def anchored_greedy(
     hop_filter = IncrementalHopFilter(matroid)
     universe = sorted(matroid.ground_set())
     if engine is None:
-        engine = IncrementalAssignment(graph.num_users)
+        engine = new_engine_for(graph)
 
     if context is not None:
         universe_arr = np.asarray(universe, dtype=np.int64)
@@ -188,7 +188,7 @@ def anchored_greedy(
                 for v in candidates:
                     if first_iteration:
                         gain = min(
-                            uav.capacity, len(graph.coverable_users(v, uav))
+                            uav.capacity, graph.coverage_weight(v, uav)
                         )
                     else:
                         gain = engine.direct_gain_bound(
@@ -201,7 +201,7 @@ def anchored_greedy(
                         best_gain, best_v, best_is_anchor = gain, v, is_anchor
             else:
                 static = [
-                    min(uav.capacity, len(graph.coverable_users(v, uav)))
+                    min(uav.capacity, graph.coverage_weight(v, uav))
                     for v in candidates
                 ]
                 best_v = _exact_scan(
@@ -295,7 +295,7 @@ def pair_greedy(
     hop_filter = IncrementalHopFilter(matroid)
     universe = sorted(matroid.ground_set())
     if engine is None:
-        engine = IncrementalAssignment(graph.num_users)
+        engine = new_engine_for(graph)
 
     chosen: list = []
     used_uavs: set = set()
@@ -315,7 +315,7 @@ def pair_greedy(
             for v in candidates:
                 count = (
                     int(counts[v]) if counts is not None
-                    else len(graph.coverable_users(v, uav))
+                    else graph.coverage_weight(v, uav)
                 )
                 scored.append((min(uav.capacity, count), k, v))
         scored.sort(key=lambda t: (-t[0], t[1], t[2]))

@@ -198,6 +198,14 @@ class CoverageGraph:
     def coverage_count(self, loc_index: int, uav: UAV) -> int:
         return len(self.coverable_users(loc_index, uav))
 
+    def coverage_weight(self, loc_index: int, uav: UAV) -> int:
+        """Demand-weighted coverage — the unit the greedy's static gains
+        are measured in.  Per-user graphs have unit demand everywhere, so
+        this equals :meth:`coverage_count`; demand-cell graphs
+        (:class:`repro.workload.aggregate.CellCoverageGraph`) override it
+        with the coverable cells' total member count."""
+        return self.coverage_count(loc_index, uav)
+
     def warm_coverage(self, loc_index: int, radio_key: tuple,
                       covered: list) -> None:
         """Seed the coverage cache with a precomputed sorted user list (used

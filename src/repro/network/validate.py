@@ -9,8 +9,12 @@ connectivity) without trusting any cached structure the algorithms used.
 
 from __future__ import annotations
 
+import math
+
+import numpy as np
+
 from repro.network.coverage import CoverageGraph
-from repro.network.deployment import Deployment
+from repro.network.deployment import CellDeployment, Deployment
 
 
 class ValidationError(AssertionError):
@@ -84,6 +88,93 @@ def validate_deployment(
             raise ValidationError(
                 f"user {user} gets {rate:.0f} bps from UAV {k}, below its "
                 f"requirement {required:.0f} bps"
+            )
+
+    if require_connected and deployment.num_deployed > 1:
+        locs = deployment.locations_used()
+        if not graph.locations_connected(locs):
+            raise ValidationError(
+                f"deployed locations {locs} do not induce a connected "
+                "UAV network"
+            )
+
+
+def validate_cell_deployment(
+    graph,
+    fleet: list,
+    deployment: CellDeployment,
+    require_connected: bool = True,
+) -> None:
+    """Feasibility of a demand-cell deployment, from first principles.
+
+    Mirrors :func:`validate_deployment` over the aggregated constraints:
+    indices valid; per-UAV unit loads within capacity; per-cell served
+    units within demand; every flow arc's cell provably coverable — the
+    *padded* distance/rate test, so every member of a served cell is in
+    range with an adequate rate; and (optionally) connectivity.
+    ``graph`` must be a cell graph
+    (:class:`repro.workload.aggregate.CellCoverageGraph`).
+    """
+    for k, loc in deployment.placements.items():
+        if not (0 <= k < len(fleet)):
+            raise ValidationError(f"UAV index {k} outside fleet of {len(fleet)}")
+        if not (0 <= loc < graph.num_locations):
+            raise ValidationError(
+                f"location index {loc} outside [0, {graph.num_locations})"
+            )
+
+    num_cells = len(graph.cells)
+    for (c, k), units in deployment.flows.items():
+        if not (0 <= c < num_cells):
+            raise ValidationError(
+                f"cell index {c} outside [0, {num_cells})"
+            )
+        if k not in deployment.placements:
+            raise ValidationError(
+                f"cell {c} sends {units} unit(s) to UAV {k}, which has no "
+                "placement in this deployment"
+            )
+
+    loads = deployment.loads()
+    for k, load in loads.items():
+        capacity = fleet[k].capacity
+        if load > capacity:
+            raise ValidationError(
+                f"UAV {k} serves {load} units, exceeding capacity {capacity}"
+            )
+
+    for c, total in deployment.cell_totals().items():
+        demand = graph.cells[c].demand
+        if total > demand:
+            raise ValidationError(
+                f"cell {c} serves {total} units, exceeding its demand "
+                f"{demand} (double-counted members)"
+            )
+
+    for (c, k), _units in deployment.flows.items():
+        cell = graph.cells[c]
+        uav = fleet[k]
+        loc = graph.locations[deployment.placements[k]]
+        # Padded test: the worst-placed member sits at most radius_m
+        # beyond the centroid, so pad the ground distance by it.
+        horiz = math.hypot(cell.x - loc.x, cell.y - loc.y) + cell.radius_m
+        dist3 = math.hypot(horiz, loc.z)
+        if dist3 > uav.user_range_m + 1e-9:
+            raise ValidationError(
+                f"cell {c} (padded) is {dist3:.1f} m from UAV {k}, beyond "
+                f"its range {uav.user_range_m} m"
+            )
+        pl = float(
+            np.asarray(
+                graph.channel.pathloss_vector_db(np.array([horiz]), loc.z)
+            ).ravel()[0]
+        )
+        snr_db = uav.tx_power_dbm + uav.antenna_gain_db - pl - graph.noise_dbm
+        rate = graph.bandwidth_hz * math.log2(1.0 + 10.0 ** (snr_db / 10.0))
+        if rate < cell.min_rate_bps - 1e-9:
+            raise ValidationError(
+                f"cell {c} gets {rate:.0f} bps (padded) from UAV {k}, below "
+                f"its requirement {cell.min_rate_bps:.0f} bps"
             )
 
     if require_connected and deployment.num_deployed > 1:

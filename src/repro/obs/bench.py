@@ -1,0 +1,88 @@
+"""Perf-trajectory recording outside the bench pytest session.
+
+``benchmarks/conftest.py`` owns the canonical ``BENCH_approx.json``
+schema and merge semantics, but only flushes points from a pytest
+session.  The CLI's ``repro run --record-bench`` (notably the ``mega-1m``
+end-to-end scale run, far too heavy for the regular bench suite) needs to
+land points in the same trajectory — this module replicates the point
+schema and the same-key-replaces merge so both writers stay compatible.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.util.atomic import atomic_write_text
+
+#: Canonical point schema — keep in lockstep with
+#: ``benchmarks/conftest.py:POINT_FIELDS``; metrics a run did not measure
+#: are explicit ``None``, never absent.
+POINT_FIELDS = (
+    "scenario", "algorithm", "served", "wall_s", "workers", "scale",
+    "speedup", "subsets_evaluated", "subsets_bound_skipped",
+    "context_build_s", "bound_pass_ms", "gain_matrix_ms",
+)
+
+#: Default trajectory file: ``BENCH_approx.json`` at the repo root.
+TRAJECTORY_PATH = Path(__file__).resolve().parents[3] / "BENCH_approx.json"
+
+
+def normalize_point(point: dict) -> dict:
+    """Project ``point`` onto the full schema, keeping unknown extras."""
+    out = {name: point.get(name) for name in POINT_FIELDS}
+    for key, value in point.items():
+        if key not in out:
+            out[key] = value
+    return out
+
+
+def _point_key(point: dict) -> tuple:
+    return (point.get("scenario"), point.get("algorithm"),
+            point.get("workers"), point.get("scale"))
+
+
+def load_trajectory_points(path: "str | Path" = TRAJECTORY_PATH) -> list:
+    """Points on disk; tolerates a missing, empty, or corrupt file."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, ValueError):
+        return []
+    points = data.get("points") if isinstance(data, dict) else None
+    return points if isinstance(points, list) else []
+
+
+def record_trajectory_point(
+    scenario: str,
+    algorithm: str,
+    served: int,
+    wall_s: float,
+    workers: int = 1,
+    scale: str = "bench",
+    path: "str | Path" = TRAJECTORY_PATH,
+    **extra: object,
+) -> Path:
+    """Merge one measured point into the trajectory file (atomic write).
+
+    A point replaces an earlier one with the same ``(scenario, algorithm,
+    workers, scale)`` key and appends otherwise — identical to the bench
+    session's :class:`PerfTrajectory` flush, so CLI-recorded points and
+    bench-recorded points coexist in one history the perf gate reads.
+    """
+    path = Path(path)
+    point = normalize_point({
+        "scenario": scenario,
+        "algorithm": algorithm,
+        "served": int(served),
+        "wall_s": round(float(wall_s), 4),
+        "workers": int(workers),
+        "scale": scale,
+        **extra,
+    })
+    merged = {
+        _point_key(p): normalize_point(p) for p in load_trajectory_points(path)
+    }
+    merged[_point_key(point)] = point
+    text = json.dumps({"points": list(merged.values())}, indent=2)
+    atomic_write_text(path, text + "\n")
+    return path

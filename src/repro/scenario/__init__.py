@@ -29,6 +29,7 @@ from repro.scenario.spec import (
     get_preset,
     preset_names,
 )
+from repro.scenario.tiling import TileSlice, carve_tiles, solve_tiled
 
 __all__ = [
     "AlgorithmEntry",
@@ -42,8 +43,11 @@ __all__ = [
     "ScenarioSpec",
     "SolvePipeline",
     "SpecError",
+    "TileSlice",
+    "carve_tiles",
     "default_registry",
     "get_preset",
     "preset_names",
     "run_specs",
+    "solve_tiled",
 ]

@@ -246,7 +246,12 @@ class BatchRunner:
         groups = _regroup(todo)
         obs.counter_inc("batch.specs", len(todo))
         obs.counter_inc("batch.groups", len(groups))
-        if self.workers > 1 and len(groups) > 1:
+        if not todo:
+            # Everything was rehydrated (or the caller passed no specs):
+            # never spin up a pool for zero groups — a tiled run whose
+            # tiles were all resumed lands here.
+            outcomes = []
+        elif self.workers > 1 and len(groups) > 1:
             outcomes = self._run_pooled(groups, ledger)
         else:
             outcomes = self._run_sequential(groups, ledger, items, start)
@@ -301,6 +306,11 @@ class BatchRunner:
                     ledger: "ProgressLedger | None") -> "list":
         from concurrent.futures import ProcessPoolExecutor
 
+        if not groups:
+            # Guard against ProcessPoolExecutor(max_workers=0): callers
+            # normally short-circuit empty batches, but keep this safe
+            # under direct use too.
+            return []
         checkpoint_dir = (
             None if self.pipeline.checkpoint_dir is None
             else str(self.pipeline.checkpoint_dir)
@@ -315,7 +325,7 @@ class BatchRunner:
             )
             for group in groups
         ]
-        workers = min(self.workers, len(groups))
+        workers = max(1, min(self.workers, len(groups)))
         outcomes = []
         with ProcessPoolExecutor(max_workers=workers) as pool:
             for outcome in pool.map(_run_group_json, payloads):

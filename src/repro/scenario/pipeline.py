@@ -42,13 +42,18 @@ from repro import obs
 from repro.core.checkpoint import CheckpointConfig
 from repro.core.context import SolverContext
 from repro.util.ledger import work_fingerprint
-from repro.network.validate import ValidationError, validate_deployment
+from repro.network.deployment import CellDeployment
+from repro.network.validate import (
+    ValidationError,
+    validate_cell_deployment,
+    validate_deployment,
+)
 from repro.scenario.registry import (
     DEFAULT_REGISTRY,
     AlgorithmEntry,
     AlgorithmRegistry,
 )
-from repro.scenario.spec import ScenarioSpec
+from repro.scenario.spec import ScenarioSpec, SpecError
 from repro.util.timing import Stopwatch
 
 
@@ -141,8 +146,17 @@ def validate_stage(state: PipelineState) -> PipelineState:
     """Re-validate the deployment against the problem constraints."""
     if not state.validate or state.status != "ok" or state.deployment is None:
         return state
+    # Demand-cell solves emit a CellDeployment (cell->UAV unit flows);
+    # everything else — including the singleton-cell degenerate path,
+    # which deliberately reuses the per-user assignment — stays on the
+    # classic validator.
+    check = (
+        validate_cell_deployment
+        if isinstance(state.deployment, CellDeployment)
+        else validate_deployment
+    )
     try:
-        validate_deployment(
+        check(
             state.problem.graph,
             state.problem.fleet,
             state.deployment,
@@ -169,11 +183,14 @@ def report_stage(state: PipelineState) -> PipelineState:
     record_params = {
         k: v for k, v in state.params.items() if k != "checkpoint"
     }
+    # On demand-cell problems the graph's "users" are cells; report the
+    # underlying member count so records stay comparable across paths.
+    num_users = getattr(problem.graph, "total_demand", problem.num_users)
     state.record = RunRecord(
         algorithm=state.entry.name,
         served=state.served if state.status in ("ok", "invalid") else 0,
         runtime_s=state.elapsed_s,
-        num_users=problem.num_users,
+        num_users=num_users,
         num_uavs=problem.num_uavs,
         params=record_params,
         status=state.status,
@@ -182,7 +199,7 @@ def report_stage(state: PipelineState) -> PipelineState:
     state.report = {
         "algorithm": state.entry.name,
         "served": state.record.served,
-        "num_users": problem.num_users,
+        "num_users": num_users,
         "runtime_s": state.elapsed_s,
         "status": state.status,
     }
@@ -288,8 +305,24 @@ class SolvePipeline:
         ``problem`` / ``context`` inject prebuilt structure (the batch
         runner shares them across specs with equal scenario keys); the
         build/context stages then skip their work.
+
+        A spec with a ``tiles`` grid (and no ``tile_index``) routes
+        through :func:`repro.scenario.tiling.solve_tiled`, which shards
+        the scenario, solves each tile through this same pipeline via the
+        batch runner, and stitches the result into one state.
         """
         entry = self.registry.get(spec.algorithm)
+        if spec.aggregation == "cells" and not entry.supports_cells:
+            raise SpecError(
+                f"algorithm {entry.name!r} does not support "
+                "aggregation='cells' (no supports_cells capability)"
+            )
+        if spec.tiles is not None and spec.tile_index is None:
+            from repro.scenario.tiling import solve_tiled
+
+            return solve_tiled(
+                spec, registry=self.registry, strict=self.strict
+            )
         params = dict(spec.algorithm_params)
         if entry.supports_workers and spec.workers != 1:
             params["workers"] = spec.workers

@@ -57,6 +57,11 @@ class AlgorithmEntry:
     cooperative: bool = False
     requires_connected: bool = True
     watchdog_tier: "int | None" = None
+    #: The solver understands demand-cell problems (graphs carrying
+    #: ``cell_demands``; see :mod:`repro.workload.aggregate`) — it weights
+    #: gains by demand and emits a cell-arc assignment.  The pipeline
+    #: refuses ``aggregation="cells"`` specs for solvers without it.
+    supports_cells: bool = False
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -144,7 +149,7 @@ def default_registry() -> AlgorithmRegistry:
             "(the paper's O(sqrt(s/K))-approximation)",
             supports_workers=True, supports_bound_prune=True,
             supports_context=True, supports_checkpoint=True,
-            cooperative=True, watchdog_tier=0,
+            cooperative=True, watchdog_tier=0, supports_cells=True,
         ),
         AlgorithmEntry(
             "MCS", mcs,

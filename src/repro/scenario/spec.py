@@ -33,6 +33,7 @@ the default scenario.
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import asdict, dataclass, field, fields, replace
 from pathlib import Path
 
@@ -56,6 +57,10 @@ WORKLOADS = {
 
 class SpecError(ValueError):
     """A scenario spec failed validation (bad field, unknown key, ...)."""
+
+
+#: ``tiles`` grid syntax: columns x rows, both positive ("2x3").
+_TILES_RE = re.compile(r"([0-9]+)x([0-9]+)")
 
 
 def _require(condition: bool, message: str) -> None:
@@ -115,6 +120,23 @@ class ScenarioSpec:
     workers: int = 1
     bound_prune: bool = False
     validate: bool = True
+    # -- scale-out: demand aggregation + area tiling --------------------------
+    #: "users" solves over individual users (the historical path);
+    #: "cells" aggregates users into spatial demand cells first (see
+    #: :mod:`repro.workload.aggregate`).
+    aggregation: str = "users"
+    #: Cell edge length for ``aggregation="cells"``; ``None`` means
+    #: singleton cells (one per user — bit-identical to the user path).
+    cell_size_m: "float | None" = None
+    #: Shard the area into a ``"NxM"`` grid of tiles solved independently
+    #: and stitched (see :mod:`repro.scenario.tiling`); ``None`` = no tiling.
+    tiles: "str | None" = None
+    #: How far each tile's candidate locations reach past its core bounds.
+    tile_overlap_m: float = 0.0
+    #: Internal: when set, :meth:`build` yields that single carved tile's
+    #: sub-problem instead of the full scenario (how the tiled driver feeds
+    #: per-tile specs through the batch runner unchanged).
+    tile_index: "int | None" = None
 
     # -- schema validation ---------------------------------------------------
 
@@ -194,6 +216,51 @@ class ScenarioSpec:
             isinstance(self.validate, bool),
             f"validate must be a boolean, got {self.validate!r}",
         )
+        _require(
+            self.aggregation in ("users", "cells"),
+            f"aggregation must be 'users' or 'cells', got {self.aggregation!r}",
+        )
+        _check_optional_number(self.cell_size_m, "cell_size_m")
+        _require(
+            self.cell_size_m is None or self.aggregation == "cells",
+            "cell_size_m given without aggregation='cells'",
+        )
+        if self.tiles is not None:
+            _require(
+                isinstance(self.tiles, str)
+                and _TILES_RE.fullmatch(self.tiles) is not None,
+                f"tiles must look like '2x3' (columns x rows), got "
+                f"{self.tiles!r}",
+            )
+            nx, ny = self.tile_grid()
+            _require(
+                nx >= 1 and ny >= 1,
+                f"tiles grid must be at least 1x1, got {self.tiles!r}",
+            )
+        _require(
+            isinstance(self.tile_overlap_m, (int, float))
+            and not isinstance(self.tile_overlap_m, bool)
+            and self.tile_overlap_m >= 0,
+            f"tile_overlap_m must be a number >= 0, got "
+            f"{self.tile_overlap_m!r}",
+        )
+        _require(
+            self.tile_overlap_m == 0 or self.tiles is not None,
+            "tile_overlap_m given without a tiles grid",
+        )
+        if self.tile_index is not None:
+            _require(
+                self.tiles is not None,
+                "tile_index given without a tiles grid",
+            )
+            nx, ny = self.tile_grid()
+            _require(
+                isinstance(self.tile_index, int)
+                and not isinstance(self.tile_index, bool)
+                and 0 <= self.tile_index < nx * ny,
+                f"tile_index must be an integer in [0, {nx * ny}), got "
+                f"{self.tile_index!r}",
+            )
 
     # -- derived views -------------------------------------------------------
 
@@ -220,10 +287,41 @@ class ScenarioSpec:
             )
         return SCALES[self.scale].with_overrides(**overrides)
 
+    def tile_grid(self) -> "tuple | None":
+        """The parsed ``tiles`` grid as ``(nx, ny)``, or ``None``."""
+        if self.tiles is None:
+            return None
+        nx, ny = (int(part) for part in self.tiles.split("x"))
+        return nx, ny
+
     def build(self) -> ProblemInstance:
         """Instantiate the scenario (bit-identical to the historical
-        ``paper_scenario(..., seed=spec.seed)`` path for the same knobs)."""
-        return build_scenario(self.to_config(), self.seed)
+        ``paper_scenario(..., seed=spec.seed)`` path for the same knobs).
+
+        Aggregation and tile carving are part of the build: a spec with
+        ``aggregation="cells"`` yields a demand-cell problem, and one with
+        ``tile_index`` set yields that carved tile's sub-problem — which is
+        how :func:`repro.scenario.tiling.solve_tiled` feeds per-tile specs
+        through the batch runner without the runner knowing about tiles.
+        """
+        problem = build_scenario(self.to_config(), self.seed)
+        if self.aggregation == "cells":
+            from repro.workload.aggregate import aggregate_problem
+
+            problem = aggregate_problem(problem, self.cell_size_m)
+        if self.tile_index is not None:
+            from repro.scenario.tiling import carve_tiles
+
+            tile = carve_tiles(
+                problem, self.tile_grid(), self.tile_overlap_m
+            )[self.tile_index]
+            if tile.problem is None:
+                raise SpecError(
+                    f"tile {self.tile_index} of grid {self.tiles} is empty "
+                    "(no users, candidate locations, or apportioned UAVs)"
+                )
+            problem = tile.problem
+        return problem
 
     def derived_seed(self, *labels: str) -> "int | None":
         """A named auxiliary seed (see :func:`repro.util.rng.derive_seed`)."""
@@ -242,6 +340,8 @@ class ScenarioSpec:
             self.workload,
             json.dumps(self.workload_params, sort_keys=True, default=repr),
             self.capacity_min, self.capacity_max, self.seed,
+            self.aggregation, self.cell_size_m,
+            self.tiles, self.tile_overlap_m, self.tile_index,
         )
 
     # -- JSON round-trip -----------------------------------------------------
@@ -327,6 +427,23 @@ PRESETS = {
         seed=7, algorithm="approAlg",
         algorithm_params={"s": 3, "gain_mode": "fast",
                           "max_anchor_candidates": 10},
+    ),
+    # Million-user scale-out: demand-cell aggregation + 2x2 tiled solves
+    # stitched back into one connected deployment (docs/SCALE.md).
+    "mega-1m": ScenarioSpec(
+        name="mega-1m", scale="bench", num_users=1_000_000, num_uavs=20,
+        seed=7, aggregation="cells", cell_size_m=150.0,
+        tiles="2x2", tile_overlap_m=300.0, algorithm="approAlg",
+        algorithm_params={"s": 1, "gain_mode": "fast",
+                          "max_anchor_candidates": 6},
+    ),
+    # CI-sized sibling of mega-1m (10^5 users) for the scale-smoke job.
+    "scale-smoke": ScenarioSpec(
+        name="scale-smoke", scale="bench", num_users=100_000, num_uavs=12,
+        seed=7, aggregation="cells", cell_size_m=150.0,
+        tiles="2x2", tile_overlap_m=300.0, algorithm="approAlg",
+        algorithm_params={"s": 1, "gain_mode": "fast",
+                          "max_anchor_candidates": 4},
     ),
 }
 

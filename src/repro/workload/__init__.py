@@ -9,14 +9,26 @@ provides the uniform control; :mod:`repro.workload.scenarios` bundles the
 paper's full experimental setup into ready-to-run problem instances.
 """
 
+from repro.workload.aggregate import (
+    CellCoverageGraph,
+    DemandCell,
+    aggregate_problem,
+    aggregate_users,
+    singleton_cells,
+)
 from repro.workload.fat_tailed import FatTailedWorkload
 from repro.workload.scenarios import ScenarioConfig, build_scenario, paper_scenario
 from repro.workload.uniform import UniformWorkload
 
 __all__ = [
+    "CellCoverageGraph",
+    "DemandCell",
     "FatTailedWorkload",
     "ScenarioConfig",
+    "aggregate_problem",
+    "aggregate_users",
     "build_scenario",
     "paper_scenario",
+    "singleton_cells",
     "UniformWorkload",
 ]

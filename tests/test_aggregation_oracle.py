@@ -1,0 +1,170 @@
+"""Aggregation oracle pass: demand-cell solves vs their per-user twins.
+
+The scale layer (:mod:`repro.workload.aggregate`) promises two things,
+checked here on ~50 seeded instances:
+
+* **degenerate bit-identity** — aggregating with ``cell_size_m=None``
+  builds one singleton cell per user, and ``appro_alg`` over that cell
+  problem must reproduce the per-user run *exactly*: same served count,
+  same placements, same user->UAV assignment.  The padded coverage test
+  degenerates to the per-user test bit-for-bit (radius zero adds ``0.0``
+  in IEEE arithmetic), and the flow/assignment engines dispatch back to
+  the unit-demand paths, so any drift is a real dispatch bug;
+* **conservative soundness** — with real (coarse) cells the padded
+  coverage test only *under*-approximates reachability, so any feasible
+  cell deployment induces a feasible per-user assignment of the same
+  size.  Served units can therefore never exceed the brute-force
+  per-user optimum, demand is conserved (``sum(demands) == num_users``),
+  and the independent cell validator accepts the output.
+
+The per-user run and oracle value are cached per instance so all checks
+pay for one enumeration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.approx import appro_alg
+from repro.core.exact import exact_optimum_value
+from repro.network.deployment import CellDeployment, Deployment
+from repro.network.validate import validate_cell_deployment
+from repro.workload.aggregate import aggregate_problem
+from repro.workload.scenarios import paper_scenario
+from tests.conftest import make_line_instance
+
+# ~50 instances, mirroring tests/test_differential_oracle.py: line
+# instances are deterministic geometries; "small"-scale paper scenarios
+# are seeded random draws on the 9-location grid (K <= 4 keeps the
+# oracle enumeration cheap).
+LINE_SPECS = [
+    # (num_locations, users_per_location, capacities)
+    (4, 3, (3, 3, 3)),
+    (4, (1, 5, 2, 4), (4, 4)),
+    (4, (6, 1, 1, 6), (6, 2, 2)),
+    (5, 2, (2, 2, 2)),
+    (5, 4, (4, 4, 4)),
+    (5, (5, 1, 3, 1, 5), (5, 3, 1)),
+    (5, 3, (1, 2, 3, 4)),
+    (6, 2, (2, 2, 2)),
+    (6, (4, 1, 4, 1, 4, 1), (4, 4, 4)),
+    (6, 3, (3, 1, 3, 1)),
+]
+
+SMALL_SPECS = [
+    # (num_users, num_uavs, seed)
+    *[(35, 3, seed) for seed in range(10)],
+    *[(50, 3, seed) for seed in range(10, 20)],
+    *[(45, 4, seed) for seed in range(20, 28)],
+    *[(60, 4, seed) for seed in range(28, 36)],
+    *[(25, 2, seed) for seed in range(36, 40)],
+]
+
+ALL_SPECS = [("line", spec) for spec in LINE_SPECS] + [
+    ("small", spec) for spec in SMALL_SPECS
+]
+
+# Coarse cell edge: large enough to merge users (line instances pack
+# users 5 m apart; small scenarios live on a 1500 m square) while small
+# enough that cells stay plausibly coverable.
+COARSE_CELL_M = 200.0
+
+
+def _build(kind: str, spec: tuple):
+    if kind == "line":
+        m, users, caps = spec
+        return make_line_instance(
+            num_locations=m, users_per_location=users, capacities=caps
+        )
+    n, k, seed = spec
+    return paper_scenario(num_users=n, num_uavs=k, scale="small", seed=seed)
+
+
+@pytest.fixture(scope="module")
+def oracle_cache():
+    """(kind, spec) -> (problem, per-user appro result, OPT_connected)."""
+    cache: dict = {}
+
+    def get(kind: str, spec: tuple):
+        key = (kind, spec)
+        if key not in cache:
+            problem = _build(kind, spec)
+            s = min(2, problem.num_uavs)
+            cache[key] = (
+                problem,
+                appro_alg(problem, s=s),
+                exact_optimum_value(problem),
+            )
+        return cache[key]
+
+    return get
+
+
+@pytest.mark.parametrize("kind,spec", ALL_SPECS)
+def test_singleton_cells_bit_identical(kind, spec, oracle_cache):
+    problem, base, _opt = oracle_cache(kind, spec)
+    cell_problem = aggregate_problem(problem)  # cell_size_m=None: singletons
+    demands = cell_problem.graph.cell_demands
+    assert demands.size == problem.num_users
+    assert int(demands.max(initial=0)) <= 1
+    s = min(2, problem.num_uavs)
+    result = appro_alg(cell_problem, s=s)
+    # Singleton aggregation must be a *degenerate* path: the solver has
+    # to return a plain per-user Deployment, identical in every field.
+    assert isinstance(result.deployment, Deployment)
+    assert result.served == base.served, (
+        f"singleton cells served {result.served} != per-user "
+        f"{base.served} on {kind} {spec}"
+    )
+    assert result.deployment.placements == base.deployment.placements
+    assert result.deployment.assignment == base.deployment.assignment
+
+
+@pytest.mark.parametrize("kind,spec", ALL_SPECS)
+def test_coarse_cells_sound_and_conserving(kind, spec, oracle_cache):
+    problem, _base, opt = oracle_cache(kind, spec)
+    cell_problem = aggregate_problem(problem, COARSE_CELL_M)
+    graph = cell_problem.graph
+    # Demand conservation: every user lands in exactly one cell.
+    assert int(graph.cell_demands.sum()) == problem.num_users
+    assert graph.total_demand == problem.num_users
+    s = min(2, problem.num_uavs)
+    result = appro_alg(cell_problem, s=s)
+    # Conservative coverage: any feasible cell flow maps each served unit
+    # to a distinct, individually-coverable member user, so the cell
+    # objective can never beat the exhaustive per-user optimum.
+    assert result.served <= opt, (
+        f"coarse cells served {result.served} > per-user optimum {opt} "
+        f"on {kind} {spec}"
+    )
+    deployment = result.deployment
+    if isinstance(deployment, CellDeployment):
+        validate_cell_deployment(graph, cell_problem.fleet, deployment)
+        totals = deployment.cell_totals()
+        for c, units in totals.items():
+            assert units <= int(graph.cell_demands[c])
+        assert sum(totals.values()) == result.served
+    else:
+        # All cells degenerated to singletons (users further apart than
+        # the cell edge) — the bit-identity path applies instead.
+        assert int(graph.cell_demands.max(initial=0)) <= 1
+
+
+@pytest.mark.parametrize("kind,spec", ALL_SPECS[:10])
+def test_coverable_cells_have_coverable_members(kind, spec, oracle_cache):
+    """Padded soundness, checked structurally on the line geometries:
+    every member of a cell deemed coverable is individually coverable by
+    the same UAV from the same location in the per-user graph."""
+    problem, _base, _opt = oracle_cache(kind, spec)
+    cell_problem = aggregate_problem(problem, COARSE_CELL_M)
+    cell_graph = cell_problem.graph
+    base_graph = problem.graph
+    for uav in cell_problem.fleet:
+        for v in range(cell_problem.num_locations):
+            per_user = set(base_graph.coverable_users(v, uav))
+            for c in cell_graph.coverable_users(v, uav):
+                members = cell_graph.cells[c].members
+                assert set(members) <= per_user, (
+                    f"cell {c} coverable from {v} but member outside "
+                    f"per-user coverage on {kind} {spec}"
+                )

@@ -105,6 +105,39 @@ def test_pipeline_matches_legacy_path(spec):
     assert state.record.num_uavs == legacy_record.num_uavs
 
 
+# Scale-layer variants: each must collapse onto the plain per-user run
+# of its base spec bit for bit (singleton cells are the degenerate
+# aggregation; a 1x1 grid is the identity carve; composed, both).
+SCALE_VARIANTS = (
+    ("singleton-cells", {"aggregation": "cells"}),
+    ("tiles-1x1", {"tiles": "1x1"}),
+    ("cells-tiles-1x1", {"aggregation": "cells", "tiles": "1x1"}),
+)
+
+
+@pytest.mark.timeout_guard(600)
+@pytest.mark.parametrize(
+    "label,overrides", SCALE_VARIANTS, ids=[v[0] for v in SCALE_VARIANTS]
+)
+@pytest.mark.parametrize("scale,users,uavs", SCALE_GRID)
+def test_scale_variants_match_plain_pipeline(label, overrides, scale,
+                                             users, uavs):
+    base = ScenarioSpec(
+        name=f"golden-scale-{scale}", scale=scale, num_users=users,
+        num_uavs=uavs, seed=2, algorithm="approAlg",
+        algorithm_params=dict(APPRO_PARAMS),
+    )
+    plain = SolvePipeline().run(base)
+    variant = SolvePipeline().run(base.with_overrides(
+        name=f"{base.name}-{label}", **overrides
+    ))
+    assert variant.status == "ok"
+    assert variant.record.served == plain.record.served
+    assert variant.deployment.placements == plain.deployment.placements
+    assert variant.deployment.assignment == plain.deployment.assignment
+    assert variant.record.num_users == plain.record.num_users
+
+
 def test_sweep_points_match_legacy_loop():
     """The pipeline-backed fig5 sweep reproduces the pre-refactor loop
     (same RNG spawning, same records) point for point."""

@@ -102,3 +102,45 @@ class TestConvenience:
         text = BatchRunner().run(SHOOTOUT[:2]).to_text()
         assert "2 specs" in text
         assert "approAlg" in text and "MCS" in text
+
+
+class TestEmptyBatches:
+    """Regression: an empty spec list (or an all-resumed batch) used to
+    reach ``ProcessPoolExecutor(max_workers=0)`` when ``workers > 1`` and
+    crash; empty batches must never spin up a pool."""
+
+    @pytest.mark.timeout_guard(30)
+    def test_empty_specs_sequential(self):
+        result = BatchRunner().run([])
+        assert result.items == ()
+        assert result.groups == 0
+        assert result.context_builds == 0
+        assert result.specs_skipped == 0
+
+    @pytest.mark.timeout_guard(30)
+    def test_empty_specs_with_workers(self):
+        result = BatchRunner(workers=4).run([])
+        assert result.items == ()
+        assert result.groups == 0
+
+    @pytest.mark.timeout_guard(120)
+    def test_all_specs_resumed_skips_pool(self, tmp_path):
+        specs = SHOOTOUT[:2]
+        runner = BatchRunner(workers=4, checkpoint_dir=tmp_path)
+        first = runner.run(specs)
+        assert first.specs_skipped == 0
+        # Second run with resume: everything rehydrates from the ledger,
+        # zero groups remain -- must not build a zero-worker pool.
+        resumed = BatchRunner(
+            workers=4, checkpoint_dir=tmp_path, resume=True
+        ).run(specs)
+        assert resumed.specs_skipped == 2
+        assert resumed.groups == 0
+        assert [i.served for i in resumed.items] == [
+            i.served for i in first.items
+        ]
+        assert all(i.resumed for i in resumed.items)
+
+    @pytest.mark.timeout_guard(30)
+    def test_run_pooled_direct_empty_groups(self):
+        assert BatchRunner(workers=4)._run_pooled([], None) == []
