@@ -93,7 +93,7 @@ class FigureReport:
 POINT_FIELDS = (
     "scenario", "algorithm", "served", "wall_s", "workers", "scale",
     "speedup", "subsets_evaluated", "subsets_bound_skipped",
-    "context_build_s", "bound_pass_ms", "gain_matrix_ms",
+    "context_build_s", "bound_pass_ms", "gain_matrix_ms", "peak_rss_mb",
 )
 
 

@@ -20,6 +20,7 @@ import time
 from benchmarks.conftest import ANCHOR_POOL, BENCH_USERS, BENCH_WORKERS
 from repro.core.approx import appro_alg
 from repro.core.context import SolverContext
+from repro.obs.profile import peak_rss_mb
 
 NUM_UAVS = 12
 S = 2
@@ -63,6 +64,7 @@ def test_engine_matches_serial_and_records_speedup(
         subsets_evaluated=engine.stats.subsets_evaluated,
         subsets_bound_skipped=engine.stats.subsets_bound_skipped,
         context_build_s=round(context.build_seconds, 4),
+        peak_rss_mb=peak_rss_mb(),
     )
 
     # Losslessness: identical result regardless of workers/pruning.
@@ -146,6 +148,7 @@ def test_paper_headline_speedup(scenario_cache, perf_trajectory):
             workers=workers, speedup=round(speedup, 2),
             subsets_evaluated=engine.stats.subsets_evaluated,
             context_build_s=round(context.build_seconds, 4),
+            peak_rss_mb=peak_rss_mb(),
         )
         # Fast-mode realisation tolerance, one-sided: the vectorised
         # ranking may legitimately find a *better* subset (it does at

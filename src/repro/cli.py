@@ -18,12 +18,18 @@ come from the spec; legacy ``save_scenario`` files still work, taking
 solver settings from the flags); ``repro batch`` runs many spec files
 through the ``BatchRunner``, building shared scenarios once.
 
-Observability: the ``run``, ``fig4/5/6a/6b``, and ``mission`` commands
-accept ``--trace PATH`` (write a JSONL run manifest + spans + metrics)
-and ``--metrics-out PATH`` (just the metrics snapshot); ``repro
-trace-report PATH`` summarizes a trace and can export Chrome trace format
-(``--chrome``).  Without these flags the observability layer stays off
-and adds no overhead.
+Observability: the ``run``, ``fig4/5/6a/6b``, ``batch`` and ``mission``
+commands accept ``--trace PATH`` (write a JSONL run manifest + spans +
+metrics), ``--metrics-out PATH`` (just the metrics snapshot),
+``--timeline PATH`` (ring-buffered time-series snapshots on the live
+cadence) and ``--archive`` (store the run durably under ``.repro/runs``);
+``repro trace-report PATH`` summarizes a trace — timeline sparklines
+included — and can export Chrome trace format (``--chrome``).  ``repro
+profile SCENARIO`` runs a preset/spec under the sampling profiler and
+writes a speedscope file; ``repro runs list|show|compare`` queries the
+archive; ``repro perf-diff --attribute`` names the regressed kernel.
+Without these flags the observability layer stays off and adds no
+overhead.
 
 Crash safety: ``run``, ``fig4/5/6a/6b``, ``batch`` and ``mission`` accept
 ``--checkpoint DIR`` (journal solver and sweep progress into DIR with
@@ -138,6 +144,22 @@ def add_obs_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--live-interval", type=float, default=1.0, metavar="SECONDS",
         help="sampling interval of the --live heartbeat (default 1.0)",
+    )
+    parser.add_argument(
+        "--timeline", default=None, metavar="PATH",
+        help="enable observability and record ring-buffered time-series "
+        "snapshots (counters, worker gauges, RSS) on the --live-interval "
+        "cadence, written as JSONL to PATH; also embedded in --trace "
+        "files, where 'repro trace-report' renders them as sparklines",
+    )
+    parser.add_argument(
+        "--archive", action="store_true",
+        help="enable observability and store this run (manifest + metrics "
+        "+ timeline) under the run archive; query with 'repro runs'",
+    )
+    parser.add_argument(
+        "--archive-root", default=None, metavar="DIR",
+        help="run-archive directory (default .repro/runs)",
     )
 
 
@@ -413,11 +435,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         try:
             if overrides:
                 spec = spec.with_overrides(**overrides)
+            # The archive keys runs on scenario identity; stash it for
+            # _observed, which only sees the parsed args.
+            args._scenario_key = spec.scenario_key()
             state = pipeline.run(spec)
         except SpecError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
     record, problem, deployment = state.record, state.problem, state.deployment
+    args._served = record.served
     print(
         f"{record.algorithm}: served {record.served}/{record.num_users} "
         f"users in {record.runtime_s:.2f}s"
@@ -448,6 +474,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     if args.record_bench:
         from repro.obs.bench import record_trajectory_point
+        from repro.obs.profile import peak_rss_mb
 
         label = spec.name if spec is not None else "legacy"
         out = record_trajectory_point(
@@ -457,6 +484,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             wall_s=record.runtime_s,
             workers=spec.workers if spec is not None else args.workers,
             scale=spec.scale if spec is not None else args.scale,
+            peak_rss_mb=peak_rss_mb(),
         )
         print(f"perf point run:{label} recorded in {out}")
     if args.save is not None:
@@ -492,6 +520,7 @@ def _cmd_mission(args: argparse.Namespace) -> int:
         num_uavs=args.uavs,
         seed=seed,
     )
+    args._scenario_key = spec.scenario_key()
     problem = spec.build()
     try:
         # The fault draw runs on its own derived stream (see
@@ -623,10 +652,19 @@ def _cmd_trace_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _archive_root(args: argparse.Namespace):
+    from repro.obs.archive import DEFAULT_ROOT
+
+    root = getattr(args, "archive_root", None)
+    return root if root is not None else DEFAULT_ROOT
+
+
 def _observed(handler, args: argparse.Namespace) -> int:
     """Run a command with the observability layer on; stream a live
-    heartbeat while it runs (``--live``) and write the trace JSONL
-    and/or metrics snapshot afterwards (even if the command raises)."""
+    heartbeat while it runs (``--live``), snapshot a timeline on the
+    same cadence (``--timeline`` / ``--archive``), and write the trace
+    JSONL / metrics snapshot / archive entry afterwards (even if the
+    command raises)."""
     import json
     import time as _time
 
@@ -635,10 +673,21 @@ def _observed(handler, args: argparse.Namespace) -> int:
     obs.reset()
     obs.enable()
     reporter = None
+    recorder = None
+    if getattr(args, "timeline", None) is not None or getattr(
+        args, "archive", False
+    ):
+        recorder = obs.TimelineRecorder(
+            obs.TimelineConfig(interval_s=args.live_interval)
+        )
     if getattr(args, "live", False):
+        # One daemon serves both: the reporter's heartbeat drives the
+        # timeline recorder when both are requested.
         reporter = obs.LiveReporter(
-            obs.LiveConfig(interval_s=args.live_interval)
+            obs.LiveConfig(interval_s=args.live_interval), timeline=recorder
         ).start()
+    elif recorder is not None:
+        recorder.start()
     start = _time.perf_counter()
     exit_code: "int | None" = None
     try:
@@ -647,9 +696,12 @@ def _observed(handler, args: argparse.Namespace) -> int:
         wall = _time.perf_counter() - start
         if reporter is not None:
             reporter.stop()
+        elif recorder is not None:
+            recorder.stop()
         obs.disable()
         spans = obs.drain_spans()
         metrics = obs.metrics_snapshot()
+        snapshots = recorder.snapshots() if recorder is not None else []
         obs.reset()
         scenario = {
             key: getattr(args, key)
@@ -674,8 +726,24 @@ def _observed(handler, args: argparse.Namespace) -> int:
             wall_s=wall,
         )
         if args.trace is not None:
-            obs.write_trace(args.trace, manifest, spans, metrics)
+            obs.write_trace(args.trace, manifest, spans, metrics,
+                            timeline=snapshots)
             print(f"trace ({len(spans)} spans) written to {args.trace}")
+        if getattr(args, "timeline", None) is not None:
+            obs.write_timeline(args.timeline, recorder)
+            print(f"timeline ({len(snapshots)} snapshots) written to "
+                  f"{args.timeline}")
+        if getattr(args, "archive", False):
+            archive = obs.RunArchive(_archive_root(args))
+            run_id = archive.record_run(
+                manifest,
+                metrics=metrics,
+                spans=spans,
+                timeline=snapshots,
+                scenario_key=getattr(args, "_scenario_key", None),
+                served=getattr(args, "_served", None),
+            )
+            print(f"run archived as {run_id} under {archive.root}")
         if args.metrics_out is not None:
             if getattr(args, "metrics_format", "json") == "openmetrics":
                 obs.write_openmetrics(
@@ -715,10 +783,224 @@ def _cmd_perf_diff(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.json:
-        print(json.dumps(diff.to_dict(), indent=2))
+        payload = diff.to_dict()
+        if args.attribute:
+            payload["attribution"] = diff.attribution()
+        print(json.dumps(payload, indent=2))
     else:
         print(diff.to_text())
+        if args.attribute:
+            print()
+            print(diff.attribution_text())
     return diff.exit_code
+
+
+def _profile_spec(args: argparse.Namespace):
+    """Resolve the ``repro profile`` scenario: preset name or spec file."""
+    import json
+    from pathlib import Path
+
+    from repro.scenario import ScenarioSpec, get_preset
+
+    if Path(args.scenario).exists():
+        data = json.loads(Path(args.scenario).read_text())
+        if data.get("kind") != "scenario-spec":
+            raise ValueError(
+                f"{args.scenario}: not a ScenarioSpec file "
+                "(expected kind 'scenario-spec')"
+            )
+        return ScenarioSpec.from_dict(data)
+    try:
+        return get_preset(args.scenario)
+    except KeyError as exc:
+        raise ValueError(
+            f"{args.scenario}: not a spec file, and {exc.args[0]}"
+        ) from exc
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run one scenario under the sampling profiler and report hot spots."""
+    import time as _time
+
+    from repro import obs
+    from repro.obs.profile import ProfileConfig, SamplingProfiler
+    from repro.scenario import SolvePipeline, SpecError
+    from repro.util.tables import format_table
+
+    try:
+        spec = _profile_spec(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    obs.reset()
+    obs.enable()
+    profiler = SamplingProfiler(
+        ProfileConfig(hz=args.hz, memory=not args.no_memory)
+    )
+    start = _time.perf_counter()
+    state = None
+    try:
+        with profiler:
+            try:
+                state = SolvePipeline().run(spec)
+            except SpecError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+    finally:
+        obs.disable()
+        spans = obs.drain_spans()
+        metrics = obs.metrics_snapshot()
+        obs.reset()
+    wall = _time.perf_counter() - start
+    record = state.record
+    print(
+        f"{record.algorithm}: served {record.served}/{record.num_users} "
+        f"users in {record.runtime_s:.2f}s"
+    )
+    print(
+        f"profiler: {profiler.samples} samples at "
+        f"{profiler.config.hz:g} Hz over {profiler.duration_s:.2f}s"
+    )
+    top = profiler.top_functions(limit=args.top)
+    if top:
+        denom = max(profiler.samples, 1)
+        rows = [[label, count, f"{count / denom:.0%}"]
+                for label, count in top]
+        print(format_table(
+            ["function", "samples", "share"], rows,
+            title=f"hottest functions (top {len(rows)})",
+        ))
+    stages = profiler.memory_stages_mb()
+    if stages:
+        rows = [[stage, f"{mb:.1f}"]
+                for stage, mb in sorted(stages.items(),
+                                        key=lambda kv: -kv[1])]
+        print(format_table(["stage", "peak MiB"], rows,
+                           title="per-stage memory watermarks"))
+    if profiler.peak_rss_mb is not None:
+        print(f"peak RSS {profiler.peak_rss_mb:.1f} MiB")
+    out = args.out if args.out is not None else f"{spec.name}.speedscope.json"
+    profiler.write_speedscope(out, name=f"repro profile {spec.name}")
+    print(f"speedscope profile written to {out} "
+          "(open at https://www.speedscope.app)")
+    if args.collapsed is not None:
+        profiler.write_collapsed(args.collapsed)
+        print(f"collapsed stacks written to {args.collapsed}")
+    if args.archive:
+        manifest = obs.RunManifest(
+            command="profile",
+            seed=spec.seed,
+            scenario={"users": spec.num_users, "uavs": spec.num_uavs,
+                      "scale": spec.scale},
+            algorithm=record.algorithm,
+            config={"hz": args.hz, "memory": not args.no_memory},
+            git_rev=obs.git_revision(),
+            stats={"exit_code": 0, "spans": len(spans), "completed": True},
+            wall_s=wall,
+        )
+        archive = obs.RunArchive(_archive_root(args))
+        run_id = archive.record_run(
+            manifest, metrics=metrics, spans=spans, profile=profiler,
+            scenario_key=spec.scenario_key(), served=record.served,
+        )
+        print(f"run archived as {run_id} under {archive.root}")
+    return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    """Inspect the durable run archive: list, show, compare."""
+    from repro import obs
+    from repro.util.tables import format_table
+
+    archive = obs.RunArchive(_archive_root(args))
+    if args.action == "list":
+        entries = archive.list_runs()
+        if not entries:
+            print(f"no archived runs under {archive.root}")
+            return 0
+        rows = []
+        for e in entries:
+            key = e.get("scenario_key")
+            rows.append([
+                e.get("id", "?"),
+                e.get("command") or "-",
+                e.get("algorithm") or "-",
+                "-" if not key else ",".join(str(p) for p in key[:4]),
+                f"{e.get('wall_s') or 0.0:.2f}",
+                "-" if e.get("served") is None else e["served"],
+                ("T" if e.get("has_timeline") else "-")
+                + ("P" if e.get("has_profile") else "-"),
+            ])
+        print(format_table(
+            ["id", "command", "algorithm", "scenario", "wall s",
+             "served", "art"],
+            rows, title=f"archived runs under {archive.root}",
+        ))
+        return 0
+    if args.action == "show":
+        if len(args.run_ids) != 1:
+            print("error: 'runs show' takes exactly one run id",
+                  file=sys.stderr)
+            return 2
+        try:
+            run = archive.load(args.run_ids[0])
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        manifest = run.manifest
+        print(f"run {run.id} ({run.path})")
+        if manifest is not None:
+            print(f"  command   {manifest.command}")
+            print(f"  algorithm {manifest.algorithm or '-'}")
+            print(f"  wall      {manifest.wall_s:.3f}s")
+            print(f"  git       {manifest.git_rev or '-'}")
+        key = run.data.get("scenario_key")
+        print(f"  scenario  {key if key else '-'}")
+        if run.kernels:
+            rows = [[name, agg["count"], f"{agg['total_ms']:.2f}",
+                     f"{agg['max_ms']:.2f}"]
+                    for name, agg in sorted(
+                        run.kernels.items(),
+                        key=lambda kv: -kv[1]["total_ms"])]
+            print(format_table(
+                ["kernel", "count", "total ms", "max ms"], rows,
+                title="kernel timings",
+            ))
+        if run.timeline:
+            from repro.obs.report import timeline_summary
+
+            print()
+            print(timeline_summary(run.timeline))
+        if run.profile:
+            stacks = run.profile.get("stacks", [])
+            leaves: dict = {}
+            for entry in stacks:
+                frames = entry.get("frames") or ["?"]
+                leaves[frames[-1]] = (
+                    leaves.get(frames[-1], 0) + entry.get("count", 0)
+                )
+            top = sorted(leaves.items(), key=lambda kv: -kv[1])[:10]
+            if top:
+                print(format_table(
+                    ["function", "samples"], [list(kv) for kv in top],
+                    title=f"profile ({run.profile.get('samples', 0)} "
+                    "samples)",
+                ))
+        return 0
+    if len(args.run_ids) != 2:
+        print("error: 'runs compare' takes exactly two run ids "
+              "(baseline current)", file=sys.stderr)
+        return 2
+    try:
+        baseline = archive.load(args.run_ids[0])
+        current = archive.load(args.run_ids[1])
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    comparison = obs.compare_runs(baseline, current,
+                                  threshold=args.threshold)
+    print(comparison.to_text())
+    return comparison.exit_code
 
 
 def _cmd_ratio(args: argparse.Namespace) -> int:
@@ -910,13 +1192,78 @@ def main(argv: "list | None" = None) -> int:
         "--json", action="store_true",
         help="print the diff as JSON instead of a table",
     )
+    diff_cmd.add_argument(
+        "--attribute", action="store_true",
+        help="also name the dominant regressing kernel per key (uses the "
+        "recorded context_build_s / bound_pass_ms / gain_matrix_ms)",
+    )
+
+    profile_cmd = sub.add_parser(
+        "profile",
+        help="run one scenario under the sampling profiler and report "
+        "hot functions, per-stage memory watermarks, and peak RSS",
+    )
+    profile_cmd.add_argument(
+        "scenario",
+        help="preset name ('repro scenario list') or ScenarioSpec JSON",
+    )
+    profile_cmd.add_argument(
+        "--hz", type=float, default=97.0,
+        help="sampling frequency (default 97 Hz)",
+    )
+    profile_cmd.add_argument(
+        "--no-memory", action="store_true",
+        help="skip the tracemalloc stage watermarks (cheaper)",
+    )
+    profile_cmd.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="speedscope JSON output (default <scenario>.speedscope.json)",
+    )
+    profile_cmd.add_argument(
+        "--collapsed", default=None, metavar="PATH",
+        help="also write collapsed flamegraph stacks here",
+    )
+    profile_cmd.add_argument(
+        "--top", type=int, default=10,
+        help="how many hot functions to print (default 10)",
+    )
+    profile_cmd.add_argument(
+        "--archive", action="store_true",
+        help="record the profiled run in the run archive",
+    )
+    profile_cmd.add_argument(
+        "--archive-root", default=None, metavar="DIR",
+        help="archive directory (default .repro/runs)",
+    )
+
+    runs_cmd = sub.add_parser(
+        "runs",
+        help="query the durable run archive (.repro/runs): list runs, "
+        "show one, or compare two and name the regressed kernel",
+    )
+    runs_cmd.add_argument("action", choices=("list", "show", "compare"))
+    runs_cmd.add_argument("run_ids", nargs="*", metavar="RUN_ID",
+                          help="one id for 'show', two for 'compare'")
+    runs_cmd.add_argument(
+        "--root", default=None, dest="archive_root", metavar="DIR",
+        help="archive directory (default .repro/runs)",
+    )
+    runs_cmd.add_argument(
+        "--threshold", type=float, default=0.15,
+        help="relative slowdown tolerated by 'compare' (default 0.15)",
+    )
 
     args = parser.parse_args(argv)
     handler = _dispatch_handler(args)
-    observed = (
-        getattr(args, "trace", None) is not None
+    # 'repro profile' has its own --archive but manages the obs layer
+    # itself, so the wrapper only engages for commands with the full
+    # add_obs_args set (hasattr 'trace' is the marker).
+    observed = hasattr(args, "trace") and (
+        args.trace is not None
         or getattr(args, "metrics_out", None) is not None
         or getattr(args, "live", False)
+        or getattr(args, "timeline", None) is not None
+        or getattr(args, "archive", False)
     )
     from repro.util.interrupt import SolveInterrupted, graceful_shutdown
 
@@ -966,4 +1313,8 @@ def _dispatch_handler(args: argparse.Namespace):
         return _cmd_trace_report
     if args.command == "perf-diff":
         return _cmd_perf_diff
+    if args.command == "profile":
+        return _cmd_profile
+    if args.command == "runs":
+        return _cmd_runs
     raise AssertionError(f"unhandled command {args.command!r}")

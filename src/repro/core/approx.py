@@ -806,8 +806,10 @@ def appro_alg(
     )
 
     surviving_count = int(subsets.shape[0] - prunable.sum())
+    # The enumeration is the allocation hot spot; bracket it with the
+    # profiler's memory watermark (shared no-op unless one is active).
     with obs.span("approx.enumerate", s=s, subsets=int(stats.subsets_total),
-                  workers=workers):
+                  workers=workers), obs.stage_watermark("approx.enumerate"):
         if workers > 1 and surviving_count >= 2 * workers:
             best = _run_parallel(
                 problem, context, plan, order, eval_kw, stats, progress,

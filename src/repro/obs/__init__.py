@@ -28,7 +28,20 @@ Three live/offline companions build on the same registry:
   textfile export of any metrics snapshot (``--metrics-format
   openmetrics``);
 * :func:`perf_diff` (:mod:`repro.obs.regress`) — wall-time regression
-  detection between two recordings (``repro perf-diff A B``).
+  detection between two recordings (``repro perf-diff A B``), with
+  kernel-level attribution (``--attribute``).
+
+The flight-recorder trio (same off-by-default discipline):
+
+* :class:`SamplingProfiler` (:mod:`repro.obs.profile`) — zero-dependency
+  wall-clock sampler + tracemalloc stage watermarks + peak RSS, with
+  speedscope/collapsed export (``repro profile <scenario>``);
+* :class:`TimelineRecorder` (:mod:`repro.obs.timeline`) — ring-buffered
+  registry snapshots on the LiveReporter cadence (``--timeline``),
+  rendered as sparklines by ``repro trace-report``;
+* :class:`RunArchive` (:mod:`repro.obs.archive`) — durable
+  ``.repro/runs/`` store of manifests + metrics + timelines + profiles
+  (``--archive``; query with ``repro runs list|show|compare``).
 
 See docs/OBSERVABILITY.md for the model and CLI flags (``--trace``,
 ``--metrics-out``, ``--live``, ``repro trace-report``,
@@ -37,6 +50,13 @@ See docs/OBSERVABILITY.md for the model and CLI flags (``--trace``,
 
 from __future__ import annotations
 
+from repro.obs.archive import (
+    ArchivedRun,
+    RunArchive,
+    RunComparison,
+    compare_runs,
+    span_totals,
+)
 from repro.obs.export import metric_name, render_openmetrics, write_openmetrics
 from repro.obs.live import LiveConfig, LiveReporter, LiveSample
 from repro.obs.manifest import (
@@ -49,6 +69,13 @@ from repro.obs.manifest import (
     write_trace,
 )
 from repro.obs.metrics import REGISTRY, Histogram, MetricsRegistry
+from repro.obs.profile import (
+    ProfileConfig,
+    SamplingProfiler,
+    current_rss_mb,
+    peak_rss_mb,
+    stage_watermark,
+)
 from repro.obs.regress import (
     KeyDelta,
     PerfDiff,
@@ -56,7 +83,13 @@ from repro.obs.regress import (
     perf_diff,
     perf_diff_paths,
 )
-from repro.obs.report import summarize, trace_report
+from repro.obs.report import summarize, timeline_summary, trace_report
+from repro.obs.timeline import (
+    TimelineConfig,
+    TimelineRecorder,
+    read_timeline,
+    write_timeline,
+)
 from repro.obs.trace import (
     Span,
     absorb_state,
@@ -117,6 +150,21 @@ __all__ = [
     "load_points",
     "perf_diff",
     "perf_diff_paths",
+    "SamplingProfiler",
+    "ProfileConfig",
+    "stage_watermark",
+    "peak_rss_mb",
+    "current_rss_mb",
+    "TimelineRecorder",
+    "TimelineConfig",
+    "write_timeline",
+    "read_timeline",
+    "timeline_summary",
+    "RunArchive",
+    "ArchivedRun",
+    "RunComparison",
+    "compare_runs",
+    "span_totals",
 ]
 
 

@@ -1,0 +1,340 @@
+"""Durable run archive under ``.repro/runs/`` (``repro runs ...``).
+
+Every observed run can be recorded for later comparison: one directory
+per run holding
+
+* ``run.json`` — the manifest, the final metrics snapshot, per-span
+  kernel aggregates (name → count / total ms / max ms) and, when
+  available, the scenario identity
+  (:meth:`~repro.scenario.spec.ScenarioSpec.scenario_key`);
+* ``timeline.jsonl`` — the ring-buffered time series
+  (:mod:`repro.obs.timeline` format), when one was recorded;
+* ``profile.json`` + ``profile.speedscope.json`` — the sampling
+  profiler's aggregate and its speedscope export, when one ran.
+
+An ``index.json`` at the archive root lists every run (id, creation
+time, command, algorithm, scenario key, wall seconds, which artifacts
+exist) so ``repro runs list`` answers without touching the run dirs.
+All writes go through :mod:`repro.util.atomic` — a crash mid-archive
+leaves the previous index intact, never a truncated one.
+
+``repro runs compare A B`` (and ``repro perf-diff --attribute`` for
+trajectory files) answers *which kernel* regressed, not just that wall
+time moved: the per-span totals of both runs are classified with the
+same threshold semantics as :mod:`repro.obs.regress` and the dominant
+regressing kernel is named.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.manifest import RunManifest
+from repro.obs.timeline import read_timeline, write_timeline
+from repro.util.atomic import atomic_write_json
+from repro.util.tables import format_table
+
+SCHEMA_VERSION = 1
+
+#: Default archive root, relative to the working directory.
+DEFAULT_ROOT = Path(".repro") / "runs"
+
+
+def span_totals(spans: "list | None") -> dict:
+    """Aggregate spans by name → ``{count, total_ms, max_ms}``.
+
+    Accepts :class:`~repro.obs.trace.Span` objects or their dicts; this
+    is the "kernel timing" view the archive stores and the comparison
+    attributes regressions to.
+    """
+    totals: dict = {}
+    for span in spans or []:
+        record = span if isinstance(span, dict) else span.to_dict()
+        agg = totals.setdefault(
+            record["name"], {"count": 0, "total_ms": 0.0, "max_ms": 0.0}
+        )
+        ms = record["duration_ns"] / 1e6
+        agg["count"] += 1
+        agg["total_ms"] = round(agg["total_ms"] + ms, 3)
+        agg["max_ms"] = round(max(agg["max_ms"], ms), 3)
+    return totals
+
+
+@dataclass(frozen=True)
+class ArchivedRun:
+    """One run loaded back from the archive."""
+
+    id: str
+    path: Path
+    data: dict                      # run.json contents
+    timeline: list = field(default_factory=list)
+    profile: "dict | None" = None
+
+    @property
+    def manifest(self) -> "RunManifest | None":
+        raw = self.data.get("manifest")
+        return RunManifest.from_dict(raw) if raw else None
+
+    @property
+    def kernels(self) -> dict:
+        return self.data.get("kernels", {})
+
+    @property
+    def metrics(self) -> dict:
+        return self.data.get("metrics", {})
+
+
+class RunArchive:
+    """The ``.repro/runs/`` store."""
+
+    def __init__(self, root: "str | Path" = DEFAULT_ROOT) -> None:
+        self.root = Path(root)
+
+    @property
+    def index_path(self) -> Path:
+        return self.root / "index.json"
+
+    # -- write -------------------------------------------------------------
+
+    def record_run(
+        self,
+        manifest: RunManifest,
+        metrics: "dict | None" = None,
+        spans: "list | None" = None,
+        timeline: "list | None" = None,
+        profile: "object | None" = None,
+        scenario_key: "tuple | list | None" = None,
+        served: "int | None" = None,
+    ) -> str:
+        """Store one run; returns its id (``run-0001`` style).
+
+        ``profile`` may be a :class:`~repro.obs.profile.SamplingProfiler`
+        (its speedscope export is written too) or an already-serialized
+        dict.
+        """
+        entries = self._load_index()
+        run_id = f"run-{len(entries) + 1:04d}"
+        while (self.root / run_id).exists():
+            run_id = f"run-{int(run_id.split('-')[1]) + 1:04d}"
+        run_dir = self.root / run_id
+        run_dir.mkdir(parents=True, exist_ok=True)
+
+        profile_dict: "dict | None" = None
+        if profile is not None:
+            profile_dict = (
+                profile.to_dict() if hasattr(profile, "to_dict") else profile
+            )
+        record = {
+            "schema": SCHEMA_VERSION,
+            "id": run_id,
+            "scenario_key": list(scenario_key) if scenario_key else None,
+            "manifest": manifest.to_dict(),
+            "metrics": metrics or {},
+            "kernels": span_totals(spans),
+            "served": served,
+        }
+        atomic_write_json(run_dir / "run.json", record)
+        if timeline:
+            write_timeline(run_dir / "timeline.jsonl", timeline)
+        if profile_dict is not None:
+            atomic_write_json(run_dir / "profile.json", profile_dict)
+            if hasattr(profile, "write_speedscope"):
+                profile.write_speedscope(
+                    run_dir / "profile.speedscope.json",
+                    name=f"{manifest.command} ({run_id})",
+                )
+        entries.append({
+            "id": run_id,
+            "created_unix": round(float(manifest.created_unix or time.time()), 3),
+            "command": manifest.command,
+            "algorithm": manifest.algorithm,
+            "scenario_key": list(scenario_key) if scenario_key else None,
+            "wall_s": round(float(manifest.wall_s or 0.0), 4),
+            "served": served,
+            "has_timeline": bool(timeline),
+            "has_profile": profile_dict is not None,
+        })
+        atomic_write_json(
+            self.index_path, {"schema": SCHEMA_VERSION, "runs": entries}
+        )
+        return run_id
+
+    # -- read --------------------------------------------------------------
+
+    def _load_index(self) -> list:
+        try:
+            data = json.loads(self.index_path.read_text())
+        except (OSError, ValueError):
+            return []
+        runs = data.get("runs") if isinstance(data, dict) else None
+        return runs if isinstance(runs, list) else []
+
+    def list_runs(self) -> list:
+        """Index entries, oldest first."""
+        return self._load_index()
+
+    def load(self, run_id: str) -> ArchivedRun:
+        """Load one archived run (raises ``KeyError`` on an unknown id)."""
+        run_dir = self.root / run_id
+        run_json = run_dir / "run.json"
+        if not run_json.exists():
+            known = ", ".join(e["id"] for e in self._load_index()) or "none"
+            raise KeyError(
+                f"no archived run {run_id!r} under {self.root} "
+                f"(known: {known})"
+            )
+        data = json.loads(run_json.read_text())
+        timeline: list = []
+        timeline_path = run_dir / "timeline.jsonl"
+        if timeline_path.exists():
+            _, timeline = read_timeline(timeline_path)
+        profile = None
+        profile_path = run_dir / "profile.json"
+        if profile_path.exists():
+            profile = json.loads(profile_path.read_text())
+        return ArchivedRun(
+            id=run_id, path=run_dir, data=data,
+            timeline=timeline, profile=profile,
+        )
+
+
+# -- comparison --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KernelDelta:
+    """One kernel's timing movement between two archived runs."""
+
+    kernel: str
+    baseline_ms: "float | None"
+    current_ms: "float | None"
+    delta: "float | None"           # relative, None when incomparable
+    status: str                     # regress.REGRESSED / IMPROVED / ...
+
+    def to_dict(self) -> dict:
+        return {
+            "kernel": self.kernel,
+            "baseline_ms": self.baseline_ms,
+            "current_ms": self.current_ms,
+            "delta": self.delta,
+            "status": self.status,
+        }
+
+
+@dataclass
+class RunComparison:
+    """``repro runs compare`` result: wall movement + kernel attribution."""
+
+    baseline_id: str
+    current_id: str
+    threshold: float
+    wall_baseline_s: float
+    wall_current_s: float
+    wall_status: str
+    wall_delta: "float | None"
+    kernels: list = field(default_factory=list)   # KernelDelta, worst first
+
+    @property
+    def regressions(self) -> list:
+        from repro.obs.regress import REGRESSED
+
+        return [k for k in self.kernels if k.status == REGRESSED]
+
+    @property
+    def dominant_regression(self) -> "KernelDelta | None":
+        """The kernel with the largest relative slowdown, if any."""
+        worst = self.regressions
+        return worst[0] if worst else None
+
+    @property
+    def exit_code(self) -> int:
+        from repro.obs.regress import REGRESSED
+
+        return 1 if (self.wall_status == REGRESSED or self.regressions) else 0
+
+    def to_dict(self) -> dict:
+        dominant = self.dominant_regression
+        return {
+            "baseline": self.baseline_id,
+            "current": self.current_id,
+            "threshold": self.threshold,
+            "wall": {
+                "baseline_s": self.wall_baseline_s,
+                "current_s": self.wall_current_s,
+                "status": self.wall_status,
+                "delta": self.wall_delta,
+            },
+            "kernels": [k.to_dict() for k in self.kernels],
+            "dominant_regression": dominant.kernel if dominant else None,
+        }
+
+    def to_text(self) -> str:
+        from repro.obs.regress import REGRESSED
+
+        rows = [[
+            "wall",
+            f"{self.wall_baseline_s * 1000:.1f}",
+            f"{self.wall_current_s * 1000:.1f}",
+            "-" if self.wall_delta is None else f"{self.wall_delta:+.1%}",
+            (self.wall_status.upper() if self.wall_status == REGRESSED
+             else self.wall_status),
+        ]]
+        for k in self.kernels:
+            rows.append([
+                k.kernel,
+                "-" if k.baseline_ms is None else f"{k.baseline_ms:.2f}",
+                "-" if k.current_ms is None else f"{k.current_ms:.2f}",
+                "-" if k.delta is None else f"{k.delta:+.1%}",
+                k.status.upper() if k.status == REGRESSED else k.status,
+            ])
+        table = format_table(
+            ["kernel", "base ms", "now ms", "delta", "status"], rows,
+            title=f"runs compare {self.baseline_id} -> {self.current_id} "
+            f"(threshold ±{self.threshold:.0%})",
+        )
+        dominant = self.dominant_regression
+        verdict = (
+            f"REGRESSION: kernel '{dominant.kernel}' slowed "
+            f"{dominant.delta:+.1%} "
+            f"({dominant.baseline_ms:.2f} -> {dominant.current_ms:.2f} ms)"
+            if dominant is not None else
+            ("REGRESSION: wall time slowed "
+             f"{self.wall_delta:+.1%} with no single kernel to blame"
+             if self.wall_status == REGRESSED else "no regression")
+        )
+        return f"{table}\n\n{verdict}"
+
+
+def compare_runs(
+    baseline: ArchivedRun,
+    current: ArchivedRun,
+    threshold: float = 0.15,
+) -> RunComparison:
+    """Classify wall time and every shared kernel between two runs."""
+    from repro.obs.regress import classify
+
+    base_wall = float((baseline.manifest.wall_s if baseline.manifest else 0.0))
+    cur_wall = float((current.manifest.wall_s if current.manifest else 0.0))
+    wall_status, wall_delta = classify(base_wall, cur_wall, threshold)
+    kernels: list = []
+    names = sorted(set(baseline.kernels) | set(current.kernels))
+    for name in names:
+        base_ms = baseline.kernels.get(name, {}).get("total_ms")
+        cur_ms = current.kernels.get(name, {}).get("total_ms")
+        status, delta = classify(base_ms, cur_ms, threshold)
+        kernels.append(KernelDelta(
+            kernel=name, baseline_ms=base_ms, current_ms=cur_ms,
+            delta=delta, status=status,
+        ))
+    from repro.obs.regress import IMPROVED, MISSING, NEW, REGRESSED
+
+    rank = {REGRESSED: 0, NEW: 1, MISSING: 2, IMPROVED: 3}
+    kernels.sort(key=lambda k: (rank.get(k.status, 4), -(k.delta or 0.0)))
+    return RunComparison(
+        baseline_id=baseline.id, current_id=current.id, threshold=threshold,
+        wall_baseline_s=base_wall, wall_current_s=cur_wall,
+        wall_status=wall_status, wall_delta=wall_delta, kernels=kernels,
+    )

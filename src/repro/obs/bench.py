@@ -21,7 +21,7 @@ from repro.util.atomic import atomic_write_text
 POINT_FIELDS = (
     "scenario", "algorithm", "served", "wall_s", "workers", "scale",
     "speedup", "subsets_evaluated", "subsets_bound_skipped",
-    "context_build_s", "bound_pass_ms", "gain_matrix_ms",
+    "context_build_s", "bound_pass_ms", "gain_matrix_ms", "peak_rss_mb",
 )
 
 #: Default trajectory file: ``BENCH_approx.json`` at the repo root.

@@ -125,11 +125,16 @@ class LiveReporter:
         registry=REGISTRY,
         clock=time.monotonic,
         activity_counters: tuple = DEFAULT_ACTIVITY_COUNTERS,
+        timeline: "object | None" = None,
     ) -> None:
         self.config = config if config is not None else LiveConfig()
         self.registry = registry
         self.clock = clock
         self.activity_counters = tuple(activity_counters)
+        # An attached repro.obs.timeline.TimelineRecorder snapshots on
+        # this reporter's cadence (one daemon serves both), so parallel
+        # runs get per-worker series from the same absorbed gauges.
+        self.timeline = timeline
         self.samples_taken = 0
         self.stall_warnings = 0
         self._thread: "threading.Thread | None" = None
@@ -234,6 +239,8 @@ class LiveReporter:
             for name in ("greedy.oracle_calls", "sweep.points")
             if counters.get(name)
         }
+        if self.timeline is not None:
+            self.timeline.record()
         self.samples_taken += 1
         return LiveSample(
             done=done, total=total,

@@ -6,6 +6,9 @@ Layout (one JSON object per line, ``type`` discriminated):
   config, git revision, solver stats, wall time;
 * then — ``{"type": "span", ...}``: every finished span
   (:class:`repro.obs.trace.Span`), entry order;
+* then — ``{"type": "timeline", ...}``: the ring-buffered time-series
+  snapshots (:mod:`repro.obs.timeline`), oldest first, when the run
+  recorded a timeline;
 * last — ``{"type": "metrics", ...}``: the final registry snapshot.
 
 :func:`read_trace` round-trips the file exactly (a property test pins
@@ -89,6 +92,7 @@ class TraceData:
     manifest: "RunManifest | None"
     spans: list                      # list[dict], entry order
     metrics: dict
+    timeline: list = field(default_factory=list)   # list[dict], oldest first
 
 
 def write_trace(
@@ -96,8 +100,9 @@ def write_trace(
     manifest: RunManifest,
     spans: "list | None" = None,
     metrics: "dict | None" = None,
+    timeline: "list | None" = None,
 ) -> Path:
-    """Write one run's manifest + spans + metrics as JSONL."""
+    """Write one run's manifest + spans [+ timeline] + metrics as JSONL."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     records = [
@@ -109,6 +114,8 @@ def write_trace(
     records.sort(key=lambda r: r.get("index", 0))
     lines = [json.dumps({"type": "manifest", **manifest.to_dict()})]
     lines += [json.dumps({"type": "span", **record}) for record in records]
+    lines += [json.dumps({"type": "timeline", **snap})
+              for snap in timeline or []]
     lines.append(json.dumps({"type": "metrics", **(metrics or {})}))
     # Atomic (tmp + fsync + rename): a run killed mid-flush leaves either
     # the previous complete trace or none, never a truncated JSONL.
@@ -121,6 +128,7 @@ def read_trace(path: "str | Path") -> TraceData:
     manifest: "RunManifest | None" = None
     spans: list = []
     metrics: dict = {}
+    timeline: list = []
     with Path(path).open("r", encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
@@ -132,11 +140,18 @@ def read_trace(path: "str | Path") -> TraceData:
                 manifest = RunManifest.from_dict(record)
             elif kind == "span":
                 spans.append(record)
+            elif kind == "timeline":
+                timeline.append(record)
             elif kind == "metrics":
                 metrics = record
+            elif kind == "timeline-meta":
+                # Standalone --timeline files open with a meta header;
+                # accepting it here lets trace-report render them too.
+                pass
             else:
                 raise ValueError(f"unknown trace record type {kind!r}")
-    return TraceData(manifest=manifest, spans=spans, metrics=metrics)
+    return TraceData(manifest=manifest, spans=spans, metrics=metrics,
+                     timeline=timeline)
 
 
 def chrome_trace(spans: list) -> dict:

@@ -33,6 +33,11 @@ from repro.util.tables import format_table
 #: The identity of one measured configuration.
 KEY_FIELDS = ("scenario", "algorithm", "workers", "scale")
 
+#: Kernel-level timing columns carried by trajectory points (the
+#: micro-bench fields); compared per key alongside wall time and used by
+#: ``repro perf-diff --attribute`` to name *which* kernel regressed.
+KERNEL_FIELDS = ("context_build_s", "bound_pass_ms", "gain_matrix_ms")
+
 REGRESSED = "regressed"
 IMPROVED = "improved"
 UNCHANGED = "unchanged"
@@ -50,6 +55,9 @@ class KeyDelta:
     baseline_s: "float | None" = None
     current_s: "float | None" = None
     delta: "float | None" = None      # (current - baseline) / baseline
+    #: kernel field -> {"baseline", "current", "delta", "status"} for the
+    #: KERNEL_FIELDS either side measured on this key.
+    kernels: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -58,7 +66,18 @@ class KeyDelta:
             "baseline_s": self.baseline_s,
             "current_s": self.current_s,
             "delta": self.delta,
+            "kernels": self.kernels,
         }
+
+    def worst_kernel(self) -> "tuple[str, dict] | None":
+        """The kernel with the largest relative slowdown, if any regressed."""
+        regressed = [
+            (name, data) for name, data in self.kernels.items()
+            if data.get("status") == REGRESSED
+        ]
+        if not regressed:
+            return None
+        return max(regressed, key=lambda item: item[1].get("delta") or 0.0)
 
 
 @dataclass
@@ -98,6 +117,15 @@ class PerfDiff:
         }
 
     def to_text(self) -> str:
+        def kernel_cell(entry: KeyDelta, kernel: str) -> str:
+            data = entry.kernels.get(kernel)
+            if data is None or data.get("current") is None:
+                return "-"
+            cell = f"{data['current']:.3g}"
+            if data.get("status") == REGRESSED:
+                cell += "!"
+            return cell
+
         rows = []
         for e in self.entries:
             scenario, algorithm, workers, scale = e.key
@@ -109,11 +137,13 @@ class PerfDiff:
                 "-" if e.baseline_s is None else f"{e.baseline_s:.4f}",
                 "-" if e.current_s is None else f"{e.current_s:.4f}",
                 "-" if e.delta is None else f"{e.delta:+.1%}",
+                kernel_cell(e, "bound_pass_ms"),
+                kernel_cell(e, "gain_matrix_ms"),
                 e.status.upper() if e.status == REGRESSED else e.status,
             ])
         table = format_table(
             ["scenario", "algorithm", "workers", "scale", "base s",
-             "now s", "delta", "status"],
+             "now s", "delta", "bound ms", "gain ms", "status"],
             rows,
             title=f"perf-diff (threshold ±{self.threshold:.0%}, "
             f"median of last {self.window})",
@@ -127,6 +157,49 @@ class PerfDiff:
             if self.regressions else "no regression"
         )
         return f"{table}\n\n{summary}\n{verdict}"
+
+    # -- kernel attribution ------------------------------------------------
+
+    def attribution(self) -> list:
+        """Per-key kernel attributions, worst first.
+
+        One dict per key that has any kernel movement beyond the
+        threshold: ``{"key": {...}, "kernel", "baseline", "current",
+        "delta"}`` naming the dominant regressing kernel — the answer to
+        "*what* got slower", where the wall-time table only says *that*
+        something did.
+        """
+        out: list = []
+        for entry in self.entries:
+            worst = entry.worst_kernel()
+            if worst is None:
+                continue
+            kernel, data = worst
+            out.append({
+                "key": dict(zip(KEY_FIELDS, entry.key)),
+                "kernel": kernel,
+                "baseline": data.get("baseline"),
+                "current": data.get("current"),
+                "delta": data.get("delta"),
+            })
+        out.sort(key=lambda a: -(a["delta"] or 0.0))
+        return out
+
+    def attribution_text(self) -> str:
+        """Human-readable attribution block (``perf-diff --attribute``)."""
+        attributions = self.attribution()
+        if not attributions:
+            return ("attribution: no kernel-level timings moved beyond the "
+                    "threshold (or none were recorded)")
+        lines = ["attribution (dominant regressing kernel per key):"]
+        for a in attributions:
+            key = a["key"]
+            lines.append(
+                f"  {key['scenario']}/{key['algorithm']}: "
+                f"kernel '{a['kernel']}' {a['baseline']:.4g} -> "
+                f"{a['current']:.4g} ({a['delta']:+.1%})"
+            )
+        return "\n".join(lines)
 
 
 # -- loading -----------------------------------------------------------------
@@ -204,6 +277,27 @@ def _grouped_medians(points: list, window: int) -> dict:
     }
 
 
+def _grouped_kernel_medians(points: list, window: int) -> dict:
+    """key -> {kernel field -> median of the last ``window`` measured
+    values}; kernels a key never measured are simply absent."""
+    series: dict = {}
+    for point in points:
+        for kernel in KERNEL_FIELDS:
+            value = point.get(kernel)
+            if value is None:
+                continue
+            series.setdefault(_key_of(point), {}).setdefault(
+                kernel, []
+            ).append(float(value))
+    return {
+        key: {
+            kernel: statistics.median(values[-window:])
+            for kernel, values in kernels.items()
+        }
+        for key, kernels in series.items()
+    }
+
+
 def classify(
     baseline_s: "float | None",
     current_s: "float | None",
@@ -241,6 +335,8 @@ def perf_diff(
         raise ValueError(f"window must be >= 1, got {window}")
     baseline = _grouped_medians(baseline_points, window)
     current = _grouped_medians(current_points, window)
+    baseline_kernels = _grouped_kernel_medians(baseline_points, window)
+    current_kernels = _grouped_kernel_medians(current_points, window)
     entries = []
     for key in sorted(
         set(baseline) | set(current), key=lambda k: tuple(map(str, k))
@@ -248,9 +344,25 @@ def perf_diff(
         base_s = baseline.get(key)
         cur_s = current.get(key)
         status, delta = classify(base_s, cur_s, threshold)
+        kernels: dict = {}
+        base_k = baseline_kernels.get(key, {})
+        cur_k = current_kernels.get(key, {})
+        for kernel in KERNEL_FIELDS:
+            base_value = base_k.get(kernel)
+            cur_value = cur_k.get(kernel)
+            if base_value is None and cur_value is None:
+                continue
+            k_status, k_delta = classify(base_value, cur_value, threshold)
+            kernels[kernel] = {
+                "baseline": base_value,
+                "current": cur_value,
+                "delta": k_delta,
+                "status": k_status,
+            }
         entries.append(KeyDelta(
             key=key, status=status,
             baseline_s=base_s, current_s=cur_s, delta=delta,
+            kernels=kernels,
         ))
     # Worst first: regressions by descending delta, then the rest.
     rank = {REGRESSED: 0, NEW: 1, MISSING: 2, IMPROVED: 3, UNCHANGED: 4}

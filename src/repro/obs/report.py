@@ -18,6 +18,47 @@ def _fmt_ms(ns: float) -> str:
     return f"{ns / 1e6:.2f}"
 
 
+def timeline_summary(snapshots: list) -> str:
+    """ASCII sparkline block for a run's timeline snapshots.
+
+    Derived series: subset throughput (Δ``approx.subsets_done``/Δt),
+    cumulative progress, RSS, plus the final per-worker utilization
+    split — the "what did the run look like over time" answer in four
+    lines of plain text.
+    """
+    from repro.obs import timeline as tl
+    from repro.util.charts import sparkline
+
+    if not snapshots:
+        return "timeline: no snapshots recorded"
+    duration = float(snapshots[-1].get("t_s", 0.0))
+    lines = [f"timeline ({len(snapshots)} snapshots over {duration:.1f}s)"]
+
+    def row(label: str, series: list, unit: str = "") -> None:
+        if not series or not any(series):
+            return
+        lo, hi = min(series), max(series)
+        lines.append(
+            f"  {label:<11s} {sparkline(series)}  "
+            f"{lo:.6g}..{hi:.6g}{unit}"
+        )
+
+    row("subsets/s", tl.rate_series(snapshots))
+    row("done", tl.counter_series(snapshots, tl.PROGRESS_COUNTER))
+    row("rss_mb", tl.rss_series(snapshots), " MB")
+    workers = tl.worker_totals(snapshots)
+    if workers:
+        total = sum(workers.values()) or 1
+        split = " ".join(
+            f"w{pid}:{100 * count // total}%"
+            for pid, count in sorted(workers.items())
+        )
+        lines.append(f"  workers     {split}")
+    if len(lines) == 1:
+        lines.append("  (no nonzero series)")
+    return "\n".join(lines)
+
+
 def summarize(data: TraceData) -> str:
     """Render one parsed trace as text."""
     blocks: list = []
@@ -80,6 +121,9 @@ def summarize(data: TraceData) -> str:
             rows,
             title=f"spans ({len(data.spans)} recorded)",
         ))
+
+    if data.timeline:
+        blocks.append(timeline_summary(data.timeline))
 
     counters = data.metrics.get("counters", {})
     if counters:

@@ -1,0 +1,263 @@
+"""Ring-buffered time-series recording over the metrics registry.
+
+The spans and counters of :mod:`repro.obs` describe a run *after* it
+finished; :class:`TimelineRecorder` adds the time dimension: it snapshots
+the registry on a fixed cadence into a bounded ring buffer
+(``collections.deque(maxlen=...)`` — a week-long mission cannot exhaust
+memory, the oldest snapshots fall off and ``dropped`` counts them).
+
+Each snapshot is a plain JSON-safe dict::
+
+    {"t_s": 3.0,                      # seconds since the first snapshot
+     "counters": {...},               # full cumulative counters
+     "workers": {"1234": 512, ...},   # approx.worker.<pid>.subsets gauges
+     "gauges": {"mission.served": 371, ...},  # the non-worker gauges
+     "rss_mb": 84.2}                  # resident set size, None off-Linux
+
+Because the counters are the *merged parent-side* registry (workers ship
+deltas back with each chunk and the parent adds them — see
+``repro.obs.metrics``), a parallel run's timeline carries true per-worker
+utilization series and its final snapshot equals the serial run's
+counter-for-counter; a property test pins this.
+
+Two driving modes:
+
+* attached to a :class:`~repro.obs.live.LiveReporter` (pass
+  ``timeline=recorder``) — the reporter's existing daemon calls
+  :meth:`record` on every heartbeat, so ``--live --timeline`` costs one
+  thread, not two;
+* standalone — :meth:`start` spawns its own daemon at
+  ``TimelineConfig.interval_s``; :meth:`stop` joins it and takes one
+  final snapshot so even sub-interval runs record their end state.
+
+Persistence: :func:`write_timeline` / :func:`read_timeline` round-trip a
+standalone JSONL file (atomic), and ``obs.write_trace(...,
+timeline=...)`` embeds the same records (``{"type": "timeline"}``) in a
+run manifest, where ``repro trace-report`` renders sparkline summaries.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.obs.metrics import REGISTRY
+from repro.obs.profile import current_rss_mb
+from repro.util.atomic import atomic_write_text
+
+#: Gauge-name shape of per-worker progress (kept in lockstep with
+#: ``repro.obs.live``; duplicated to avoid importing the reporter here).
+WORKER_GAUGE_PREFIX = "approx.worker."
+WORKER_GAUGE_SUFFIX = ".subsets"
+
+#: Progress counter the derived throughput series is computed from.
+PROGRESS_COUNTER = "approx.subsets_done"
+
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TimelineConfig:
+    """Knobs of the time-series recorder."""
+
+    interval_s: float = 1.0
+    capacity: int = 4096          # ring size; oldest snapshots drop first
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ValueError(
+                f"interval must be positive, got {self.interval_s}"
+            )
+        if self.capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {self.capacity}")
+
+
+class TimelineRecorder:
+    """Sample the registry into a bounded ring of timeline snapshots."""
+
+    def __init__(
+        self,
+        config: "TimelineConfig | None" = None,
+        registry=REGISTRY,
+        clock=time.monotonic,
+    ) -> None:
+        self.config = config if config is not None else TimelineConfig()
+        self.registry = registry
+        self.clock = clock
+        self.dropped = 0
+        self._buffer: deque = deque(maxlen=self.config.capacity)
+        self._start_time: "float | None" = None
+        self._thread: "threading.Thread | None" = None
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+
+    # -- sampling ----------------------------------------------------------
+
+    def record(self) -> dict:
+        """Take one snapshot (thread-free; the daemon, an attached
+        LiveReporter, and the tests all call this)."""
+        now = self.clock()
+        snap = self.registry.snapshot()
+        workers = {}
+        gauges = {}
+        for name, value in snap["gauges"].items():
+            if (name.startswith(WORKER_GAUGE_PREFIX)
+                    and name.endswith(WORKER_GAUGE_SUFFIX)):
+                pid = name[len(WORKER_GAUGE_PREFIX):-len(WORKER_GAUGE_SUFFIX)]
+                workers[pid] = int(value)
+            else:
+                gauges[name] = value
+        with self._lock:
+            if self._start_time is None:
+                self._start_time = now
+            record = {
+                "t_s": round(now - self._start_time, 3),
+                "counters": snap["counters"],
+                "workers": workers,
+                "gauges": gauges,
+                "rss_mb": current_rss_mb(),
+            }
+            if len(self._buffer) == self._buffer.maxlen:
+                self.dropped += 1
+            self._buffer.append(record)
+        return record
+
+    def snapshots(self) -> list:
+        """Copy of the buffered snapshots, oldest first."""
+        with self._lock:
+            return list(self._buffer)
+
+    def last(self) -> "dict | None":
+        with self._lock:
+            return self._buffer[-1] if self._buffer else None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._buffer)
+
+    # -- standalone daemon -------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "TimelineRecorder":
+        if self.running:
+            raise RuntimeError("TimelineRecorder is already running")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-timeline", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "TimelineRecorder":
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=max(5.0, 4 * self.config.interval_s))
+            self._thread = None
+        # One closing snapshot: runs shorter than the interval still land
+        # their final cumulative counters.
+        self.record()
+        return self
+
+    def __enter__(self) -> "TimelineRecorder":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.config.interval_s):
+            self.record()
+
+
+# -- derived series ----------------------------------------------------------
+
+
+def counter_series(snapshots: list, name: str) -> list:
+    """The cumulative values of counter ``name`` across ``snapshots``."""
+    return [int(s.get("counters", {}).get(name, 0)) for s in snapshots]
+
+
+def rate_series(snapshots: list, name: str = PROGRESS_COUNTER) -> list:
+    """Per-interval throughput (Δcounter/Δt) between adjacent snapshots."""
+    rates: list = []
+    for prev, cur in zip(snapshots, snapshots[1:]):
+        dt = float(cur.get("t_s", 0.0)) - float(prev.get("t_s", 0.0))
+        if dt <= 0:
+            continue
+        delta = (int(cur.get("counters", {}).get(name, 0))
+                 - int(prev.get("counters", {}).get(name, 0)))
+        rates.append(max(0.0, delta / dt))
+    return rates
+
+
+def rss_series(snapshots: list) -> list:
+    """The RSS samples (MB) that were measurable, in order."""
+    return [s["rss_mb"] for s in snapshots if s.get("rss_mb") is not None]
+
+
+def worker_totals(snapshots: list) -> dict:
+    """pid -> final absorbed-subset gauge (utilization split of the run)."""
+    totals: dict = {}
+    for snap in snapshots:
+        for pid, value in snap.get("workers", {}).items():
+            totals[pid] = int(value)
+    return totals
+
+
+# -- persistence -------------------------------------------------------------
+
+
+def write_timeline(
+    path: "str | Path",
+    snapshots: "list | TimelineRecorder",
+    interval_s: "float | None" = None,
+    dropped: int = 0,
+) -> Path:
+    """Write snapshots as a standalone JSONL timeline file (atomic)."""
+    if isinstance(snapshots, TimelineRecorder):
+        recorder = snapshots
+        snapshots = recorder.snapshots()
+        interval_s = (
+            interval_s if interval_s is not None
+            else recorder.config.interval_s
+        )
+        dropped = dropped or recorder.dropped
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = [json.dumps({
+        "type": "timeline-meta",
+        "schema": SCHEMA_VERSION,
+        "interval_s": interval_s,
+        "snapshots": len(snapshots),
+        "dropped": dropped,
+    })]
+    lines += [json.dumps({"type": "timeline", **snap}) for snap in snapshots]
+    atomic_write_text(path, "\n".join(lines) + "\n")
+    return path
+
+
+def read_timeline(path: "str | Path") -> "tuple[dict, list]":
+    """Parse a :func:`write_timeline` file → ``(meta, snapshots)``."""
+    meta: dict = {}
+    snapshots: list = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.pop("type", None)
+            if kind == "timeline-meta":
+                meta = record
+            elif kind == "timeline":
+                snapshots.append(record)
+            else:
+                raise ValueError(f"unknown timeline record type {kind!r}")
+    return meta, snapshots

@@ -124,7 +124,7 @@ def run_mission(
     log = MissionLog()
     timeline: list = []
 
-    with obs.span("mission.plan"):
+    with obs.span("mission.plan"), obs.stage_watermark("mission.plan"):
         initial = solve_with_fallback(problem, policy.watchdog)
     if not initial.ok:
         log.record(
@@ -169,7 +169,8 @@ def run_mission(
         elif kind == _UAV_RESTORED:
             _handle_uav_restored(state, arg, now, queue, log)
         elif kind == _REPAIR:
-            with obs.span("mission.repair", attempt=arg, time_s=now):
+            with obs.span("mission.repair", attempt=arg, time_s=now), \
+                    obs.stage_watermark("mission.repair"):
                 _handle_repair(state, arg, now, queue, policy, config, log)
         else:
             raise AssertionError(f"unhandled mission event {kind!r}")

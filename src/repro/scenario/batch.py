@@ -119,12 +119,14 @@ def _needs_context(group: "list") -> bool:
 def _run_group(pipeline: SolvePipeline, group: "list") -> "tuple":
     """Run one scenario group; returns (items, contexts_built)."""
     first = group[0][1]
-    with obs.span("batch.build", scenario=first.name, specs=len(group)):
+    with obs.span("batch.build", scenario=first.name, specs=len(group)), \
+            obs.stage_watermark("batch.build"):
         problem = first.build()
     context = None
     built = 0
     if pipeline.prebuild_context and _needs_context(group):
-        with obs.span("batch.context", scenario=first.name):
+        with obs.span("batch.context", scenario=first.name), \
+                obs.stage_watermark("batch.context"):
             context = SolverContext.from_problem(problem)
         built = 1
     items = []

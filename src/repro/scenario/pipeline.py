@@ -372,7 +372,11 @@ class SolvePipeline:
 
     def _execute(self, state: PipelineState) -> PipelineState:
         for name, fn in self.stages:
-            with obs.span(f"pipeline.{name}", algorithm=state.entry.name):
+            # stage_watermark is the profiler's per-stage memory hook: a
+            # shared no-op unless `repro profile` (or an explicit
+            # SamplingProfiler) is active.
+            with obs.span(f"pipeline.{name}", algorithm=state.entry.name), \
+                    obs.stage_watermark(f"pipeline.{name}"):
                 result = fn(state)
             state = result if result is not None else state
         return state

@@ -11,6 +11,39 @@ from collections.abc import Mapping, Sequence
 
 MARKERS = "ox+*#@%&"
 
+#: Intensity ramp for :func:`sparkline` (pure ASCII, lowest to highest).
+SPARK_LEVELS = " .:-=+*#@"
+
+
+def sparkline(values: Sequence, width: int = 40) -> str:
+    """Render a numeric series as a one-line ASCII sparkline.
+
+    Longer series are bucketed down to ``width`` characters (bucket
+    mean); values are scaled between the series min and max.  A constant
+    series renders at mid-intensity, an empty one as ``(no data)``.
+    """
+    if width < 1:
+        raise ValueError(f"sparkline needs width >= 1, got {width}")
+    values = [float(v) for v in values]
+    if not values:
+        return "(no data)"
+    if len(values) > width:
+        bucketed = []
+        for i in range(width):
+            lo = i * len(values) // width
+            hi = max(lo + 1, (i + 1) * len(values) // width)
+            chunk = values[lo:hi]
+            bucketed.append(sum(chunk) / len(chunk))
+        values = bucketed
+    v_min, v_max = min(values), max(values)
+    span = v_max - v_min
+    top = len(SPARK_LEVELS) - 1
+    if span <= 0:
+        return SPARK_LEVELS[top // 2] * len(values)
+    return "".join(
+        SPARK_LEVELS[round((v - v_min) / span * top)] for v in values
+    )
+
 
 def ascii_chart(
     series: Mapping,

@@ -1,0 +1,38 @@
+"""Lockstep guard on the BENCH point schema.
+
+``benchmarks/conftest.py`` and ``repro.obs.bench`` each carry a copy of
+``POINT_FIELDS`` (the bench suite must not import the package's copy at
+collection time and vice versa).  This test pins the two tuples equal
+and the null-normalization contract: a merged point always carries every
+field explicitly, with ``None`` for metrics the run did not measure —
+so adding ``peak_rss_mb`` (or any future field) cannot silently skew
+old trajectories.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import POINT_FIELDS as CONFTEST_FIELDS
+from repro.obs.bench import POINT_FIELDS, normalize_point
+
+
+def test_point_fields_copies_are_identical():
+    assert POINT_FIELDS == CONFTEST_FIELDS
+
+
+def test_point_fields_include_the_memory_metric():
+    assert "peak_rss_mb" in POINT_FIELDS
+    assert "bound_pass_ms" in POINT_FIELDS
+    assert "gain_matrix_ms" in POINT_FIELDS
+
+
+def test_normalize_point_nulls_missing_fields():
+    point = normalize_point({"scenario": "x", "wall_s": 1.0})
+    assert set(POINT_FIELDS) <= set(point)
+    assert point["peak_rss_mb"] is None
+    assert point["gain_matrix_ms"] is None
+    assert point["wall_s"] == 1.0
+
+
+def test_normalize_point_keeps_unknown_extras():
+    point = normalize_point({"scenario": "x", "custom": 7})
+    assert point["custom"] == 7

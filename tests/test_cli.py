@@ -411,3 +411,98 @@ class TestScenarioCommands:
                    algorithm_params={"bogus": True}).save(bad)
         assert main(["batch", str(bad)]) == 1
         assert "batch-bad" in capsys.readouterr().err
+
+
+class TestFlightRecorderCli:
+    """CLI surface of the flight recorder: --timeline/--archive on
+    observed commands, `repro profile`, and `repro runs`."""
+
+    def test_run_timeline_flag_writes_jsonl(self, capsys, tmp_path):
+        from repro.obs.timeline import read_timeline
+
+        timeline = tmp_path / "tl.jsonl"
+        assert main([
+            "run", "--users", "60", "--uavs", "3", "--scale", "small",
+            "--seed", "4", "--timeline", str(timeline),
+        ]) == 0
+        assert "timeline (" in capsys.readouterr().out
+        meta, snapshots = read_timeline(timeline)
+        assert meta["schema"] == 1 and snapshots
+        # The closing snapshot carries the run's final counters.
+        assert snapshots[-1]["counters"]["runner.solves"] == 1
+
+    def test_trace_embeds_timeline_and_report_renders_it(
+        self, capsys, tmp_path
+    ):
+        trace = tmp_path / "trace.jsonl"
+        timeline = tmp_path / "tl.jsonl"
+        assert main([
+            "run", "--users", "60", "--uavs", "3", "--scale", "small",
+            "--seed", "4", "--trace", str(trace),
+            "--timeline", str(timeline),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace-report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "timeline (" in out and "snapshots over" in out
+
+    def test_run_archive_then_runs_list_show_compare(
+        self, capsys, tmp_path
+    ):
+        root = str(tmp_path / "runs")
+        args = ["run", "--users", "60", "--uavs", "3", "--scale", "small",
+                "--seed", "4", "--archive", "--archive-root", root]
+        assert main(args) == 0
+        assert "run archived as run-0001" in capsys.readouterr().out
+        assert main(args) == 0
+        capsys.readouterr()
+
+        assert main(["runs", "list", "--root", root]) == 0
+        out = capsys.readouterr().out
+        assert "run-0001" in out and "run-0002" in out
+        assert "small,60,3" in out  # scenario_key made it into the index
+
+        assert main(["runs", "show", "run-0001", "--root", root]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline.solve" in out and "scenario" in out
+
+        assert main([
+            "runs", "compare", "run-0001", "run-0002", "--root", root,
+        ]) in (0, 1)  # same workload; tiny timing jitter may cross 15%
+        assert "runs compare run-0001 -> run-0002" in capsys.readouterr().out
+
+    def test_profile_command_smoke(self, capsys, tmp_path):
+        import json
+
+        from repro import obs
+
+        out_path = tmp_path / "p.speedscope.json"
+        collapsed = tmp_path / "p.collapsed"
+        root = str(tmp_path / "runs")
+        assert main([
+            "profile", "demo-small", "--hz", "200", "--out", str(out_path),
+            "--collapsed", str(collapsed), "--archive",
+            "--archive-root", root,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "profiler:" in out and "samples" in out
+        assert "approAlg" in out
+        assert "run archived as run-0001" in out
+        doc = json.loads(out_path.read_text())
+        assert doc["profiles"][0]["type"] == "sampled"
+        assert collapsed.exists()
+        assert not obs.is_enabled(), "profile must switch tracing back off"
+
+        # The archived profile renders in `runs show`.
+        assert main(["runs", "show", "run-0001", "--root", root]) == 0
+        assert "profile (" in capsys.readouterr().out
+
+    def test_profile_unknown_scenario_exits_two(self, capsys):
+        assert main(["profile", "no-such-preset"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_profile_rejects_non_spec_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"kind": "other"}')
+        assert main(["profile", str(bad)]) == 2
+        assert "scenario-spec" in capsys.readouterr().err

@@ -163,26 +163,45 @@ def test_metric_counts_identical_serial_vs_parallel():
         obs.enable()
         obs.reset()
         heartbeat = io.StringIO()
+        # The timeline recorder rides the reporter's heartbeat (one
+        # daemon serves both) — its final snapshot must carry the same
+        # cumulative counters for any worker count.
+        recorder = obs.TimelineRecorder(obs.TimelineConfig(interval_s=0.02))
         live = obs.LiveReporter(obs.LiveConfig(
             interval_s=0.02, stall_intervals=10**6, stream=heartbeat,
-        ))
+        ), timeline=recorder)
         with live:
             result = appro_alg(
                 problem, s=2, gain_mode="exact", workers=workers
             )
         assert "[live]" in heartbeat.getvalue()
+        assert len(recorder) == live.samples_taken > 0
         counters = dict(obs.metrics_snapshot()["counters"])
         spans = obs.drain_spans()
         obs.disable()
         obs.reset()
-        return result, counters, len(spans)
+        return result, counters, len(spans), recorder.last()
 
-    serial, serial_counts, serial_spans = observed_run(workers=1)
-    parallel, parallel_counts, parallel_spans = observed_run(workers=4)
+    serial, serial_counts, serial_spans, serial_snap = observed_run(workers=1)
+    parallel, parallel_counts, parallel_spans, parallel_snap = observed_run(
+        workers=4
+    )
 
     assert (serial.served, serial.anchors) == (parallel.served, parallel.anchors)
     assert serial_counts == parallel_counts
     assert serial_spans == parallel_spans
+    # Timeline determinism: the closing snapshot equals the final registry
+    # state on both sides, so chunked parallel absorption is invisible in
+    # the recorded series' end state too.
+    assert serial_snap["counters"] == serial_counts
+    assert parallel_snap["counters"] == parallel_counts
+    # The parallel timeline additionally carries per-worker utilization
+    # gauges; every absorbed chunk is attributed to some worker pid (a
+    # handful of subsets can be finished parent-side, so <=, not ==).
+    assert parallel_snap["workers"]
+    assert 0 < sum(parallel_snap["workers"].values()) <= parallel_counts[
+        "approx.subsets_done"
+    ]
     assert serial_counts["approx.subsets_evaluated"] > 0
     assert serial_counts["greedy.oracle_calls"] > 0
     assert serial_counts["flow.try_opens"] > 0
@@ -288,3 +307,34 @@ def test_disabled_records_nothing():
     assert snap["gauges"] == {}
     assert snap["histograms"] == {}
     assert obs.export_obs_state() is None
+
+
+def test_disabled_overhead_guard_full_solver():
+    """Flight-recorder guard: a real solve with every obs feature off
+    leaves zero footprint — no spans, no metrics, no profiler/timeline/
+    reporter thread, no tracemalloc, and the watermark helper still
+    hands out the shared no-op singleton."""
+    import threading
+    import tracemalloc
+
+    from repro.obs import profile as prof
+
+    problem = paper_scenario(num_users=120, num_uavs=4, scale="small", seed=5)
+    threads_before = set(threading.enumerate())
+    assert not obs.is_enabled()
+    assert prof.active() is None
+
+    result = appro_alg(problem, s=2, gain_mode="fast")
+
+    assert result.served > 0
+    assert set(threading.enumerate()) == threads_before
+    daemon_names = {t.name for t in threading.enumerate()}
+    assert not daemon_names & {
+        "repro-profiler", "repro-timeline", "repro-live-reporter",
+    }
+    assert not tracemalloc.is_tracing()
+    assert prof.active() is None
+    assert obs.stage_watermark("solve") is prof._NULL_WATERMARK
+    assert obs.snapshot_spans() == [] and obs.open_span_count() == 0
+    snap = obs.metrics_snapshot()
+    assert snap["counters"] == {} and snap["gauges"] == {}

@@ -1,0 +1,218 @@
+"""Tests for ``repro.obs.timeline`` — ring buffer, persistence, wiring.
+
+Covers the recorder's snapshot shape, the bounded-ring drop accounting,
+the JSONL round-trip (standalone files and trace embedding), the
+LiveReporter attachment (one daemon drives both), and the sparkline
+rendering ``repro trace-report`` builds on.
+"""
+
+from __future__ import annotations
+
+import io
+import itertools
+
+import pytest
+
+from repro import obs
+from repro.obs import timeline as tl
+from repro.obs.timeline import (
+    TimelineConfig,
+    TimelineRecorder,
+    read_timeline,
+    write_timeline,
+)
+from repro.util.charts import sparkline
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def _fake_clock(step: float = 1.0):
+    counter = itertools.count()
+    return lambda: next(counter) * step
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TimelineConfig(interval_s=0)
+    with pytest.raises(ValueError):
+        TimelineConfig(capacity=0)
+
+
+# -- snapshot shape ----------------------------------------------------------
+
+
+def test_record_splits_worker_gauges_from_the_rest():
+    obs.enable()
+    obs.counter_inc("approx.subsets_done", 7)
+    obs.gauge_set("approx.worker.1234.subsets", 5)
+    obs.gauge_set("mission.served", 371)
+    recorder = TimelineRecorder(clock=_fake_clock())
+    snap = recorder.record()
+    assert snap["t_s"] == 0.0
+    assert snap["counters"]["approx.subsets_done"] == 7
+    assert snap["workers"] == {"1234": 5}
+    assert snap["gauges"] == {"mission.served": 371}
+    assert snap["rss_mb"] is None or snap["rss_mb"] > 0
+    # t_s is relative to the first snapshot, monotone increasing.
+    assert recorder.record()["t_s"] > 0.0
+
+
+def test_ring_drops_oldest_and_counts():
+    recorder = TimelineRecorder(
+        TimelineConfig(interval_s=0.01, capacity=3), clock=_fake_clock()
+    )
+    for _ in range(5):
+        recorder.record()
+    assert len(recorder) == 3
+    assert recorder.dropped == 2
+    times = [s["t_s"] for s in recorder.snapshots()]
+    assert times == sorted(times) and times[0] > 0.0  # oldest two fell off
+    assert recorder.last() == recorder.snapshots()[-1]
+
+
+# -- persistence -------------------------------------------------------------
+
+
+def test_timeline_file_roundtrip(tmp_path):
+    obs.enable()
+    recorder = TimelineRecorder(
+        TimelineConfig(interval_s=0.5, capacity=8), clock=_fake_clock()
+    )
+    obs.counter_inc("approx.subsets_done", 3)
+    recorder.record()
+    obs.counter_inc("approx.subsets_done", 4)
+    recorder.record()
+
+    path = write_timeline(tmp_path / "t.jsonl", recorder)
+    meta, snapshots = read_timeline(path)
+    assert meta["schema"] == tl.SCHEMA_VERSION
+    assert meta["interval_s"] == 0.5
+    assert meta["snapshots"] == 2 and meta["dropped"] == 0
+    assert snapshots == recorder.snapshots()
+
+
+def test_read_timeline_rejects_unknown_record_type(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"type": "mystery"}\n')
+    with pytest.raises(ValueError, match="mystery"):
+        read_timeline(path)
+
+
+def test_trace_report_accepts_standalone_timeline_file(tmp_path):
+    # A bare --timeline file (timeline-meta header + snapshots) must be
+    # readable by trace-report, not just timelines embedded in a trace.
+    from repro.obs.report import trace_report
+
+    recorder = TimelineRecorder(clock=_fake_clock())
+    obs.counter_inc("approx.subsets_done", 5)
+    recorder.record()
+    path = write_timeline(tmp_path / "t.jsonl", recorder)
+
+    text = trace_report(path)
+    assert "timeline (1 snapshots" in text
+
+
+def test_trace_embeds_timeline_records(tmp_path):
+    obs.enable()
+    recorder = TimelineRecorder(clock=_fake_clock())
+    obs.counter_inc("approx.subsets_done", 2)
+    recorder.record()
+    recorder.record()
+    spans: list = []
+    metrics = obs.metrics_snapshot()
+
+    manifest = obs.RunManifest(command="test", seed=1)
+    path = obs.write_trace(tmp_path / "trace.jsonl", manifest, spans,
+                           metrics, timeline=recorder.snapshots())
+    data = obs.read_trace(path)
+    assert data.timeline == recorder.snapshots()
+    summary = obs.summarize(data)
+    assert "timeline (2 snapshots" in summary
+    assert "done" in summary
+
+
+# -- derived series ----------------------------------------------------------
+
+
+def _synthetic_snapshots() -> list:
+    return [
+        {"t_s": 0.0, "counters": {"approx.subsets_done": 0},
+         "workers": {}, "gauges": {}, "rss_mb": 40.0},
+        {"t_s": 1.0, "counters": {"approx.subsets_done": 10},
+         "workers": {"1": 6, "2": 4}, "gauges": {}, "rss_mb": 44.0},
+        {"t_s": 3.0, "counters": {"approx.subsets_done": 14},
+         "workers": {"1": 8, "2": 6}, "gauges": {}, "rss_mb": None},
+    ]
+
+
+def test_derived_series():
+    snaps = _synthetic_snapshots()
+    assert tl.counter_series(snaps, "approx.subsets_done") == [0, 10, 14]
+    assert tl.rate_series(snaps) == [10.0, 2.0]
+    assert tl.rss_series(snaps) == [40.0, 44.0]
+    assert tl.worker_totals(snaps) == {"1": 8, "2": 6}
+
+
+def test_rate_series_clamps_resets_to_zero():
+    snaps = [
+        {"t_s": 0.0, "counters": {"approx.subsets_done": 9}},
+        {"t_s": 1.0, "counters": {"approx.subsets_done": 4}},
+    ]
+    assert tl.rate_series(snaps) == [0.0]
+
+
+# -- sparklines --------------------------------------------------------------
+
+
+def test_sparkline_shapes():
+    assert sparkline([]) == "(no data)"
+    assert len(sparkline(list(range(100)), width=20)) == 20
+    ramp = sparkline([0, 1, 2, 3], width=4)
+    assert ramp[0] != ramp[-1]  # intensity moves with the data
+    flat = sparkline([5, 5, 5], width=3)
+    assert len(set(flat)) == 1  # constant series renders uniformly
+    with pytest.raises(ValueError):
+        sparkline([1], width=0)
+
+
+# -- driving modes -----------------------------------------------------------
+
+
+def test_live_reporter_drives_attached_recorder():
+    """One daemon serves both: every reporter sample records a snapshot."""
+    obs.enable()
+    obs.counter_inc("approx.subsets_planned", 10)
+    recorder = TimelineRecorder(clock=_fake_clock())
+    reporter = obs.LiveReporter(
+        obs.LiveConfig(interval_s=0.01, stall_intervals=10**6,
+                       stream=io.StringIO()),
+        timeline=recorder,
+    )
+    reporter.sample()
+    obs.counter_inc("approx.subsets_done", 10)
+    reporter.sample()
+    assert len(recorder) == reporter.samples_taken == 2
+    assert tl.counter_series(recorder.snapshots(),
+                             "approx.subsets_done") == [0, 10]
+
+
+def test_standalone_daemon_records_final_snapshot():
+    obs.enable()
+    obs.counter_inc("approx.subsets_done", 5)
+    recorder = TimelineRecorder(TimelineConfig(interval_s=60.0))
+    with recorder:
+        assert recorder.running
+        with pytest.raises(RuntimeError, match="already running"):
+            recorder.start()
+    assert not recorder.running
+    # The interval never elapsed, but stop() lands one closing snapshot
+    # carrying the final cumulative counters.
+    assert len(recorder) >= 1
+    assert recorder.last()["counters"]["approx.subsets_done"] == 5
