@@ -576,6 +576,109 @@ def _cmd_mission(args: argparse.Namespace) -> int:
     return 0 if result.final_valid else 1
 
 
+def _dynamic_spec(args: argparse.Namespace):
+    """Resolve ``repro dynamic --scenario``: preset name or DynamicSpec
+    JSON file."""
+    import json
+    from pathlib import Path
+
+    from repro.dynamics import DynamicSpec, get_dynamic_preset
+
+    if Path(args.scenario).exists():
+        data = json.loads(Path(args.scenario).read_text())
+        return DynamicSpec.from_dict(data)
+    try:
+        return get_dynamic_preset(args.scenario)
+    except KeyError as exc:
+        raise ValueError(
+            f"{args.scenario}: not a spec file, and {exc.args[0]}"
+        ) from exc
+
+
+def _cmd_dynamic(args: argparse.Namespace) -> int:
+    """Run a long-horizon dynamic mission (churn, mobility, rotation,
+    faults) with warm-started epoch re-solves; optionally across a seed
+    grid, and optionally recording the warm-vs-cold latency bench point."""
+    from repro.dynamics import run_dynamic, run_seed_grid
+
+    try:
+        spec = _dynamic_spec(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    overrides: dict = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.policy is not None:
+        overrides["resolve_policy"] = args.policy
+    if args.duration is not None:
+        overrides["duration_s"] = args.duration
+    if args.epoch is not None:
+        overrides["epoch_s"] = args.epoch
+    if overrides:
+        spec = spec.with_overrides(**overrides)
+    args._scenario_key = spec.scenario_key()
+    warm = False if args.cold else None
+
+    if args.seeds > 1:
+        grid = run_seed_grid(spec, num_seeds=args.seeds, warm=warm)
+        print(grid.to_text())
+        args._served = grid.results[-1].final_served if grid.results else None
+        return 0
+
+    result = run_dynamic(spec, warm=warm)
+    args._served = result.final_served
+    summary = result.to_dict()
+    print(
+        f"dynamic {spec.name}: {summary['resolves']} re-solves "
+        f"({result.policy} policy, {'warm' if result.warm else 'cold'}), "
+        f"coverage mean {result.mean_coverage:.3f} / min "
+        f"{result.min_coverage:.3f} / final {result.final_coverage:.3f}"
+    )
+    print(
+        f"  churn: {result.arrivals} arrivals, {result.departures} "
+        f"departures; {result.faults} faults; {result.rotations} "
+        f"rotation swaps"
+    )
+    p95 = result.p95_time_to_serve_s
+    lat = result.median_resolve_latency_s
+    print(
+        f"  p95 time-to-serve "
+        f"{'-' if p95 is None else f'{p95:.1f}s'}, median re-solve "
+        f"{'-' if lat is None else f'{lat * 1e3:.1f}ms'}, wall "
+        f"{result.wall_s:.2f}s"
+    )
+
+    if args.record_bench:
+        from repro.obs.bench import record_trajectory_point
+
+        # The headline point pairs the warm run above with a cold run of
+        # the identical spec (same seeds => same event stream), so the
+        # recorded speedup is a like-for-like epoch re-solve comparison.
+        cold = run_dynamic(spec, warm=False)
+        warm_lat = result.median_resolve_latency_s
+        cold_lat = cold.median_resolve_latency_s
+        speedup = (
+            None if not warm_lat or not cold_lat else cold_lat / warm_lat
+        )
+        out = record_trajectory_point(
+            scenario=f"run:{spec.name}",
+            algorithm=spec.algorithm,
+            served=result.final_served,
+            wall_s=result.wall_s,
+            scale=spec.scale,
+            speedup=speedup,
+            warm_median_resolve_s=warm_lat,
+            cold_median_resolve_s=cold_lat,
+        )
+        shown = "-" if speedup is None else f"{speedup:.2f}x"
+        print(
+            f"perf point run:{spec.name} recorded in {out} "
+            f"(warm-vs-cold re-solve speedup {shown})"
+        )
+    return 0
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     """Run many ScenarioSpec JSON files through one shared pipeline."""
     from repro.scenario import BatchRunner, ScenarioSpec, SolvePipeline, SpecError
@@ -680,6 +783,9 @@ def _observed(handler, args: argparse.Namespace) -> int:
         recorder = obs.TimelineRecorder(
             obs.TimelineConfig(interval_s=args.live_interval)
         )
+        # Event loops (the dynamics engine) snapshot into this recorder
+        # at every state change via obs.record_mark().
+        obs.set_active_recorder(recorder)
     if getattr(args, "live", False):
         # One daemon serves both: the reporter's heartbeat drives the
         # timeline recorder when both are requested.
@@ -694,6 +800,8 @@ def _observed(handler, args: argparse.Namespace) -> int:
         exit_code = handler(args)
     finally:
         wall = _time.perf_counter() - start
+        if recorder is not None:
+            obs.set_active_recorder(None)
         if reporter is not None:
             reporter.stop()
         elif recorder is not None:
@@ -1127,6 +1235,50 @@ def main(argv: "list | None" = None) -> int:
     add_obs_args(batch_cmd)
     add_resilience_args(batch_cmd)
 
+    dynamic_cmd = sub.add_parser(
+        "dynamic",
+        help="long-horizon dynamic mission: streaming churn, moving "
+        "hotspots, rotation sorties, faults, and warm-started epoch "
+        "re-solves (see docs/DYNAMICS.md)",
+    )
+    dynamic_cmd.add_argument(
+        "--scenario", default="dynamic-small",
+        help="dynamic preset name (dynamic-small, dynamic-surge, "
+        "dynamic-headline) or DynamicSpec JSON file "
+        "(default dynamic-small)",
+    )
+    dynamic_cmd.add_argument(
+        "--seeds", type=int, default=1,
+        help="run a seed grid of this size (spec.seed, spec.seed+1, ...) "
+        "and print the aggregated table (default 1 = single run)",
+    )
+    dynamic_cmd.add_argument(
+        "--policy", choices=("periodic", "drift", "event"), default=None,
+        help="override the spec's re-solve policy",
+    )
+    dynamic_cmd.add_argument(
+        "--duration", type=float, default=None,
+        help="override the mission duration (seconds)",
+    )
+    dynamic_cmd.add_argument(
+        "--epoch", type=float, default=None,
+        help="override the epoch cadence (seconds)",
+    )
+    dynamic_cmd.add_argument(
+        "--seed", type=int, default=None, help="override seed")
+    dynamic_cmd.add_argument(
+        "--cold", action="store_true",
+        help="disable warm-starting (every epoch re-solve rebuilds the "
+        "graph and context from scratch; results are identical, only "
+        "slower)",
+    )
+    dynamic_cmd.add_argument(
+        "--record-bench", action="store_true",
+        help="also run the mission cold and merge the warm-vs-cold "
+        "re-solve latency point into BENCH_approx.json",
+    )
+    add_obs_args(dynamic_cmd)
+
     scenario_cmd = sub.add_parser(
         "scenario", help="inspect the named scenario presets"
     )
@@ -1305,6 +1457,8 @@ def _dispatch_handler(args: argparse.Namespace):
         return _cmd_run
     if args.command == "batch":
         return _cmd_batch
+    if args.command == "dynamic":
+        return _cmd_dynamic
     if args.command == "scenario":
         return _cmd_scenario
     if args.command == "selfcheck":

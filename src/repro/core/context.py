@@ -65,6 +65,37 @@ class SolverContext:
         matrix and coverage sets are shared structure, not copies).
         """
         start = time.perf_counter()
+        hop = problem.graph.hop_matrix()
+        return cls._build(problem, hop, start)
+
+    def updated(self, problem: ProblemInstance) -> "SolverContext":
+        """Incremental rebuild for a problem whose *users* changed but whose
+        candidate locations (and hence hop structure) did not.
+
+        Reuses this context's hop matrix verbatim — skipping the
+        one-BFS-per-location all-pairs build, the expensive half of a cold
+        :meth:`from_problem` — and recomputes only the user-dependent
+        coverage bitsets/counts through the exact same code path, so the
+        result is bit-identical to a cold build on an equivalent graph.
+        """
+        start = time.perf_counter()
+        graph = problem.graph
+        if self.hop_matrix.shape[0] != graph.num_locations:
+            raise ValueError(
+                f"context covers {self.hop_matrix.shape[0]} locations, "
+                f"problem has {graph.num_locations}; locations must be "
+                "unchanged for an incremental update"
+            )
+        graph.warm_hops(self.hop_matrix)
+        return type(self)._build(problem, self.hop_matrix, start)
+
+    @classmethod
+    def _build(
+        cls, problem: ProblemInstance, hop: np.ndarray, start: float
+    ) -> "SolverContext":
+        """The user-dependent half of context construction, shared by the
+        cold (:meth:`from_problem`) and incremental (:meth:`updated`)
+        paths so both produce bit-identical fields."""
         graph = problem.graph
         m = graph.num_locations
 
@@ -79,13 +110,10 @@ class SolverContext:
             key_row[graph.radio_signature(uav)] for uav in problem.fleet
         )
 
-        hop = graph.hop_matrix()
         words = np.packbits(np.zeros(graph.num_users, dtype=bool)).size
         bits = np.zeros((len(radio_keys), m, words), dtype=np.uint8)
         for key, r in key_row.items():
-            uav = representative[key]
-            for v in range(m):
-                bits[r, v, :] = graph.coverable_bits(v, uav)
+            bits[r, :, :] = graph.coverage_bits_matrix(representative[key])
         demands_arr = getattr(graph, "cell_demands", None)
         if (
             demands_arr is not None and demands_arr.size

@@ -1,0 +1,113 @@
+"""Multi-seed batch driver for dynamic missions.
+
+Long-horizon results are noisy in any single seed's event stream, so the
+headline numbers come from a seed grid: the same :class:`DynamicSpec`
+re-rooted at each seed, run end to end, and aggregated into one table
+(mean/min/final coverage, p95 time-to-serve, re-solve count and latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.dynamics.engine import DynamicResult, run_dynamic
+from repro.dynamics.spec import DynamicSpec
+from repro.util.tables import format_table
+
+
+@dataclass
+class GridResult:
+    """Per-seed mission results plus aggregate statistics."""
+
+    spec: DynamicSpec
+    seeds: list
+    results: list = field(default_factory=list)  # DynamicResult per seed
+
+    def aggregate(self) -> dict:
+        mean_cov = [r.mean_coverage for r in self.results]
+        min_cov = [r.min_coverage for r in self.results]
+        final_cov = [r.final_coverage for r in self.results]
+        p95 = [
+            r.p95_time_to_serve_s for r in self.results
+            if r.p95_time_to_serve_s is not None
+        ]
+        latencies = [
+            lat for r in self.results for lat in r.resolve_latencies_s
+        ]
+        return {
+            "seeds": len(self.seeds),
+            "mean_coverage": float(np.mean(mean_cov)) if mean_cov else 0.0,
+            "min_coverage": float(min(min_cov)) if min_cov else 0.0,
+            "final_coverage": float(np.mean(final_cov)) if final_cov else 0.0,
+            "p95_time_to_serve_s": float(np.mean(p95)) if p95 else None,
+            "resolves": int(sum(len(r.epochs) for r in self.results)),
+            "median_resolve_latency_s":
+                float(np.median(latencies)) if latencies else None,
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.spec.name,
+            "policy": self.spec.resolve_policy,
+            "warm": self.results[0].warm if self.results else None,
+            "per_seed": [
+                {"seed": seed, **result.to_dict()}
+                for seed, result in zip(self.seeds, self.results)
+            ],
+            "aggregate": self.aggregate(),
+        }
+
+    def to_text(self) -> str:
+        def fmt(value: "float | None", scale: float = 1.0) -> str:
+            return "-" if value is None else f"{value * scale:.3f}"
+
+        rows = []
+        for seed, result in zip(self.seeds, self.results):
+            rows.append([
+                str(seed),
+                f"{result.mean_coverage:.3f}",
+                f"{result.min_coverage:.3f}",
+                f"{result.final_coverage:.3f}",
+                fmt(result.p95_time_to_serve_s),
+                str(len(result.epochs)),
+                fmt(result.median_resolve_latency_s, 1e3),
+            ])
+        agg = self.aggregate()
+        rows.append([
+            "all",
+            f"{agg['mean_coverage']:.3f}",
+            f"{agg['min_coverage']:.3f}",
+            f"{agg['final_coverage']:.3f}",
+            fmt(agg["p95_time_to_serve_s"]),
+            str(agg["resolves"]),
+            fmt(agg["median_resolve_latency_s"], 1e3),
+        ])
+        title = (
+            f"dynamic mission grid: {self.spec.name} "
+            f"({self.spec.resolve_policy} policy, "
+            f"{'warm' if self.results and self.results[0].warm else 'cold'})"
+        )
+        return format_table(
+            ["seed", "mean cov", "min cov", "final cov", "p95 tts (s)",
+             "resolves", "med latency (ms)"],
+            rows, title=title,
+        )
+
+
+def run_seed_grid(
+    spec: DynamicSpec,
+    seeds: "list | None" = None,
+    num_seeds: int = 3,
+    warm: "bool | None" = None,
+) -> GridResult:
+    """Run ``spec`` across a seed grid (``seeds`` wins over ``num_seeds``,
+    which enumerates ``spec.seed, spec.seed + 1, ...``)."""
+    if seeds is None:
+        seeds = [spec.seed + i for i in range(num_seeds)]
+    grid = GridResult(spec=spec, seeds=list(seeds))
+    for seed in grid.seeds:
+        result = run_dynamic(replace(spec, seed=seed), warm=warm)
+        grid.results.append(result)
+    return grid

@@ -1,0 +1,70 @@
+"""Pluggable re-solve policies for the dynamics engine.
+
+A policy decides, at each trigger point, whether the engine should
+re-plan the placement.  Triggers are ``"epoch"`` (the periodic tick) and
+``"fault"`` (a structural event: crash, battery, link change, restore).
+Policies see only coverage numbers — they never touch the solver — so
+swapping one changes *when* re-solves happen, never *what* they compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+EPOCH = "epoch"
+FAULT = "fault"
+
+
+@dataclass(frozen=True)
+class PeriodicPolicy:
+    """Re-solve on every epoch tick (the baseline cadence)."""
+
+    name: str = "periodic"
+
+    def should_resolve(
+        self, trigger: str, coverage_now: float, coverage_at_solve: float
+    ) -> bool:
+        return trigger == EPOCH
+
+
+@dataclass(frozen=True)
+class DriftPolicy:
+    """Re-solve once coverage decayed by ``threshold`` (absolute fraction
+    of active users) since the last adopted solve; faults always count as
+    maximal drift."""
+
+    threshold: float = 0.15
+    name: str = "drift"
+
+    def should_resolve(
+        self, trigger: str, coverage_now: float, coverage_at_solve: float
+    ) -> bool:
+        if trigger == FAULT:
+            return True
+        return (coverage_at_solve - coverage_now) >= self.threshold
+
+
+@dataclass(frozen=True)
+class EventPolicy:
+    """Re-solve only on structural events (faults, restores); churn and
+    mobility decay are tolerated between them."""
+
+    name: str = "event"
+
+    def should_resolve(
+        self, trigger: str, coverage_now: float, coverage_at_solve: float
+    ) -> bool:
+        return trigger == FAULT
+
+
+def make_policy(name: str, drift_threshold: float = 0.15):
+    """Instantiate a policy by its spec name."""
+    if name == "periodic":
+        return PeriodicPolicy()
+    if name == "drift":
+        return DriftPolicy(threshold=drift_threshold)
+    if name == "event":
+        return EventPolicy()
+    raise ValueError(
+        f"unknown resolve policy {name!r}; known: periodic, drift, event"
+    )

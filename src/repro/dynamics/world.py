@@ -1,0 +1,148 @@
+"""The single mutable world every dynamics event source acts on.
+
+:class:`WorldState` owns the live population (users arrive, depart and
+move), the fleet's current placements and health, and one persistent
+working :class:`~repro.network.coverage.CoverageGraph` kept in sync via
+the incremental user-update API (:meth:`~CoverageGraph.replace_users`) —
+location-derived structure (hop matrix, Steiner memo) survives every
+churn event, which is what makes warm epoch re-solves cheap.
+
+Users carry stable ids across their lifetime so the engine can attribute
+"time to serve" per arrival: :meth:`evaluate` computes the exact
+Section II-D assignment for the current placements and stamps the first
+time each user id was actually served.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.assignment import optimal_assignment
+from repro.core.problem import ProblemInstance
+from repro.geometry.point import Point3D
+from repro.network.coverage import CoverageGraph
+from repro.network.deployment import Deployment
+from repro.network.users import DEFAULT_MIN_RATE_BPS, User
+
+
+@dataclass
+class WorldState:
+    """Mutable mission state shared by every event handler."""
+
+    base_problem: ProblemInstance
+    graph: CoverageGraph                  # persistent working graph
+    users: list = field(default_factory=list)
+    user_ids: list = field(default_factory=list)
+    placements: dict = field(default_factory=dict)
+    down: set = field(default_factory=set)        # grounded UAV indices
+    degraded_links: set = field(default_factory=set)
+    arrival_s: dict = field(default_factory=dict)     # uid -> arrival time
+    first_served_s: dict = field(default_factory=dict)  # uid -> first served
+    _next_uid: int = 0
+
+    @classmethod
+    def from_problem(cls, problem: ProblemInstance) -> "WorldState":
+        """Start a mission world from a built (static) scenario.
+
+        The working graph is a :meth:`~CoverageGraph.with_users` clone, so
+        the caller's problem keeps its pristine graph while the world
+        mutates its own.
+        """
+        graph = problem.graph.with_users(problem.graph.users)
+        world = cls(base_problem=problem, graph=graph)
+        world.users = list(graph.users)
+        world.user_ids = list(range(len(world.users)))
+        world._next_uid = len(world.users)
+        world.arrival_s = {uid: 0.0 for uid in world.user_ids}
+        return world
+
+    # -- sizes / views -------------------------------------------------------
+
+    @property
+    def fleet(self) -> list:
+        return self.base_problem.fleet
+
+    @property
+    def num_active(self) -> int:
+        return len(self.users)
+
+    def available_uavs(self) -> list:
+        return sorted(set(range(len(self.fleet))) - self.down)
+
+    def active_placements(self) -> dict:
+        """Current placements minus grounded UAVs."""
+        return {
+            k: loc for k, loc in self.placements.items()
+            if k not in self.down
+        }
+
+    def bounds(self) -> tuple:
+        """(lo_x, hi_x, lo_y, hi_y) box spanning users and locations."""
+        xs = [loc.x for loc in self.graph.locations]
+        ys = [loc.y for loc in self.graph.locations]
+        xs += [u.position.x for u in self.users]
+        ys += [u.position.y for u in self.users]
+        return (
+            min(xs, default=0.0), max(xs, default=0.0),
+            min(ys, default=0.0), max(ys, default=0.0),
+        )
+
+    def problem_now(self) -> ProblemInstance:
+        """The current instantaneous problem over the working graph."""
+        return ProblemInstance(graph=self.graph, fleet=self.fleet)
+
+    # -- population updates (keep the working graph in sync) -----------------
+
+    def add_user(
+        self, x: float, y: float, now: float,
+        min_rate_bps: float = DEFAULT_MIN_RATE_BPS,
+    ) -> int:
+        uid = self._next_uid
+        self._next_uid += 1
+        self.users.append(User(
+            position=Point3D(float(x), float(y), 0.0),
+            min_rate_bps=min_rate_bps,
+        ))
+        self.user_ids.append(uid)
+        self.arrival_s[uid] = now
+        self.graph.replace_users(self.users)
+        return uid
+
+    def remove_user(self, uid: int) -> bool:
+        """Depart a user by id; False when already gone."""
+        try:
+            idx = self.user_ids.index(uid)
+        except ValueError:
+            return False
+        self.users.pop(idx)
+        self.user_ids.pop(idx)
+        self.graph.replace_users(self.users)
+        return True
+
+    def move_users(self, xy: np.ndarray) -> None:
+        """Relocate the active population (aligned with ``self.users``)."""
+        self.graph.move_users(xy)
+        self.users = list(self.graph.users)
+
+    def user_xy(self) -> np.ndarray:
+        return np.array(
+            [[u.position.x, u.position.y] for u in self.users], dtype=float
+        ).reshape(len(self.users), 2)
+
+    # -- serving evaluation --------------------------------------------------
+
+    def evaluate(self, now: float) -> Deployment:
+        """Exact max-assignment for the current placements; stamps each
+        newly served user id's first-served time."""
+        deployment = optimal_assignment(
+            self.graph, self.fleet, self.active_placements()
+        )
+        for user_index in deployment.assignment:
+            uid = self.user_ids[user_index]
+            self.first_served_s.setdefault(uid, now)
+        return deployment
+
+    def coverage_fraction(self, served: int) -> float:
+        return served / self.num_active if self.num_active else 1.0

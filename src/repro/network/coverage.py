@@ -53,22 +53,13 @@ class CoverageGraph:
                 raise ValueError(
                     f"hovering locations must be airborne (z > 0), got {loc}"
                 )
-        self.users: list = list(users)
         self.locations: list = list(locations)
         self.uav_range_m = uav_range_m
         self.channel = channel if channel is not None else AirToGroundChannel(URBAN)
         self.bandwidth_hz = bandwidth_hz
         self.noise_dbm = noise_power_dbm(bandwidth_hz, noise_figure_db)
 
-        self._user_xy = np.array(
-            [[u.position.x, u.position.y] for u in self.users], dtype=float
-        ).reshape(len(self.users), 2)
-        self._user_min_rate = np.array(
-            [u.min_rate_bps for u in self.users], dtype=float
-        )
-        self._user_hash = SpatialHash(
-            [u.ground for u in self.users], cell_size=max(uav_range_m, 1.0)
-        ) if self.users else None
+        self._install_users(users)
 
         self.location_graph = self._build_location_graph()
         self._coverage_cache: dict = {}
@@ -77,6 +68,20 @@ class CoverageGraph:
         self._hop_matrix: "np.ndarray | None" = None
 
     # -- construction -------------------------------------------------------
+
+    def _install_users(self, users: list) -> None:
+        """Set the user population and its derived arrays/spatial hash."""
+        self.users: list = list(users)
+        self._user_xy = np.array(
+            [[u.position.x, u.position.y] for u in self.users], dtype=float
+        ).reshape(len(self.users), 2)
+        self._user_min_rate = np.array(
+            [u.min_rate_bps for u in self.users], dtype=float
+        )
+        self._user_hash = SpatialHash(
+            [u.ground for u in self.users],
+            cell_size=max(self.uav_range_m, 1.0),
+        ) if self.users else None
 
     def _build_location_graph(self) -> Graph:
         graph = Graph(len(self.locations))
@@ -90,6 +95,67 @@ class CoverageGraph:
                 if k > j and self.locations[j].distance_to(self.locations[k]) <= self.uav_range_m:
                     graph.add_edge(j, k)
         return graph
+
+    # -- incremental user updates -------------------------------------------
+    #
+    # The dynamic mission engine changes *users* every epoch while the
+    # candidate locations — and therefore the location graph, the hop
+    # matrix and the Steiner memo — stay fixed.  These methods update only
+    # the user-dependent half of the structure, so an epoch re-solve skips
+    # the one-BFS-per-location hop rebuild entirely.
+
+    def replace_users(self, users: list) -> None:
+        """Swap the user population in place.
+
+        Invalidates only the user-dependent coverage cache; the location
+        graph, hop matrix, hop cache and Steiner memo are untouched (they
+        depend on locations alone).
+        """
+        self._install_users(users)
+        self._coverage_cache = {}
+
+    def move_users(self, xy: np.ndarray) -> None:
+        """Move the existing users to new ground coordinates.
+
+        ``xy`` is an ``(n, 2)`` array aligned with ``self.users``; each
+        user keeps its minimum-rate requirement.  Equivalent to
+        :meth:`replace_users` with rebuilt :class:`User` objects.
+        """
+        xy = np.asarray(xy, dtype=float)
+        if xy.shape != (len(self.users), 2):
+            raise ValueError(
+                f"xy shape {xy.shape} != ({len(self.users)}, 2)"
+            )
+        moved = [
+            type(u)(
+                position=type(u.position)(float(x), float(y), 0.0),
+                min_rate_bps=u.min_rate_bps,
+            )
+            for u, (x, y) in zip(self.users, xy)
+        ]
+        self.replace_users(moved)
+
+    def with_users(self, users: list) -> "CoverageGraph":
+        """A new graph over the same locations but a different user set.
+
+        Location-derived structure (location graph, hop cache/matrix,
+        Steiner memo) is *shared by reference* with ``self`` — it is
+        deterministic in the locations, which are identical — so the clone
+        costs only the user-side arrays.  The coverage cache starts empty.
+        """
+        clone = object.__new__(type(self))
+        clone.locations = self.locations
+        clone.uav_range_m = self.uav_range_m
+        clone.channel = self.channel
+        clone.bandwidth_hz = self.bandwidth_hz
+        clone.noise_dbm = self.noise_dbm
+        clone.location_graph = self.location_graph
+        clone._hop_cache = self._hop_cache
+        clone._steiner_cache = self._steiner_cache
+        clone._hop_matrix = self._hop_matrix
+        clone._coverage_cache = {}
+        clone._install_users(users)
+        return clone
 
     # -- sizes ---------------------------------------------------------------
 
@@ -185,6 +251,97 @@ class CoverageGraph:
             )
             self._coverage_cache[key] = cached
         return cached
+
+    #: Whether :meth:`coverage_bits_matrix` may use the batched all-
+    #: locations mask.  Subclasses that redefine membership (e.g. the
+    #: demand-cell graph's padded-radius test) set this False and fall
+    #: back to stacking their own :meth:`coverable_bits` rows.
+    _BATCHED_COVERAGE = True
+
+    # The batched mask materialises (m, n) float temporaries; beyond this
+    # many cells (~hundreds of MB) the matrix form is a memory hazard and
+    # the bits build falls back to the per-location path.
+    _MASK_CHUNK_CELLS = 8_000_000
+
+    def _geometry(self) -> tuple:
+        """Radio-independent ``(m, n)`` geometry shared by every radio's
+        batched mask: 3-D user distances and expected pathloss, computed
+        once per user population (grouped by altitude so the vectorised
+        pathloss sees a scalar ``z``) and cached until the users change."""
+        cached = self._coverage_cache.get(("geometry",))
+        if cached is not None:
+            return cached
+        m, n = self.num_locations, self.num_users
+        dist3 = np.zeros((m, n), dtype=float)
+        pl = np.zeros((m, n), dtype=float)
+        loc_xy = np.array(
+            [[p.x, p.y] for p in self.locations], dtype=float
+        ).reshape(m, 2)
+        loc_z = np.array([p.z for p in self.locations], dtype=float)
+        for z in np.unique(loc_z):
+            sel = np.flatnonzero(loc_z == z)
+            dx = loc_xy[sel, 0][:, None] - self._user_xy[None, :, 0]
+            dy = loc_xy[sel, 1][:, None] - self._user_xy[None, :, 1]
+            horiz = np.hypot(dx, dy)
+            dist3[sel] = np.hypot(horiz, z)
+            pl[sel] = self.channel.pathloss_vector_db(horiz, z)
+        cached = (dist3, pl)
+        self._coverage_cache[("geometry",)] = cached
+        return cached
+
+    def _coverage_mask(self, uav: UAV) -> np.ndarray:
+        """Boolean ``(m, n)`` coverage membership under one radio.
+
+        Applies the radio's range and rate tests to the shared
+        :meth:`_geometry` arrays.  Elementwise ops only — values are
+        bit-identical to the per-location :meth:`coverable_users` path."""
+        m, n = self.num_locations, self.num_users
+        if m == 0 or n == 0:
+            return np.zeros((m, n), dtype=bool)
+        dist3, pl = self._geometry()
+        snr_db = (
+            uav.tx_power_dbm + uav.antenna_gain_db - pl - self.noise_dbm
+        )
+        rates = self.bandwidth_hz * np.log2(1.0 + 10.0 ** (snr_db / 10.0))
+        return (dist3 <= uav.user_range_m) & (
+            rates >= self._user_min_rate[None, :]
+        )
+
+    def coverage_bits_matrix(self, uav: UAV) -> np.ndarray:
+        """Packed ``(m, words)`` coverage bitsets for *all* locations under
+        one radio — the batched form of :meth:`coverable_bits`, cached per
+        radio signature and used by
+        :meth:`repro.core.context.SolverContext._build` so a context build
+        costs one vectorised pass instead of one numpy call per location.
+        Seeds the per-location caches as a side effect, keeping later
+        scalar lookups cache hits with identical values."""
+        radio = self._radio_key(uav)
+        key = ("matrix", radio)
+        cached = self._coverage_cache.get(key)
+        if cached is not None:
+            return cached
+        batched = (
+            self._BATCHED_COVERAGE
+            and self.num_locations * self.num_users <= self._MASK_CHUNK_CELLS
+        )
+        if not batched:
+            words = np.packbits(np.zeros(self.num_users, dtype=bool)).size
+            bits = np.zeros((self.num_locations, words), dtype=np.uint8)
+            for v in range(self.num_locations):
+                bits[v, :] = self.coverable_bits(v, uav)
+            self._coverage_cache[key] = bits
+            return bits
+        mask = self._coverage_mask(uav)
+        bits = np.packbits(mask, axis=1) if self.num_users else np.zeros(
+            (self.num_locations, 0), dtype=np.uint8
+        )
+        for v in range(self.num_locations):
+            self._coverage_cache.setdefault(
+                (v, radio), np.flatnonzero(mask[v]).tolist()
+            )
+            self._coverage_cache.setdefault((v, radio, "bits"), bits[v])
+        self._coverage_cache[key] = bits
+        return bits
 
     def union_coverage_count(self, loc_indices: list, uav: UAV) -> int:
         """Number of distinct users coverable from any of ``loc_indices``

@@ -52,9 +52,12 @@ from __future__ import annotations
 
 from repro.obs.archive import (
     ArchivedRun,
+    CoverageCurve,
+    CoverageDelta,
     RunArchive,
     RunComparison,
     compare_runs,
+    coverage_curve,
     span_totals,
 )
 from repro.obs.export import metric_name, render_openmetrics, write_openmetrics
@@ -88,6 +91,8 @@ from repro.obs.timeline import (
     TimelineConfig,
     TimelineRecorder,
     read_timeline,
+    record_mark,
+    set_active_recorder,
     write_timeline,
 )
 from repro.obs.trace import (
@@ -159,12 +164,17 @@ __all__ = [
     "TimelineConfig",
     "write_timeline",
     "read_timeline",
+    "set_active_recorder",
+    "record_mark",
     "timeline_summary",
     "RunArchive",
     "ArchivedRun",
     "RunComparison",
     "compare_runs",
     "span_totals",
+    "CoverageCurve",
+    "CoverageDelta",
+    "coverage_curve",
 ]
 
 

@@ -205,6 +205,109 @@ class RunArchive:
 
 
 @dataclass(frozen=True)
+class CoverageCurve:
+    """A coverage-over-time series extracted from one run's timeline.
+
+    Dynamic-mission runs gauge ``dynamic.served`` / ``dynamic.active_users``
+    (unit ``fraction``); plain mission runs fall back to the raw
+    ``mission.served`` count (unit ``users``).  The time axis prefers the
+    simulation clock gauge (``dynamic.clock_s``) over wall time, so two
+    runs of the same spec align point-for-point.
+    """
+
+    unit: str                       # "fraction" or "users"
+    points: tuple                   # ((t_s, value), ...)
+
+    @property
+    def values(self) -> list:
+        return [v for _, v in self.points]
+
+    @property
+    def mean(self) -> float:
+        values = self.values
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self.values) if self.points else 0.0
+
+    @property
+    def final(self) -> float:
+        return self.points[-1][1] if self.points else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "unit": self.unit,
+            "samples": len(self.points),
+            "mean": round(self.mean, 4),
+            "min": round(self.min, 4),
+            "final": round(self.final, 4),
+        }
+
+
+def coverage_curve(run: ArchivedRun) -> "CoverageCurve | None":
+    """Extract a run's coverage curve, or ``None`` when its timeline
+    carries no coverage gauges."""
+    points: list = []
+    unit: "str | None" = None
+    for snap in run.timeline or []:
+        gauges = snap.get("gauges", {}) or {}
+        t = float(gauges.get("dynamic.clock_s", snap.get("t_s", 0.0)))
+        if "dynamic.served" in gauges:
+            served = float(gauges["dynamic.served"])
+            active = float(gauges.get("dynamic.active_users", 0.0))
+            value = served / active if active else 1.0
+            unit = unit or "fraction"
+        elif "mission.served" in gauges:
+            value = float(gauges["mission.served"])
+            unit = unit or "users"
+        else:
+            continue
+        points.append((t, value))
+    if not points:
+        return None
+    return CoverageCurve(unit=unit, points=tuple(points))
+
+
+@dataclass(frozen=True)
+class CoverageDelta:
+    """Coverage-curve movement between two archived dynamic runs."""
+
+    baseline: CoverageCurve
+    current: CoverageCurve
+
+    @property
+    def comparable(self) -> bool:
+        return self.baseline.unit == self.current.unit
+
+    def _delta(self, attr: str) -> "float | None":
+        if not self.comparable:
+            return None
+        return getattr(self.current, attr) - getattr(self.baseline, attr)
+
+    @property
+    def mean_delta(self) -> "float | None":
+        return self._delta("mean")
+
+    @property
+    def min_delta(self) -> "float | None":
+        return self._delta("min")
+
+    @property
+    def final_delta(self) -> "float | None":
+        return self._delta("final")
+
+    def to_dict(self) -> dict:
+        return {
+            "baseline": self.baseline.to_dict(),
+            "current": self.current.to_dict(),
+            "mean_delta": self.mean_delta,
+            "min_delta": self.min_delta,
+            "final_delta": self.final_delta,
+        }
+
+
+@dataclass(frozen=True)
 class KernelDelta:
     """One kernel's timing movement between two archived runs."""
 
@@ -236,6 +339,7 @@ class RunComparison:
     wall_status: str
     wall_delta: "float | None"
     kernels: list = field(default_factory=list)   # KernelDelta, worst first
+    coverage: "CoverageDelta | None" = None       # when both runs carry curves
 
     @property
     def regressions(self) -> list:
@@ -269,6 +373,9 @@ class RunComparison:
             },
             "kernels": [k.to_dict() for k in self.kernels],
             "dominant_regression": dominant.kernel if dominant else None,
+            "coverage": (
+                self.coverage.to_dict() if self.coverage is not None else None
+            ),
         }
 
     def to_text(self) -> str:
@@ -305,7 +412,42 @@ class RunComparison:
              f"{self.wall_delta:+.1%} with no single kernel to blame"
              if self.wall_status == REGRESSED else "no regression")
         )
-        return f"{table}\n\n{verdict}"
+        text = f"{table}\n\n{verdict}"
+        if self.coverage is not None:
+            text = f"{text}\n\n{self._coverage_text()}"
+        return text
+
+    def _coverage_text(self) -> str:
+        cov = self.coverage
+        unit = cov.baseline.unit
+        pct = unit == "fraction"
+
+        def fmt(value: "float | None") -> str:
+            if value is None:
+                return "-"
+            return f"{value:.1%}" if pct else f"{value:.0f}"
+
+        def fmt_delta(value: "float | None") -> str:
+            if value is None:
+                return "-"
+            return f"{value:+.1%}" if pct else f"{value:+.0f}"
+
+        rows = [
+            ["mean", fmt(cov.baseline.mean), fmt(cov.current.mean),
+             fmt_delta(cov.mean_delta)],
+            ["min", fmt(cov.baseline.min), fmt(cov.current.min),
+             fmt_delta(cov.min_delta)],
+            ["final", fmt(cov.baseline.final), fmt(cov.current.final),
+             fmt_delta(cov.final_delta)],
+        ]
+        return format_table(
+            ["coverage", "base", "now", "delta"], rows,
+            title=(
+                f"coverage over time ({unit}, "
+                f"{len(cov.baseline.points)} vs {len(cov.current.points)} "
+                "samples)"
+            ),
+        )
 
 
 def compare_runs(
@@ -333,8 +475,15 @@ def compare_runs(
 
     rank = {REGRESSED: 0, NEW: 1, MISSING: 2, IMPROVED: 3}
     kernels.sort(key=lambda k: (rank.get(k.status, 4), -(k.delta or 0.0)))
+    base_curve = coverage_curve(baseline)
+    cur_curve = coverage_curve(current)
+    coverage = (
+        CoverageDelta(baseline=base_curve, current=cur_curve)
+        if base_curve is not None and cur_curve is not None else None
+    )
     return RunComparison(
         baseline_id=baseline.id, current_id=current.id, threshold=threshold,
         wall_baseline_s=base_wall, wall_current_s=cur_wall,
         wall_status=wall_status, wall_delta=wall_delta, kernels=kernels,
+        coverage=coverage,
     )

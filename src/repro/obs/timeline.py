@@ -176,6 +176,34 @@ class TimelineRecorder:
             self.record()
 
 
+# -- event-driven marks ------------------------------------------------------
+#
+# The dynamics engine advances sim time in bursts, so wall-clock-cadence
+# sampling alone can miss whole epochs.  A process-wide "active recorder"
+# lets event loops request an extra snapshot at every state change without
+# depending on who owns the recorder (the CLI's --timeline/--archive
+# plumbing registers it; everything is a no-op otherwise).
+
+_ACTIVE_RECORDER: "TimelineRecorder | None" = None
+
+
+def set_active_recorder(recorder: "TimelineRecorder | None") -> None:
+    """Install (or clear, with ``None``) the process-wide recorder that
+    :func:`record_mark` snapshots into."""
+    global _ACTIVE_RECORDER
+    _ACTIVE_RECORDER = recorder
+
+
+def record_mark() -> "dict | None":
+    """Snapshot the active recorder now, if one is installed (no-op and
+    ``None`` otherwise).  Event loops call this after updating their
+    gauges so discrete state changes land in the timeline even when they
+    fall between wall-clock samples."""
+    if _ACTIVE_RECORDER is None:
+        return None
+    return _ACTIVE_RECORDER.record()
+
+
 # -- derived series ----------------------------------------------------------
 
 

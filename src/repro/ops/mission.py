@@ -153,11 +153,10 @@ def run_mission(
     schedule.inject(queue)
     faults_injected = 0
 
-    while True:
-        next_time = queue.peek_time()
-        if next_time is None or next_time > config.duration_s:
-            break
-        now, payload = queue.pop()
+    # The mission runtime is a consumer of the shared discrete-event
+    # clock; the dynamics engine (repro.dynamics) drains the same
+    # primitive, so both advance time with identical semantics.
+    for now, payload in queue.drain(until=config.duration_s):
         kind, arg = payload
         if kind == "fault":
             faults_injected += 1

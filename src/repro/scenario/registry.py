@@ -62,6 +62,11 @@ class AlgorithmEntry:
     #: gains by demand and emits a cell-arc assignment.  The pipeline
     #: refuses ``aggregation="cells"`` specs for solvers without it.
     supports_cells: bool = False
+    #: The solver benefits from a recycled :class:`SolverContext` across
+    #: epoch re-solves (see :meth:`SolverContext.updated`).  The dynamics
+    #: engine only warm-starts re-solves for solvers carrying this flag;
+    #: everything else gets a cold build each epoch.
+    supports_warm_start: bool = False
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -150,6 +155,7 @@ def default_registry() -> AlgorithmRegistry:
             supports_workers=True, supports_bound_prune=True,
             supports_context=True, supports_checkpoint=True,
             cooperative=True, watchdog_tier=0, supports_cells=True,
+            supports_warm_start=True,
         ),
         AlgorithmEntry(
             "MCS", mcs,

@@ -21,7 +21,6 @@ from repro.core.assignment import optimal_assignment
 from repro.core.problem import ProblemInstance
 from repro.network.coverage import CoverageGraph
 from repro.network.deployment import Deployment
-from repro.network.users import User
 from repro.util.rng import ensure_rng
 
 
@@ -72,19 +71,17 @@ class MobilityTrace:
         return self.served[-1] if self.served else 0
 
 
-def _rebuild_graph(base: CoverageGraph, xy: np.ndarray) -> CoverageGraph:
-    users = [
-        User(position=type(u.position)(float(x), float(y), 0.0),
-             min_rate_bps=u.min_rate_bps)
-        for u, (x, y) in zip(base.users, xy)
-    ]
-    return CoverageGraph(
-        users=users,
-        locations=base.locations,
-        uav_range_m=base.uav_range_m,
-        channel=base.channel,
-        bandwidth_hz=base.bandwidth_hz,
-    )
+def _working_graph(base: CoverageGraph) -> CoverageGraph:
+    """A private mutable clone of ``base`` for the step loop.
+
+    :meth:`CoverageGraph.with_users` shares the location graph / hop
+    structure by reference and starts a fresh coverage cache, so each
+    step's :meth:`~CoverageGraph.move_users` invalidates only the
+    user-side coverage sets instead of reconstructing the whole graph
+    (location edges + spatial hashes) from scratch.  The caller's graph
+    is never mutated.
+    """
+    return base.with_users(base.users)
 
 
 def simulate_mobility(
@@ -146,9 +143,10 @@ def simulate_mobility(
     placements = deployment.placements
     pending: "tuple | None" = None  # (new_placements, steps_remaining)
 
+    graph_now = _working_graph(base_graph)
     for step in range(steps):
         xy = mobility.step(xy, bounds, rng)
-        graph_now = _rebuild_graph(base_graph, xy)
+        graph_now.move_users(xy)
         problem_now = ProblemInstance(graph=graph_now, fleet=problem.fleet)
 
         if pending is not None:

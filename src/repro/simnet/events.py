@@ -10,11 +10,22 @@ supersedes it.
 from __future__ import annotations
 
 import heapq
-from collections.abc import Hashable
+from collections.abc import Hashable, Iterator
 
 
 class EventQueue:
-    """Priority queue of timestamped events."""
+    """Priority queue of timestamped events.
+
+    **Tie-break contract.**  Each :meth:`schedule` call stamps the event
+    with a monotonically increasing sequence number, and the heap orders
+    by ``(time, seq)``.  Events sharing a timestamp therefore pop in
+    exactly the order they were scheduled (FIFO), independent of payload
+    contents — the property every consumer (mission runtime, dynamics
+    engine) relies on for deterministic replays.  The sequence number is
+    also the cancellation token, so a token never collides with another
+    event's and cancelling one of several same-timestamp events leaves
+    the others' relative order intact.
+    """
 
     def __init__(self) -> None:
         self._heap: list = []
@@ -75,3 +86,19 @@ class EventQueue:
             _, token, _ = heapq.heappop(self._heap)
             self._cancelled.discard(token)
         return self._heap[0][0] if self._heap else None
+
+    def drain(self, until: "float | None" = None) -> Iterator:
+        """Iterate ``(time, payload)`` over live events, advancing the
+        clock, until the queue empties or the next event lies strictly
+        beyond ``until`` (which then stays scheduled).  The shared mission
+        clock of the mission runtime and the dynamics engine: handlers may
+        schedule or cancel further events mid-iteration and the generator
+        picks them up, exactly like the explicit peek/pop loop it
+        replaces."""
+        while True:
+            next_time = self.peek_time()
+            if next_time is None:
+                return
+            if until is not None and next_time > until:
+                return
+            yield self.pop()

@@ -166,6 +166,11 @@ class CellCoverageGraph(CoverageGraph):
         self.cell_radii = np.array([c.radius_m for c in cells], dtype=float)
         self.cell_demands = np.array([c.demand for c in cells], dtype=np.int64)
 
+    # The padded-radius membership test below differs from the base
+    # geometry, so the batched all-locations mask does not apply; the
+    # bits matrix falls back to stacking this class's coverable_bits.
+    _BATCHED_COVERAGE = False
+
     @property
     def num_cells(self) -> int:
         return len(self.cells)

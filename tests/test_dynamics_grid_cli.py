@@ -1,0 +1,145 @@
+"""Seed-grid driver and ``repro dynamic`` / ``repro runs compare`` CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.dynamics import DynamicSpec, run_dynamic, run_seed_grid
+
+
+def tiny_spec(**overrides) -> DynamicSpec:
+    base = dict(
+        name="cli-t", scale="small", num_users=25, num_uavs=3, seed=2,
+        algorithm="approAlg",
+        algorithm_params={"s": 1, "gain_mode": "fast",
+                          "max_anchor_candidates": 6},
+        duration_s=120.0, epoch_s=40.0, arrival_rate_per_s=0.05,
+        mean_dwell_s=100.0, mobility_sigma_m=15.0,
+    )
+    base.update(overrides)
+    return DynamicSpec(**base)
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "mission.json"
+    path.write_text(json.dumps(tiny_spec().to_dict()))
+    return str(path)
+
+
+class TestSeedGrid:
+    def test_grid_runs_consecutive_seeds(self):
+        spec = tiny_spec()
+        grid = run_seed_grid(spec, num_seeds=3)
+        assert grid.seeds == [2, 3, 4]
+        assert len(grid.results) == 3
+        # Per-seed results match standalone runs of the same seed.
+        from dataclasses import replace
+
+        solo = run_dynamic(replace(spec, seed=3))
+        assert grid.results[1].timeline == solo.timeline
+
+    def test_aggregate_and_text(self):
+        grid = run_seed_grid(tiny_spec(), num_seeds=2)
+        agg = grid.aggregate()
+        assert 0.0 <= agg["min_coverage"] <= agg["mean_coverage"] <= 1.0
+        text = grid.to_text()
+        assert "all" in text
+        data = grid.to_dict()
+        assert json.loads(json.dumps(data)) == data
+
+
+class TestDynamicCli:
+    def test_preset_single_run(self, capsys):
+        assert main([
+            "dynamic", "--scenario", "dynamic-small", "--duration", "100",
+            "--epoch", "50",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "re-solves" in out
+        assert "coverage mean" in out
+
+    def test_spec_file_and_overrides(self, spec_file, capsys):
+        assert main([
+            "dynamic", "--scenario", spec_file, "--seed", "9",
+            "--policy", "event", "--cold",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cold" in out
+        assert "event" in out
+
+    def test_seed_grid_table(self, spec_file, capsys):
+        assert main([
+            "dynamic", "--scenario", spec_file, "--seeds", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "seed" in out
+        assert "all" in out
+
+    def test_unknown_scenario_errors(self, capsys):
+        assert main(["dynamic", "--scenario", "not-a-preset"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_record_bench_merges_point(self, spec_file, capsys, monkeypatch):
+        import repro.obs.bench as bench
+
+        recorded = {}
+
+        def fake_record(**kwargs):
+            recorded.update(kwargs)
+            return "BENCH_approx.json"
+
+        monkeypatch.setattr(bench, "record_trajectory_point", fake_record)
+        assert main([
+            "dynamic", "--scenario", spec_file, "--record-bench",
+        ]) == 0
+        assert recorded["scenario"] == "run:cli-t"
+        assert recorded["algorithm"] == "approAlg"
+        assert recorded["warm_median_resolve_s"] is not None
+        assert recorded["cold_median_resolve_s"] is not None
+        assert "speedup" in recorded
+        assert "perf point run:cli-t" in capsys.readouterr().out
+
+
+class TestRunsCompareCoverage:
+    def test_compare_archived_dynamic_runs(
+        self, spec_file, tmp_path, capsys
+    ):
+        root = str(tmp_path / "runs")
+        for seed in ("2", "3"):
+            assert main([
+                "dynamic", "--scenario", spec_file, "--seed", seed,
+                "--archive", "--archive-root", root,
+            ]) == 0
+        out = capsys.readouterr().out
+        assert "run archived as run-0001" in out
+        assert "run archived as run-0002" in out
+
+        code = main([
+            "runs", "compare", "run-0001", "run-0002", "--root", root,
+            "--threshold", "10.0",  # huge: timing noise must not fail this
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "coverage over time (fraction" in out
+        for row in ("mean", "min", "final"):
+            assert row in out
+
+    def test_compare_without_timelines_omits_coverage(
+        self, tmp_path, capsys
+    ):
+        root = str(tmp_path / "runs")
+        for seed in ("1", "2"):
+            assert main([
+                "run", "--scenario", "demo-small", "--seed", seed,
+                "--archive", "--archive-root", root,
+            ]) == 0
+        capsys.readouterr()
+        main([
+            "runs", "compare", "run-0001", "run-0002", "--root", root,
+            "--threshold", "10.0",
+        ])
+        out = capsys.readouterr().out
+        assert "runs compare" in out
+        assert "coverage over time" not in out

@@ -1,0 +1,176 @@
+"""Edge-case tests for battery-rotation scheduling (ISSUE satellite).
+
+Covers the corners the main rotation suite skips: fleets with zero
+spares, single-sortie missions, and pools whose endurance is shorter
+than the recharge turnaround.
+"""
+
+import pytest
+
+from repro.core.problem import ProblemInstance
+from repro.geometry.point import Point3D
+from repro.network.coverage import CoverageGraph
+from repro.network.deployment import Deployment
+from repro.network.energy import EnergyModel
+from repro.network.uav import UAV
+from repro.network.users import User
+from repro.sim.rotation import max_sustainable_mission_s, plan_rotation
+
+
+def make_problem(num_uavs, capacity=10, battery_wh=500.0):
+    users = [User(Point3D(50.0 * i, 0.0, 0.0), 1e6) for i in range(4)]
+    locations = [Point3D(100.0 * j, 0.0, 100.0) for j in range(4)]
+    fleet = [
+        UAV(capacity=capacity, battery_wh=battery_wh) for _ in range(num_uavs)
+    ]
+    graph = CoverageGraph(
+        users=users, locations=locations, uav_range_m=500.0
+    )
+    return ProblemInstance(graph=graph, fleet=fleet)
+
+
+def endurance_of(problem, k=0):
+    return EnergyModel().endurance_s(problem.fleet[k])
+
+
+class TestZeroSpares:
+    def test_feasible_up_to_own_endurance(self):
+        problem = make_problem(num_uavs=2)
+        deployment = Deployment(placements={0: 0, 1: 1})
+        endurance = endurance_of(problem)
+        schedule = plan_rotation(
+            problem, deployment, mission_s=endurance * 0.9, recharge_s=600.0
+        )
+        assert schedule.feasible
+        assert schedule.swaps() == 0
+        assert len(schedule.sorties) == 2
+
+    def test_gap_opens_at_first_empty_battery(self):
+        problem = make_problem(num_uavs=2)
+        deployment = Deployment(placements={0: 0, 1: 1})
+        endurance = endurance_of(problem)
+        schedule = plan_rotation(
+            problem, deployment, mission_s=endurance * 2, recharge_s=600.0
+        )
+        assert not schedule.feasible
+        assert schedule.first_gap_s == pytest.approx(endurance)
+
+    def test_zero_recharge_sustains_forever(self):
+        """With instantaneous recharge the same UAV relaunches back-to-
+        back, so even a spare-less fleet staffs any horizon."""
+        problem = make_problem(num_uavs=1)
+        deployment = Deployment(placements={0: 0})
+        endurance = endurance_of(problem)
+        schedule = plan_rotation(
+            problem, deployment, mission_s=endurance * 3.5, recharge_s=0.0
+        )
+        assert schedule.feasible
+        assert schedule.swaps() >= 3
+
+    def test_max_sustainable_tracks_endurance(self):
+        problem = make_problem(num_uavs=2)
+        deployment = Deployment(placements={0: 0, 1: 1})
+        endurance = endurance_of(problem)
+        sustained = max_sustainable_mission_s(
+            problem, deployment, recharge_s=600.0
+        )
+        # Bisection stops at one-minute resolution below the true boundary.
+        assert endurance - 60.0 <= sustained <= endurance + 1e-6
+
+
+class TestSingleSortie:
+    def test_short_mission_one_sortie_per_position(self):
+        problem = make_problem(num_uavs=4)
+        deployment = Deployment(placements={0: 0, 1: 1, 2: 2})
+        schedule = plan_rotation(
+            problem, deployment, mission_s=60.0, recharge_s=3600.0
+        )
+        assert schedule.feasible
+        assert schedule.swaps() == 0
+        for position in (0, 1, 2):
+            sorties = schedule.sorties_at(position)
+            assert len(sorties) == 1
+            assert sorties[0].start_s == 0.0
+            assert sorties[0].end_s == 60.0
+
+    def test_empty_deployment(self):
+        problem = make_problem(num_uavs=2)
+        deployment = Deployment(placements={})
+        schedule = plan_rotation(problem, deployment, mission_s=100.0)
+        assert schedule.feasible
+        assert schedule.sorties == []
+        assert max_sustainable_mission_s(
+            problem, deployment, horizon_s=7200.0
+        ) == 7200.0
+
+
+class TestEnduranceBelowTurnaround:
+    def test_recharge_longer_than_endurance_gaps_after_pool_drains(self):
+        """One position, one spare, recharge far beyond endurance: the
+        spare bridges one hand-off, then the pool is empty mid-recharge."""
+        problem = make_problem(num_uavs=2)
+        deployment = Deployment(placements={0: 0})
+        endurance = endurance_of(problem)
+        schedule = plan_rotation(
+            problem, deployment, mission_s=endurance * 4,
+            recharge_s=endurance * 10,
+        )
+        assert not schedule.feasible
+        assert schedule.swaps() == 1
+        assert schedule.first_gap_s == pytest.approx(2 * endurance)
+
+    def test_many_spares_cover_recharge_deadtime(self):
+        problem = make_problem(num_uavs=4)
+        deployment = Deployment(placements={0: 0})
+        endurance = endurance_of(problem)
+        schedule = plan_rotation(
+            problem, deployment, mission_s=endurance * 3.5,
+            recharge_s=endurance * 10,
+        )
+        assert schedule.feasible
+        assert schedule.swaps() == 3
+
+    def test_near_zero_battery_unsustainable(self):
+        problem = make_problem(num_uavs=2, battery_wh=0.01)
+        deployment = Deployment(placements={0: 0})
+        assert endurance_of(problem) < 1.0
+        assert max_sustainable_mission_s(
+            problem, deployment, recharge_s=3600.0
+        ) == 0.0
+
+
+class TestCompatibilityAndValidation:
+    def test_low_capacity_spare_cannot_relieve_loaded_position(self):
+        users = [User(Point3D(0.0, 0.0, 0.0), 1e6),
+                 User(Point3D(10.0, 0.0, 0.0), 1e6)]
+        locations = [Point3D(0.0, 0.0, 100.0), Point3D(400.0, 0.0, 100.0)]
+        fleet = [UAV(capacity=2), UAV(capacity=1)]
+        problem = ProblemInstance(
+            graph=CoverageGraph(
+                users=users, locations=locations, uav_range_m=500.0
+            ),
+            fleet=fleet,
+        )
+        deployment = Deployment(
+            placements={0: 0}, assignment={0: 0, 1: 0}
+        )
+        endurance = endurance_of(problem)
+        schedule = plan_rotation(
+            problem, deployment, mission_s=endurance * 2, recharge_s=600.0
+        )
+        # The spare's capacity (1) is below the position's load (2).
+        assert not schedule.feasible
+        assert schedule.first_gap_s == pytest.approx(endurance)
+
+    def test_rejects_non_positive_mission(self):
+        problem = make_problem(num_uavs=1)
+        with pytest.raises(ValueError, match="positive"):
+            plan_rotation(problem, Deployment(placements={0: 0}), 0.0)
+
+    def test_rejects_negative_recharge(self):
+        problem = make_problem(num_uavs=1)
+        with pytest.raises(ValueError, match="non-negative"):
+            plan_rotation(
+                problem, Deployment(placements={0: 0}), 100.0,
+                recharge_s=-1.0,
+            )
